@@ -1,0 +1,242 @@
+// Package attest models the SGX attestation trust chain the DEFLECTION
+// protocol rests on (paper Sections III-A and V-B): a platform attestation
+// key signs Quotes over the bootstrap enclave's measurement, an Attestation
+// Service (the IAS analogue) verifies Quotes for remote parties, and an
+// RA-TLS-style key exchange binds an in-enclave ECDH key to the Quote so
+// each party (data owner or code provider, distinguished by Role) ends up
+// with an authenticated session key shared only with the measured enclave.
+package attest
+
+import (
+	"crypto/ecdh"
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+)
+
+// Role distinguishes the two remote parties of the DEFLECTION model; it is
+// mixed into the session-key derivation so the enclave can tell the
+// channels apart.
+type Role string
+
+// The two parties that attest the bootstrap enclave.
+const (
+	RoleDataOwner    Role = "data-owner"
+	RoleCodeProvider Role = "code-provider"
+)
+
+// ReportDataSize is the free-form field bound into a Quote (64 bytes, as on
+// SGX).
+const ReportDataSize = 64
+
+// Quote is a signed attestation statement: this measurement, with this
+// report data, runs on the platform identified by PlatformID.
+type Quote struct {
+	PlatformID  string
+	Measurement [32]byte
+	ReportData  [ReportDataSize]byte
+	Sig         []byte // ASN.1 ECDSA signature
+}
+
+func (q *Quote) digest() []byte {
+	h := sha256.New()
+	h.Write([]byte("DEFLECTION-QUOTE-v1|"))
+	h.Write([]byte(q.PlatformID))
+	h.Write([]byte{'|'})
+	h.Write(q.Measurement[:])
+	h.Write(q.ReportData[:])
+	return h.Sum(nil)
+}
+
+// Platform holds the platform attestation key (the analogue of the
+// EPID/DCAP key provisioned by the hardware vendor).
+type Platform struct {
+	id   string
+	priv *ecdsa.PrivateKey
+}
+
+// NewPlatform provisions a platform with a fresh attestation key.
+func NewPlatform(id string) (*Platform, error) {
+	priv, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("attest: %w", err)
+	}
+	return &Platform{id: id, priv: priv}, nil
+}
+
+// ID returns the platform identifier.
+func (p *Platform) ID() string { return p.id }
+
+// PublicKey returns the attestation verification key.
+func (p *Platform) PublicKey() *ecdsa.PublicKey { return &p.priv.PublicKey }
+
+// Quote signs an attestation statement for an enclave with the given
+// measurement; reportData (at most 64 bytes) is caller-bound data, here the
+// hash of the enclave's ephemeral key-exchange public key.
+func (p *Platform) Quote(measurement [32]byte, reportData []byte) (*Quote, error) {
+	if len(reportData) > ReportDataSize {
+		return nil, fmt.Errorf("attest: report data %d bytes > %d", len(reportData), ReportDataSize)
+	}
+	q := &Quote{PlatformID: p.id, Measurement: measurement}
+	copy(q.ReportData[:], reportData)
+	sig, err := ecdsa.SignASN1(rand.Reader, p.priv, q.digest())
+	if err != nil {
+		return nil, fmt.Errorf("attest: %w", err)
+	}
+	q.Sig = sig
+	return q, nil
+}
+
+// Service is the Attestation Service (IAS analogue): it knows the
+// attestation public keys of genuine platforms and verifies Quotes on
+// behalf of remote parties.
+type Service struct {
+	known map[string]*ecdsa.PublicKey
+}
+
+// NewService returns an empty attestation service.
+func NewService() *Service {
+	return &Service{known: make(map[string]*ecdsa.PublicKey)}
+}
+
+// Register records a platform's attestation public key (the provisioning
+// step a hardware vendor performs).
+func (s *Service) Register(p *Platform) {
+	s.known[p.ID()] = p.PublicKey()
+}
+
+// Report is the Service's verdict on a Quote.
+type Report struct {
+	PlatformID  string
+	Measurement [32]byte
+	ReportData  [ReportDataSize]byte
+}
+
+// ErrUnknownPlatform is returned for quotes from unregistered platforms.
+var ErrUnknownPlatform = errors.New("attest: unknown platform")
+
+// ErrBadQuote is returned when a quote's signature fails.
+var ErrBadQuote = errors.New("attest: quote signature invalid")
+
+// Verify checks the quote and returns an attestation report.
+func (s *Service) Verify(q *Quote) (*Report, error) {
+	pub, ok := s.known[q.PlatformID]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownPlatform, q.PlatformID)
+	}
+	if !ecdsa.VerifyASN1(pub, q.digest(), q.Sig) {
+		return nil, ErrBadQuote
+	}
+	return &Report{PlatformID: q.PlatformID, Measurement: q.Measurement, ReportData: q.ReportData}, nil
+}
+
+// EnclaveKEX is the enclave side of the RA-TLS-style key exchange: an
+// ephemeral ECDH key whose public half is bound into the Quote's report
+// data.
+type EnclaveKEX struct {
+	priv *ecdh.PrivateKey
+}
+
+// NewEnclaveKEX generates the enclave's ephemeral key.
+func NewEnclaveKEX() (*EnclaveKEX, error) {
+	priv, err := ecdh.P256().GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("attest: %w", err)
+	}
+	return &EnclaveKEX{priv: priv}, nil
+}
+
+// PublicBytes returns the enclave's key-exchange public key.
+func (k *EnclaveKEX) PublicBytes() []byte { return k.priv.PublicKey().Bytes() }
+
+// ReportData returns the value to bind into the Quote: the hash of the
+// public key, padded to the report-data size.
+func (k *EnclaveKEX) ReportData() []byte {
+	h := sha256.Sum256(k.PublicBytes())
+	out := make([]byte, ReportDataSize)
+	copy(out, h[:])
+	return out
+}
+
+// Derive computes the enclave-side session key for a peer of the given
+// role.
+func (k *EnclaveKEX) Derive(peerPub []byte, role Role) ([]byte, error) {
+	pub, err := ecdh.P256().NewPublicKey(peerPub)
+	if err != nil {
+		return nil, fmt.Errorf("attest: peer public key: %w", err)
+	}
+	shared, err := k.priv.ECDH(pub)
+	if err != nil {
+		return nil, fmt.Errorf("attest: %w", err)
+	}
+	return kdf(shared, k.PublicBytes(), peerPub, role), nil
+}
+
+// PartyKEX is a remote party's ephemeral key.
+type PartyKEX struct {
+	priv *ecdh.PrivateKey
+	role Role
+}
+
+// NewPartyKEX generates a key for a party acting in the given role.
+func NewPartyKEX(role Role) (*PartyKEX, error) {
+	priv, err := ecdh.P256().GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("attest: %w", err)
+	}
+	return &PartyKEX{priv: priv, role: role}, nil
+}
+
+// PublicBytes returns the party's key-exchange public key.
+func (p *PartyKEX) PublicBytes() []byte { return p.priv.PublicKey().Bytes() }
+
+// ErrMeasurementMismatch is returned when the attested enclave is not the
+// one the party expected.
+var ErrMeasurementMismatch = errors.New("attest: measurement mismatch")
+
+// ErrKeyNotBound is returned when the enclave's KEX key is not bound into
+// the quote's report data.
+var ErrKeyNotBound = errors.New("attest: key-exchange key not bound to quote")
+
+// VerifyAndDerive is the remote party's side of the protocol: submit the
+// quote to the attestation service, check the enclave measurement against
+// the expected bootstrap-enclave build, check the key binding, and derive
+// the shared session key.
+func (p *PartyKEX) VerifyAndDerive(s *Service, q *Quote, enclavePub []byte, expected [32]byte) ([]byte, error) {
+	rep, err := s.Verify(q)
+	if err != nil {
+		return nil, err
+	}
+	if rep.Measurement != expected {
+		return nil, fmt.Errorf("%w: got %x", ErrMeasurementMismatch, rep.Measurement[:8])
+	}
+	want := sha256.Sum256(enclavePub)
+	if [32]byte(rep.ReportData[:32]) != want {
+		return nil, ErrKeyNotBound
+	}
+	pub, err := ecdh.P256().NewPublicKey(enclavePub)
+	if err != nil {
+		return nil, fmt.Errorf("attest: enclave public key: %w", err)
+	}
+	shared, err := p.priv.ECDH(pub)
+	if err != nil {
+		return nil, fmt.Errorf("attest: %w", err)
+	}
+	return kdf(shared, enclavePub, p.PublicBytes(), p.role), nil
+}
+
+// kdf derives a 32-byte session key over the shared secret and the protocol
+// transcript (both public keys and the party role).
+func kdf(shared, enclavePub, partyPub []byte, role Role) []byte {
+	h := sha256.New()
+	h.Write([]byte("DEFLECTION-SESSION-v1|"))
+	h.Write([]byte(role))
+	h.Write([]byte{'|'})
+	h.Write(shared)
+	h.Write(enclavePub)
+	h.Write(partyPub)
+	return h.Sum(nil)
+}

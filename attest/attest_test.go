@@ -1,0 +1,236 @@
+package attest
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func setup(t *testing.T) (*Platform, *Service) {
+	t.Helper()
+	p, err := NewPlatform("sgx-platform-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewService()
+	s.Register(p)
+	return p, s
+}
+
+func TestQuoteVerifies(t *testing.T) {
+	p, s := setup(t)
+	var m [32]byte
+	copy(m[:], "measurement-of-bootstrap")
+	q, err := p.Quote(m, []byte("report"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.Verify(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Measurement != m {
+		t.Error("measurement mismatch in report")
+	}
+}
+
+func TestQuoteTamperDetected(t *testing.T) {
+	p, s := setup(t)
+	var m [32]byte
+	q, err := p.Quote(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.Measurement[0] ^= 1
+	if _, err := s.Verify(q); !errors.Is(err, ErrBadQuote) {
+		t.Fatalf("tampered quote: %v", err)
+	}
+	q.Measurement[0] ^= 1
+	q.ReportData[5] ^= 1
+	if _, err := s.Verify(q); !errors.Is(err, ErrBadQuote) {
+		t.Fatalf("tampered report data: %v", err)
+	}
+}
+
+func TestUnknownPlatformRejected(t *testing.T) {
+	p, _ := setup(t)
+	s2 := NewService() // does not know p
+	var m [32]byte
+	q, err := p.Quote(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.Verify(q); !errors.Is(err, ErrUnknownPlatform) {
+		t.Fatalf("unknown platform: %v", err)
+	}
+}
+
+func TestForgedPlatformRejected(t *testing.T) {
+	_, s := setup(t)
+	rogue, err := NewPlatform("sgx-platform-1") // same ID, different key
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m [32]byte
+	q, err := rogue.Quote(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Verify(q); !errors.Is(err, ErrBadQuote) {
+		t.Fatalf("forged platform quote: %v", err)
+	}
+}
+
+func TestOversizedReportDataRejected(t *testing.T) {
+	p, _ := setup(t)
+	var m [32]byte
+	if _, err := p.Quote(m, make([]byte, ReportDataSize+1)); err == nil {
+		t.Fatal("oversized report data accepted")
+	}
+}
+
+func TestKeyExchangeBothRoles(t *testing.T) {
+	p, s := setup(t)
+	var m [32]byte
+	copy(m[:], "bootstrap-v1")
+
+	kex, err := NewEnclaveKEX()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := p.Quote(m, kex.ReportData())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, role := range []Role{RoleDataOwner, RoleCodeProvider} {
+		party, err := NewPartyKEX(role)
+		if err != nil {
+			t.Fatal(err)
+		}
+		partyKey, err := party.VerifyAndDerive(s, q, kex.PublicBytes(), m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		enclaveKey, err := kex.Derive(party.PublicBytes(), role)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(partyKey, enclaveKey) {
+			t.Fatalf("role %s: keys disagree", role)
+		}
+	}
+
+	// Different roles must yield different keys for the same peer key.
+	owner, _ := NewPartyKEX(RoleDataOwner)
+	k1, err := kex.Derive(owner.PublicBytes(), RoleDataOwner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := kex.Derive(owner.PublicBytes(), RoleCodeProvider)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(k1, k2) {
+		t.Error("roles must separate keys")
+	}
+}
+
+func TestKeyExchangeRejectsWrongMeasurement(t *testing.T) {
+	p, s := setup(t)
+	var m, other [32]byte
+	copy(m[:], "real")
+	copy(other[:], "expected-something-else")
+	kex, err := NewEnclaveKEX()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := p.Quote(m, kex.ReportData())
+	if err != nil {
+		t.Fatal(err)
+	}
+	party, err := NewPartyKEX(RoleDataOwner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := party.VerifyAndDerive(s, q, kex.PublicBytes(), other); !errors.Is(err, ErrMeasurementMismatch) {
+		t.Fatalf("wrong measurement: %v", err)
+	}
+}
+
+func TestKeyExchangeRejectsUnboundKey(t *testing.T) {
+	// A man-in-the-middle substituting his own KEX key must be caught by
+	// the report-data binding.
+	p, s := setup(t)
+	var m [32]byte
+	kexReal, err := NewEnclaveKEX()
+	if err != nil {
+		t.Fatal(err)
+	}
+	kexMITM, err := NewEnclaveKEX()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := p.Quote(m, kexReal.ReportData())
+	if err != nil {
+		t.Fatal(err)
+	}
+	party, err := NewPartyKEX(RoleDataOwner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := party.VerifyAndDerive(s, q, kexMITM.PublicBytes(), m); !errors.Is(err, ErrKeyNotBound) {
+		t.Fatalf("unbound key: %v", err)
+	}
+}
+
+func TestChannelRoundTrip(t *testing.T) {
+	key := make([]byte, 32)
+	for i := range key {
+		key[i] = byte(i)
+	}
+	a, err := NewChannel(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewChannel(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		msg := []byte{byte(i), 1, 2, 3}
+		ct := a.Seal(msg)
+		got, err := b.Open(ct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, msg) {
+			t.Fatalf("message %d corrupted", i)
+		}
+	}
+}
+
+func TestChannelDetectsReplayAndTamper(t *testing.T) {
+	key := make([]byte, 32)
+	a, _ := NewChannel(key)
+	b, _ := NewChannel(key)
+	ct := a.Seal([]byte("msg0"))
+	if _, err := b.Open(ct); err != nil {
+		t.Fatal(err)
+	}
+	// Replay of msg0 arrives with sequence 1 — must fail.
+	if _, err := b.Open(ct); !errors.Is(err, ErrReplay) {
+		t.Fatalf("replay: %v", err)
+	}
+	ct2 := a.Seal([]byte("msg1"))
+	ct2[0] ^= 1
+	if _, err := b.Open(ct2); !errors.Is(err, ErrReplay) {
+		t.Fatalf("tamper: %v", err)
+	}
+}
+
+func TestChannelBadKey(t *testing.T) {
+	if _, err := NewChannel([]byte("short")); err == nil {
+		t.Fatal("short key accepted")
+	}
+}

@@ -1,0 +1,217 @@
+package attest
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// This file implements the key agreement procedure of the paper's Section
+// III-A as a concrete wire protocol:
+//
+//  1. the bootstrap enclave sends a Hello — its Quote (measurement signed
+//     by the platform, with the ephemeral ECDH key bound into the report
+//     data) plus the raw key;
+//  2. the remote party (data owner or code provider) verifies the Quote at
+//     the attestation service, checks the measurement against the public
+//     bootstrap build, derives the role-separated session key and answers
+//     with its own public key plus a key-confirmation MAC;
+//  3. the enclave derives the same key, checks the confirmation, and both
+//     ends hold an authenticated Channel.
+//
+// All messages are length-prefixed JSON frames.
+
+const maxFrame = 1 << 20
+
+// WriteFrame writes one length-prefixed message.
+func WriteFrame(w io.Writer, payload []byte) error {
+	if len(payload) > maxFrame {
+		return fmt.Errorf("attest: frame of %d bytes exceeds limit", len(payload))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("attest: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("attest: %w", err)
+	}
+	return nil
+}
+
+// ReadFrame reads one length-prefixed message.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("attest: %w", err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("attest: frame of %d bytes exceeds limit", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, fmt.Errorf("attest: %w", err)
+	}
+	return buf, nil
+}
+
+// helloMsg is the enclave's opening message.
+type helloMsg struct {
+	PlatformID  string `json:"platform_id"`
+	Measurement []byte `json:"measurement"`
+	ReportData  []byte `json:"report_data"`
+	Sig         []byte `json:"sig"`
+	KexPub      []byte `json:"kex_pub"`
+}
+
+// replyMsg is the party's handshake answer.
+type replyMsg struct {
+	Role     string `json:"role"`
+	PartyPub []byte `json:"party_pub"`
+	Confirm  []byte `json:"confirm"`
+}
+
+func confirmMAC(key []byte, role Role, enclavePub, partyPub []byte) []byte {
+	mac := hmac.New(sha256.New, key)
+	mac.Write([]byte("DEFLECTION-CONFIRM-v1|"))
+	mac.Write([]byte(role))
+	mac.Write([]byte{'|'})
+	mac.Write(enclavePub)
+	mac.Write(partyPub)
+	return mac.Sum(nil)
+}
+
+// EnclaveSession drives the enclave side of the handshake for any number of
+// parties (the paper's two: data owner and code provider).
+type EnclaveSession struct {
+	kex   *EnclaveKEX
+	quote *Quote
+	keys  map[Role][]byte
+}
+
+// NewEnclaveSession generates the session key material and obtains the
+// quote binding it to the enclave measurement.
+func NewEnclaveSession(p *Platform, measurement [32]byte) (*EnclaveSession, error) {
+	kex, err := NewEnclaveKEX()
+	if err != nil {
+		return nil, err
+	}
+	q, err := p.Quote(measurement, kex.ReportData())
+	if err != nil {
+		return nil, err
+	}
+	return &EnclaveSession{kex: kex, quote: q, keys: make(map[Role][]byte)}, nil
+}
+
+// Key returns the session key negotiated with the party of the given role
+// (available after a successful Accept), e.g. for installing into the
+// bootstrap enclave's output-sealing stub.
+func (s *EnclaveSession) Key(role Role) ([]byte, error) {
+	k, ok := s.keys[role]
+	if !ok {
+		return nil, fmt.Errorf("attest: no completed handshake for role %q", role)
+	}
+	return append([]byte(nil), k...), nil
+}
+
+// SendHello writes the attestation hello to a party connection.
+func (s *EnclaveSession) SendHello(w io.Writer) error {
+	msg := helloMsg{
+		PlatformID:  s.quote.PlatformID,
+		Measurement: s.quote.Measurement[:],
+		ReportData:  s.quote.ReportData[:],
+		Sig:         s.quote.Sig,
+		KexPub:      s.kex.PublicBytes(),
+	}
+	payload, err := json.Marshal(msg)
+	if err != nil {
+		return fmt.Errorf("attest: %w", err)
+	}
+	return WriteFrame(w, payload)
+}
+
+// ErrBadConfirmation is returned when a party's key-confirmation MAC fails.
+var ErrBadConfirmation = errors.New("attest: key confirmation failed")
+
+// Accept reads a party's reply, derives the session key, verifies the
+// confirmation MAC and returns the party's role plus the secure channel.
+func (s *EnclaveSession) Accept(r io.Reader) (Role, *Channel, error) {
+	payload, err := ReadFrame(r)
+	if err != nil {
+		return "", nil, err
+	}
+	var msg replyMsg
+	if err := json.Unmarshal(payload, &msg); err != nil {
+		return "", nil, fmt.Errorf("attest: %w", err)
+	}
+	role := Role(msg.Role)
+	if role != RoleDataOwner && role != RoleCodeProvider {
+		return "", nil, fmt.Errorf("attest: unknown role %q", msg.Role)
+	}
+	key, err := s.kex.Derive(msg.PartyPub, role)
+	if err != nil {
+		return "", nil, err
+	}
+	want := confirmMAC(key, role, s.kex.PublicBytes(), msg.PartyPub)
+	if !hmac.Equal(want, msg.Confirm) {
+		return "", nil, ErrBadConfirmation
+	}
+	ch, err := NewChannel(key)
+	if err != nil {
+		return "", nil, err
+	}
+	s.keys[role] = key
+	return role, ch, nil
+}
+
+// PartyHandshake performs the remote party's side over rw: read the hello,
+// verify the quote at the attestation service against the expected
+// bootstrap measurement, reply with the party key and confirmation, and
+// return the session key plus an authenticated channel.
+func PartyHandshake(rw io.ReadWriter, as *Service, expected [32]byte, role Role) ([]byte, *Channel, error) {
+	payload, err := ReadFrame(rw)
+	if err != nil {
+		return nil, nil, err
+	}
+	var msg helloMsg
+	if err := json.Unmarshal(payload, &msg); err != nil {
+		return nil, nil, fmt.Errorf("attest: %w", err)
+	}
+	if len(msg.Measurement) != 32 || len(msg.ReportData) != ReportDataSize {
+		return nil, nil, errors.New("attest: malformed hello")
+	}
+	q := &Quote{PlatformID: msg.PlatformID, Sig: msg.Sig}
+	copy(q.Measurement[:], msg.Measurement)
+	copy(q.ReportData[:], msg.ReportData)
+
+	party, err := NewPartyKEX(role)
+	if err != nil {
+		return nil, nil, err
+	}
+	key, err := party.VerifyAndDerive(as, q, msg.KexPub, expected)
+	if err != nil {
+		return nil, nil, err
+	}
+	reply := replyMsg{
+		Role:     string(role),
+		PartyPub: party.PublicBytes(),
+		Confirm:  confirmMAC(key, role, msg.KexPub, party.PublicBytes()),
+	}
+	out, err := json.Marshal(reply)
+	if err != nil {
+		return nil, nil, fmt.Errorf("attest: %w", err)
+	}
+	if err := WriteFrame(rw, out); err != nil {
+		return nil, nil, err
+	}
+	ch, err := NewChannel(key)
+	if err != nil {
+		return nil, nil, err
+	}
+	return key, ch, nil
+}

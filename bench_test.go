@@ -1,0 +1,293 @@
+package deflection_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"deflection"
+	"deflection/internal/bench"
+	"deflection/internal/compiler"
+	"deflection/internal/dclib"
+	"deflection/internal/disasm"
+	"deflection/internal/enclave"
+	"deflection/internal/loader"
+	"deflection/internal/nbench"
+	"deflection/internal/obj"
+	"deflection/internal/policy"
+	"deflection/internal/runtime"
+	"deflection/internal/verifier"
+)
+
+// Each BenchmarkTable*/BenchmarkFig* regenerates one table or figure of the
+// paper's evaluation and prints its rows once. The experiments are
+// deterministic, so b.N iterations re-measure the same pipeline.
+
+var printOnce sync.Map
+
+func printResult(b *testing.B, key string, s fmt.Stringer) {
+	b.Helper()
+	if _, done := printOnce.LoadOrStore(key, true); !done {
+		fmt.Printf("\n%s\n", s)
+	}
+}
+
+func BenchmarkTableI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.TableI()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printResult(b, "table1", res)
+	}
+}
+
+func BenchmarkTableII(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.TableII(bench.Table2Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		printResult(b, "table2", res)
+	}
+}
+
+func BenchmarkFig7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.Fig7(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printResult(b, "fig7", res)
+	}
+}
+
+func BenchmarkFig8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.Fig8(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printResult(b, "fig8", res)
+	}
+}
+
+func BenchmarkFig9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.Fig9(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printResult(b, "fig9", res)
+	}
+}
+
+func BenchmarkFig10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.Fig10(nil, 0, 10*time.Second)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printResult(b, "fig10", res)
+	}
+}
+
+func BenchmarkFig11(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.Fig11(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printResult(b, "fig11", res)
+	}
+}
+
+func BenchmarkColocation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := bench.Coloc(200_000)
+		printResult(b, "coloc", res)
+	}
+}
+
+func BenchmarkMicroLoadVerify(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.Micro()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printResult(b, "micro", res)
+	}
+}
+
+// ---- component micro-benchmarks ----
+
+func benchSource() string {
+	k, _ := nbench.KernelByName("NUMERIC SORT")
+	return dclib.Program(k.Source)
+}
+
+func BenchmarkCompileP1P6(b *testing.B) {
+	src := benchSource()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := compiler.Compile(src, compiler.Options{Policies: policy.SetP1P6}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func compiledObject(b *testing.B) *obj.Object {
+	b.Helper()
+	o, err := compiler.Compile(benchSource(), compiler.Options{Policies: policy.SetP1P6})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return o
+}
+
+func BenchmarkLoaderRelocate(b *testing.B) {
+	o := compiledObject(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e, err := enclave.New(enclave.DefaultConfig(), []byte("bench"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := loader.Load(e, o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVerifier(b *testing.B) {
+	o := compiledObject(b)
+	e, err := enclave.New(enclave.DefaultConfig(), []byte("bench"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ld, err := loader.Load(e, o)
+	if err != nil {
+		b.Fatal(err)
+	}
+	text, err := ld.TextBytes()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var offs []int64
+	for _, t := range ld.BranchTargets {
+		offs = append(offs, int64(t-ld.TextBase))
+	}
+	opts := verifier.Options{
+		Required:            policy.SetP1P6,
+		EntryOffset:         int64(ld.Entry - ld.TextBase),
+		BranchTargetOffsets: offs,
+	}
+	b.SetBytes(int64(len(text)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := verifier.Verify(text, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDisassembler(b *testing.B) {
+	o := compiledObject(b)
+	b.SetBytes(int64(len(o.Text)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := disasm.Linear(o.Text); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEmulator(b *testing.B) {
+	// Emulator throughput in instructions/sec over a full verified run.
+	m := runtime.DefaultManifest()
+	m.Policies = policy.SetP1
+	k, _ := nbench.KernelByName("BITFIELD")
+	o, err := compiler.Compile(dclib.Program(k.Source), compiler.Options{Policies: policy.SetP1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	objBytes := o.Marshal()
+	b.ResetTimer()
+	var insts uint64
+	for i := 0; i < b.N; i++ {
+		bt, err := runtime.New(enclave.DefaultConfig(), m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := bt.ReceiveBinary(objBytes); err != nil {
+			b.Fatal(err)
+		}
+		var buf [8]byte
+		buf[0] = 0xA0
+		buf[1] = 0x0F // 4000 ops
+		bt.ReceiveData(buf[:])
+		res, err := bt.Run(runtime.RunConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		insts += res.CPU.Insts
+	}
+	b.ReportMetric(float64(insts)/b.Elapsed().Seconds()/1e6, "Minst/s")
+}
+
+func BenchmarkEndToEnd(b *testing.B) {
+	// Full pipeline through the public API: generate, load+verify, run.
+	src := `
+int data[64];
+int main() {
+	for (int i = 0; i < 64; i++) data[i] = i * i;
+	int s = 0;
+	for (int i = 0; i < 64; i++) s += data[i];
+	return s & 1023;
+}`
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		bin, err := deflection.Generate(src, deflection.GeneratorOptions{Policies: deflection.PolicyP1P6})
+		if err != nil {
+			b.Fatal(err)
+		}
+		encl, err := deflection.NewEnclave(deflection.EnclaveOptions{Policies: deflection.PolicyP1P6})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := encl.Load(bin); err != nil {
+			b.Fatal(err)
+		}
+		res, err := encl.Run(deflection.RunOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Trapped {
+			b.Fatalf("trapped: %s", res.TrapReason)
+		}
+	}
+}
+
+func BenchmarkAblationAnnotationCost(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.AnnotCostAblation(false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printResult(b, "ablation-annot", res)
+	}
+}
+
+func BenchmarkAblationAEXInterval(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.QSweep(nil, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printResult(b, "ablation-q", res)
+	}
+}

@@ -1,0 +1,91 @@
+// Command deflection-bench regenerates the paper's evaluation: Table I,
+// Table II, Figs. 7-11, the co-location accuracy experiment and the
+// loader/verifier micro-benchmarks.
+//
+// Usage:
+//
+//	deflection-bench -exp all
+//	deflection-bench -exp table2 -quick
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"deflection/internal/bench"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		exp   = flag.String("exp", "all", "experiment: table1|table2|fig7|fig8|fig9|fig10|fig11|coloc|micro|ablation-annot|ablation-q|all")
+		quick = flag.Bool("quick", false, "smaller workloads (smoke run)")
+	)
+	flag.Parse()
+
+	experiments := map[string]func() (fmt.Stringer, error){
+		"table1": func() (fmt.Stringer, error) { return bench.TableI() },
+		"table2": func() (fmt.Stringer, error) { return bench.TableII(bench.Table2Options{Quick: *quick}) },
+		"fig7":   func() (fmt.Stringer, error) { return bench.Fig7(quickOr(*quick, []int64{60, 120}, nil)) },
+		"fig8":   func() (fmt.Stringer, error) { return bench.Fig8(quickOr(*quick, []int64{1000, 10000}, nil)) },
+		"fig9":   func() (fmt.Stringer, error) { return bench.Fig9(quickOr(*quick, []int64{500, 2000}, nil)) },
+		"fig10": func() (fmt.Stringer, error) {
+			d := 10 * time.Second
+			if *quick {
+				d = 2 * time.Second
+			}
+			return bench.Fig10(nil, 0, d)
+		},
+		"fig11": func() (fmt.Stringer, error) { return bench.Fig11(nil) },
+		"coloc": func() (fmt.Stringer, error) {
+			n := 1_000_000
+			if *quick {
+				n = 50_000
+			}
+			return bench.Coloc(n), nil
+		},
+		"micro":          func() (fmt.Stringer, error) { return bench.Micro() },
+		"ablation-annot": func() (fmt.Stringer, error) { return bench.AnnotCostAblation(*quick) },
+		"ablation-q":     func() (fmt.Stringer, error) { return bench.QSweep(nil, *quick) },
+	}
+	order := []string{"table1", "table2", "fig7", "fig8", "fig9", "fig10", "fig11", "coloc", "micro", "ablation-annot", "ablation-q"}
+
+	runOne := func(name string) int {
+		fn, ok := experiments[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "deflection-bench: unknown experiment %q\n", name)
+			return 2
+		}
+		start := time.Now()
+		res, err := fn()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "deflection-bench: %s: %v\n", name, err)
+			return 1
+		}
+		fmt.Println(res)
+		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+		return 0
+	}
+
+	if *exp == "all" {
+		for _, name := range order {
+			if code := runOne(name); code != 0 {
+				return code
+			}
+		}
+		return 0
+	}
+	return runOne(*exp)
+}
+
+func quickOr[T any](quick bool, q, full T) T {
+	if quick {
+		return q
+	}
+	return full
+}

@@ -1,0 +1,144 @@
+// Command deflection-disasm inspects a target binary: its header, symbol
+// table, relocation entries, branch-target list ("the proof") and a full
+// disassembly, optionally annotated with the verifier's findings.
+//
+// Usage:
+//
+//	deflection-disasm -verify p1-p6 service.dfo
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"deflection/internal/disasm"
+	"deflection/internal/enclave"
+	"deflection/internal/loader"
+	"deflection/internal/obj"
+	"deflection/internal/policy"
+	"deflection/internal/verifier"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		verify = flag.String("verify", "", "also run the verifier with this policy set (p1|p1+p2|p1-p5|p1-p6)")
+		dump   = flag.Bool("d", true, "print disassembly")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: deflection-disasm [flags] service.dfo")
+		flag.PrintDefaults()
+		return 2
+	}
+	raw, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	o, err := obj.Unmarshal(raw)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "deflection-disasm: %v\n", err)
+		return 1
+	}
+	fmt.Printf("entry: %s   claimed policies: %s\n", o.Entry, policy.Set(o.PolicyMask))
+	fmt.Printf("text: %d bytes   data: %d bytes   bss: %d bytes\n", len(o.Text), len(o.Data), o.BSSSize)
+	fmt.Printf("symbols: %d   relocs: %d   branch targets: %d\n\n", len(o.Symbols), len(o.Relocs), len(o.BranchTargets))
+
+	fmt.Println("branch-target list (the proof):")
+	for _, bt := range o.BranchTargets {
+		s, _ := o.Symbol(bt.Symbol)
+		fmt.Printf("  %#06x  %s\n", s.Offset, bt.Symbol)
+	}
+	fmt.Println()
+
+	var annot map[int64]bool
+	if *verify != "" {
+		pols, perr := parsePolicies(*verify)
+		if perr != nil {
+			fmt.Fprintln(os.Stderr, perr)
+			return 2
+		}
+		e, eerr := enclave.New(enclave.DefaultConfig(), []byte("disasm"))
+		if eerr != nil {
+			fmt.Fprintln(os.Stderr, eerr)
+			return 1
+		}
+		ld, lerr := loader.Load(e, o)
+		if lerr != nil {
+			fmt.Fprintf(os.Stderr, "load: %v\n", lerr)
+			return 1
+		}
+		text, terr := ld.TextBytes()
+		if terr != nil {
+			fmt.Fprintln(os.Stderr, terr)
+			return 1
+		}
+		var offs []int64
+		for _, t := range ld.BranchTargets {
+			offs = append(offs, int64(t-ld.TextBase))
+		}
+		res, verr := verifier.Verify(text, verifier.Options{
+			Required:            pols,
+			EntryOffset:         int64(ld.Entry - ld.TextBase),
+			BranchTargetOffsets: offs,
+		})
+		if verr != nil {
+			fmt.Printf("verifier: REJECTED: %v\n\n", verr)
+		} else {
+			fmt.Printf("verifier: ACCEPTED (%d instructions, %d store guards, %d cfi guards, %d AEX checks)\n\n",
+				res.Stats.Instructions, res.Stats.StoreGuards, res.Stats.CFIGuards, res.Stats.AEXChecks)
+			annot = make(map[int64]bool)
+			for _, r := range res.AnnotRanges {
+				for off := r.Lo; off < r.Hi; off++ {
+					annot[off] = true
+				}
+			}
+		}
+	}
+
+	if !*dump {
+		return 0
+	}
+	// Label map for pretty printing.
+	labels := make(map[int64]string)
+	for _, s := range o.Symbols {
+		if s.Section == obj.SecText {
+			labels[s.Offset] = s.Name
+		}
+	}
+	insts, err := disasm.Linear(o.Text)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "linear disassembly stopped: %v\n", err)
+	}
+	for _, in := range insts {
+		if name, ok := labels[in.Off]; ok {
+			fmt.Printf("\n%s:\n", name)
+		}
+		mark := "  "
+		if annot[in.Off] {
+			mark = "@ " // annotation code
+		}
+		fmt.Printf("%s%#06x  %s\n", mark, in.Off, in.String())
+	}
+	return 0
+}
+
+func parsePolicies(s string) (policy.Set, error) {
+	switch s {
+	case "p1":
+		return policy.SetP1, nil
+	case "p1+p2":
+		return policy.SetP1P2, nil
+	case "p1-p5":
+		return policy.SetP1P5, nil
+	case "p1-p6":
+		return policy.SetP1P6, nil
+	default:
+		return 0, fmt.Errorf("deflection-disasm: unknown policy set %q", s)
+	}
+}

@@ -1,0 +1,77 @@
+// Command deflection-gen is the untrusted code generator CLI: it compiles a
+// DC source file into an instrumented relocatable target binary plus proof,
+// ready for delivery to a bootstrap enclave.
+//
+// Usage:
+//
+//	deflection-gen -o service.dfo -policies p1-p6 service.dc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"deflection"
+	"deflection/internal/asmtext"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		out       = flag.String("o", "a.dfo", "output object file")
+		policies  = flag.String("policies", "p1-p6", "policy set: none|p1|p1+p2|p1-p5|p1-p6|full")
+		threshold = flag.Int64("aex-threshold", 0, "P6 abort threshold (0 = default)")
+		interval  = flag.Int("aex-interval", 0, "P6 check spacing q (0 = default)")
+		noStdlib  = flag.Bool("nostdlib", false, "do not link the DC support library")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: deflection-gen [flags] source.dc")
+		flag.PrintDefaults()
+		return 2
+	}
+	pols, err := deflection.ParsePolicies(*policies)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	var payload []byte
+	if strings.HasSuffix(flag.Arg(0), ".s") || strings.HasSuffix(flag.Arg(0), ".asm") {
+		// Hand-written assembly: no instrumentation passes run; the object
+		// claims whatever policy annotations the author wrote by hand.
+		o, err := asmtext.Assemble(string(src), uint8(pols))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "deflection-gen: %v\n", err)
+			return 1
+		}
+		payload = o.Marshal()
+	} else {
+		bin, err := deflection.Generate(string(src), deflection.GeneratorOptions{
+			Policies:         pols,
+			AEXThreshold:     *threshold,
+			AEXCheckInterval: *interval,
+			WithoutStdlib:    *noStdlib,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "deflection-gen: %v\n", err)
+			return 1
+		}
+		payload = bin.Bytes()
+	}
+	if err := os.WriteFile(*out, payload, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Printf("wrote %s (%d bytes, policies %s)\n", *out, len(payload), pols)
+	return 0
+}

@@ -1,0 +1,199 @@
+package deflection_test
+
+import (
+	"testing"
+
+	"deflection"
+)
+
+func TestPublicAPIFlow(t *testing.T) {
+	bin, err := deflection.Generate(`
+char buf[32];
+int main() {
+	int n = __ocall_recv(buf, 32);
+	int s = 0;
+	for (int i = 0; i < n; i++) s += (int)buf[i];
+	send_int(s);
+	return s;
+}`, deflection.GeneratorOptions{Policies: deflection.PolicyP1P6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bin.Size() == 0 {
+		t.Fatal("empty binary")
+	}
+
+	encl, err := deflection.NewEnclave(deflection.EnclaveOptions{Policies: deflection.PolicyP1P6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if encl.Measurement() == ([32]byte{}) {
+		t.Error("zero measurement")
+	}
+	rep, err := encl.Load(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Stats.StoreGuards == 0 || rep.Stats.AEXChecks == 0 {
+		t.Errorf("verification stats incomplete: %+v", rep.Stats)
+	}
+	encl.Send([]byte{1, 2, 3})
+	res, err := encl.Run(deflection.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trapped {
+		t.Fatalf("trapped: %s", res.TrapReason)
+	}
+	if res.ExitValue != 6 {
+		t.Errorf("exit = %d, want 6", res.ExitValue)
+	}
+	if len(res.Outputs) != 1 {
+		t.Fatalf("outputs = %d", len(res.Outputs))
+	}
+	msg, err := deflection.OpenOutput(nil, res.Outputs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msg) != 8 || msg[0] != 6 {
+		t.Errorf("output = %v", msg)
+	}
+}
+
+func TestPublicAPIUnderInstrumentedRejected(t *testing.T) {
+	bin, err := deflection.Generate(`int main() { return 1; }`,
+		deflection.GeneratorOptions{Policies: deflection.PolicyP1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	encl, err := deflection.NewEnclave(deflection.EnclaveOptions{Policies: deflection.PolicyP1P5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := encl.Load(bin); err == nil {
+		t.Fatal("under-instrumented binary accepted")
+	}
+}
+
+func TestPublicAPISendIntAndReset(t *testing.T) {
+	bin, err := deflection.Generate(`
+int main() { return read_param() * 2; }`,
+		deflection.GeneratorOptions{Policies: deflection.PolicyP1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	encl, err := deflection.NewEnclave(deflection.EnclaveOptions{Policies: deflection.PolicyP1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := encl.Load(bin); err != nil {
+		t.Fatal(err)
+	}
+	encl.SendInt(21)
+	res, err := encl.Run(deflection.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExitValue != 42 {
+		t.Errorf("exit = %d", res.ExitValue)
+	}
+	encl.ResetIO()
+	encl.SendInt(-4)
+	res, err = encl.Run(deflection.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExitValue != -8 {
+		t.Errorf("exit after reset = %d", res.ExitValue)
+	}
+}
+
+func TestPublicAPIEmptyBinary(t *testing.T) {
+	encl, err := deflection.NewEnclave(deflection.EnclaveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := encl.Load(nil); err == nil {
+		t.Fatal("nil binary accepted")
+	}
+}
+
+func TestPublicAPIPaperConfig(t *testing.T) {
+	encl, err := deflection.NewEnclave(deflection.EnclaveOptions{Policies: deflection.PolicyP1, Paper: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin, err := deflection.Generate(`int main() { return 7; }`,
+		deflection.GeneratorOptions{Policies: deflection.PolicyP1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := encl.Load(bin); err != nil {
+		t.Fatal(err)
+	}
+	res, err := encl.Run(deflection.RunOptions{})
+	if err != nil || res.ExitValue != 7 {
+		t.Fatalf("res=%+v err=%v", res, err)
+	}
+}
+
+func TestPublicAPIMultiThread(t *testing.T) {
+	bin, err := deflection.Generate(`
+int slots[8];
+int main() {
+	int tid = __tid();
+	slots[tid] = tid + 1;
+	return slots[tid] * 10;
+}`, deflection.GeneratorOptions{Policies: deflection.PolicyP1P5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	encl, err := deflection.NewEnclave(deflection.EnclaveOptions{
+		Policies: deflection.PolicyP1P5,
+		Threads:  3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := encl.Load(bin); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := encl.RunThreads(3, deflection.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range rs {
+		if r.Trapped {
+			t.Fatalf("thread %d: %s", i, r.TrapReason)
+		}
+		if r.ExitValue != int64((i+1)*10) {
+			t.Errorf("thread %d exit = %d", i, r.ExitValue)
+		}
+	}
+}
+
+func TestPublicAPISGXv2AndTimePad(t *testing.T) {
+	bin, err := deflection.Generate(`int main() { return 5; }`,
+		deflection.GeneratorOptions{Policies: deflection.PolicyP1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	encl, err := deflection.NewEnclave(deflection.EnclaveOptions{
+		Policies:             deflection.PolicyP1,
+		SGXv2:                true,
+		TimePadQuantumCycles: 500000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := encl.Load(bin); err != nil {
+		t.Fatal(err)
+	}
+	res, err := encl.Run(deflection.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExitValue != 5 || res.Cycles != 500000 {
+		t.Fatalf("res = %+v", res)
+	}
+}

@@ -1,0 +1,74 @@
+package deflection_test
+
+import (
+	"fmt"
+	"log"
+
+	"deflection"
+)
+
+// Example shows the complete DEFLECTION flow: the code provider instruments
+// a private service, the bootstrap enclave verifies it, the data owner's
+// input is processed, and a policy-compliant result comes back.
+func Example() {
+	bin, err := deflection.Generate(`
+		char data[64];
+		int main() {
+			int n = __ocall_recv(data, 64);
+			int sum = 0;
+			for (int i = 0; i < n; i++) sum += (int)data[i];
+			return sum;
+		}`, deflection.GeneratorOptions{Policies: deflection.PolicyP1P6})
+	if err != nil {
+		log.Fatal(err)
+	}
+	encl, err := deflection.NewEnclave(deflection.EnclaveOptions{Policies: deflection.PolicyP1P6})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := encl.Load(bin); err != nil {
+		log.Fatal(err) // verification rejected the binary
+	}
+	encl.Send([]byte{1, 2, 3, 4})
+	res, err := encl.Run(deflection.RunOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.ExitValue, res.Trapped)
+	// Output: 10 false
+}
+
+// ExampleEnclave_Load shows a policy violation being caught at runtime: the
+// binary verifies (its annotations are present) but the P1 check aborts its
+// out-of-enclave store.
+func ExampleEnclave_Load() {
+	bin, err := deflection.Generate(`
+		int main() {
+			int *outside = (int*)125829120; // beyond ELRANGE
+			*outside = 42;
+			return 0;
+		}`, deflection.GeneratorOptions{Policies: deflection.PolicyP1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	encl, err := deflection.NewEnclave(deflection.EnclaveOptions{Policies: deflection.PolicyP1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := encl.Load(bin); err != nil {
+		log.Fatal(err)
+	}
+	res, err := encl.Run(deflection.RunOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Trapped, res.TrapReason)
+	// Output: true store-bounds violation (P1/P3/P4)
+}
+
+// ExampleParsePolicies parses the CLI policy-set names.
+func ExampleParsePolicies() {
+	p, _ := deflection.ParsePolicies("p1-p5")
+	fmt.Println(p)
+	// Output: P1+P2+P3+P4+P5
+}

@@ -1,0 +1,57 @@
+// Credit scoring with a per-policy overhead sweep: the Fig. 9 workload as a
+// library consumer would run it, showing what each policy level costs on
+// this service.
+//
+// Run with: go run ./examples/credit
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"deflection"
+	"deflection/internal/apps"
+)
+
+func main() {
+	const records = 5000
+	levels := []struct {
+		name string
+		pols deflection.Policies
+	}{
+		{"no policies (baseline)", deflection.PolicyNone},
+		{"P1 store bounds", deflection.PolicyP1},
+		{"P1+P2 stack bounds", deflection.PolicyP1P2},
+		{"P1-P5 full memory+CFI", deflection.PolicyP1P5},
+		{"P1-P6 with AEX monitoring", deflection.PolicyP1P6},
+	}
+
+	var baseCycles float64
+	fmt.Printf("credit scoring, %d applicant records\n\n", records)
+	for _, lv := range levels {
+		bin, err := deflection.Generate(apps.CreditSource, deflection.GeneratorOptions{Policies: lv.pols})
+		if err != nil {
+			log.Fatal(err)
+		}
+		encl, err := deflection.NewEnclave(deflection.EnclaveOptions{Policies: lv.pols})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := encl.Load(bin); err != nil {
+			log.Fatalf("%s: %v", lv.name, err)
+		}
+		encl.SendInt(records)
+		res, err := encl.Run(deflection.RunOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if res.Trapped {
+			log.Fatalf("%s: aborted: %s", lv.name, res.TrapReason)
+		}
+		if baseCycles == 0 {
+			baseCycles = res.Cycles
+		}
+		fmt.Printf("%-28s accepted %4d/%d   %9d insts   overhead %+.1f%%\n",
+			lv.name, res.ExitValue, records, res.Insts, (res.Cycles/baseCycles-1)*100)
+	}
+}

@@ -1,0 +1,107 @@
+// Quickstart: the complete DEFLECTION flow in one file.
+//
+// A code provider compiles a private service with security annotations, a
+// bootstrap enclave verifies the annotations before running it, and the
+// same binary with a policy violation is rejected or aborted.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"deflection"
+)
+
+// The private service: sums the bytes the data owner uploads and returns a
+// single aggregate (never the raw data).
+const serviceSource = `
+char data[256];
+
+int main() {
+	int n = __ocall_recv(data, 256);
+	int sum = 0;
+	for (int i = 0; i < n; i++) sum += (int)data[i];
+	send_int(sum);
+	return sum;
+}
+`
+
+// A malicious variant that tries to copy the data to untrusted memory
+// outside ELRANGE through a forged pointer.
+const leakySource = `
+char data[256];
+
+int main() {
+	int n = __ocall_recv(data, 256);
+	char *out = (char*)125829120; // outside ELRANGE
+	for (int i = 0; i < n; i++) out[i] = data[i];
+	return n;
+}
+`
+
+func main() {
+	// 1. Code provider: compile + instrument for the full policy set.
+	bin, err := deflection.Generate(serviceSource, deflection.GeneratorOptions{
+		Policies: deflection.PolicyP1P6,
+	})
+	if err != nil {
+		log.Fatalf("generate: %v", err)
+	}
+	fmt.Printf("generated target binary: %d bytes (instrumented for P1-P6)\n", bin.Size())
+
+	// 2. Host: launch the bootstrap enclave. Its measurement is what the
+	// data owner attests remotely.
+	encl, err := deflection.NewEnclave(deflection.EnclaveOptions{Policies: deflection.PolicyP1P6})
+	if err != nil {
+		log.Fatal(err)
+	}
+	meas := encl.Measurement()
+	fmt.Printf("bootstrap enclave measurement: %x...\n", meas[:8])
+
+	// 3. In-enclave verification: parse, relocate, statically verify every
+	// annotation, then rewrite the placeholder bounds.
+	rep, err := encl.Load(bin)
+	if err != nil {
+		log.Fatalf("verification rejected the binary: %v", err)
+	}
+	fmt.Printf("verified: %d instructions, %d store guards, %d AEX checks\n",
+		rep.Stats.Instructions, rep.Stats.StoreGuards, rep.Stats.AEXChecks)
+
+	// 4. The data owner uploads data and the service runs.
+	encl.Send([]byte{10, 20, 30, 40})
+	res, err := encl.Run(deflection.RunOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if res.Trapped {
+		log.Fatalf("unexpected abort: %s", res.TrapReason)
+	}
+	fmt.Printf("service result: %d (in %d instructions)\n", res.ExitValue, res.Insts)
+
+	// 5. The leaky variant compiles and verifies (its annotations are all
+	// present!) but the P1 runtime check aborts the out-of-enclave store.
+	evil, err := deflection.Generate(leakySource, deflection.GeneratorOptions{
+		Policies: deflection.PolicyP1P6,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	encl2, err := deflection.NewEnclave(deflection.EnclaveOptions{Policies: deflection.PolicyP1P6})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := encl2.Load(evil); err != nil {
+		log.Fatalf("load: %v", err)
+	}
+	encl2.Send([]byte("secret"))
+	res2, err := encl2.Run(deflection.RunOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !res2.Trapped {
+		log.Fatal("leak was not stopped!")
+	}
+	fmt.Printf("leak attempt aborted by policy: %s\n", res2.TrapReason)
+}

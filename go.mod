@@ -1,0 +1,3 @@
+module deflection
+
+go 1.22

@@ -1,0 +1,139 @@
+package apps
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"deflection/internal/compiler"
+	"deflection/internal/cpu"
+	"deflection/internal/dclib"
+	"deflection/internal/enclave"
+	"deflection/internal/policy"
+	"deflection/internal/runtime"
+)
+
+// Result is the outcome of one application execution.
+type Result struct {
+	Exit    int64
+	Status  cpu.Status
+	Trap    string
+	Insts   uint64
+	Cycles  float64
+	Outputs [][]byte
+}
+
+// Ok reports whether the run halted normally with a non-negative exit.
+func (r *Result) Ok() bool { return r.Status == cpu.StatusHalt && r.Exit >= 0 }
+
+var (
+	objMu    sync.Mutex
+	objCache = make(map[string][]byte)
+)
+
+func compileCached(name, src string, pols policy.Set) ([]byte, error) {
+	key := fmt.Sprintf("%s|%d", name, pols)
+	objMu.Lock()
+	defer objMu.Unlock()
+	if b, ok := objCache[key]; ok {
+		return b, nil
+	}
+	o, err := compiler.Compile(dclib.Program(src), compiler.Options{Policies: pols})
+	if err != nil {
+		return nil, fmt.Errorf("apps: compiling %s: %w", name, err)
+	}
+	b := o.Marshal()
+	objCache[key] = b
+	return b, nil
+}
+
+// RunConfig tunes an application execution.
+type RunConfig struct {
+	Policies    policy.Set
+	AEXInterval uint64
+	Gas         uint64
+	Config      enclave.Config  // zero value selects the default config
+	Timing      cpu.TimingModel // zero value selects the default model
+}
+
+// Run compiles (with caching) and executes a DC application, feeding it the
+// given input messages.
+func Run(name, src string, rc RunConfig, inputs ...[]byte) (*Result, error) {
+	objBytes, err := compileCached(name, src, rc.Policies)
+	if err != nil {
+		return nil, err
+	}
+	cfg := rc.Config
+	if cfg == (enclave.Config{}) {
+		cfg = enclave.DefaultConfig()
+	}
+	m := runtime.DefaultManifest()
+	m.Policies = rc.Policies
+	b, err := runtime.New(cfg, m)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := b.ReceiveBinary(objBytes); err != nil {
+		return nil, fmt.Errorf("apps: loading %s: %w", name, err)
+	}
+	for _, in := range inputs {
+		b.ReceiveData(in)
+	}
+	res, err := b.Run(runtime.RunConfig{Gas: rc.Gas, AEXInterval: rc.AEXInterval, AEXSeed: 1, Timing: rc.Timing})
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{
+		Exit:    res.CPU.ExitValue,
+		Status:  res.CPU.Status,
+		Insts:   res.CPU.Insts,
+		Cycles:  res.CPU.Cycles,
+		Outputs: res.Outputs,
+	}
+	if res.CPU.Status == cpu.StatusTrap {
+		out.Trap = res.CPU.Trap.String()
+	}
+	return out, nil
+}
+
+// Param encodes an integer parameter message for read_param.
+func Param(v int64) []byte {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(v))
+	return buf[:]
+}
+
+// AlignGenomes runs Needleman–Wunsch alignment of a and b (each at most
+// 700 bases) under the given configuration and returns the result; the
+// alignment score is Exit (masked non-negative) and is also sent through
+// the P0 output channel.
+func AlignGenomes(rc RunConfig, a, b []byte) (*Result, error) {
+	if len(a) == 0 || len(b) == 0 || len(a) > 700 || len(b) > 700 {
+		return nil, fmt.Errorf("apps: sequence lengths %d/%d out of range", len(a), len(b))
+	}
+	return Run("nw", NWSource, rc, a, b)
+}
+
+// GenerateSequence produces length nucleotides, streamed out in chunks.
+func GenerateSequence(rc RunConfig, length int64, seed int64) (*Result, error) {
+	return Run("seqgen", SeqGenSource, rc, Param(length), Param(seed))
+}
+
+// CreditScore trains and scores the given number of applicant records.
+func CreditScore(rc RunConfig, records int64) (*Result, error) {
+	return Run("credit", CreditSource, rc, Param(records))
+}
+
+// RandomSequence generates a deterministic synthetic FASTA-style sequence
+// (substitute for the paper's 1000 Genomes inputs; Needleman–Wunsch cost
+// depends only on length).
+func RandomSequence(n int, seed uint64) []byte {
+	const alphabet = "ACGT"
+	out := make([]byte, n)
+	state := seed*6364136223846793005 + 1442695040888963407
+	for i := range out {
+		state = state*6364136223846793005 + 1442695040888963407
+		out[i] = alphabet[(state>>33)&3]
+	}
+	return out
+}

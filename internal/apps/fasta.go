@@ -1,0 +1,68 @@
+package apps
+
+import (
+	"fmt"
+	"strings"
+)
+
+// FASTA helpers: the paper's alignment inputs are FASTA files from the 1000
+// Genomes project; the data owner parses records locally and uploads raw
+// sequences to the enclave.
+
+// FASTARecord is one sequence with its description line.
+type FASTARecord struct {
+	Description string
+	Sequence    []byte
+}
+
+// ParseFASTA parses FASTA text into records, validating nucleotide content.
+func ParseFASTA(text string) ([]FASTARecord, error) {
+	var out []FASTARecord
+	var cur *FASTARecord
+	for lineNo, raw := range strings.Split(text, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, ";") {
+			continue
+		}
+		if strings.HasPrefix(line, ">") {
+			out = append(out, FASTARecord{Description: strings.TrimSpace(line[1:])})
+			cur = &out[len(out)-1]
+			continue
+		}
+		if cur == nil {
+			return nil, fmt.Errorf("apps: fasta line %d: sequence before header", lineNo+1)
+		}
+		for _, c := range []byte(line) {
+			switch c {
+			case 'A', 'C', 'G', 'T', 'N', 'a', 'c', 'g', 't', 'n':
+				if c >= 'a' {
+					c -= 'a' - 'A'
+				}
+				cur.Sequence = append(cur.Sequence, c)
+			default:
+				return nil, fmt.Errorf("apps: fasta line %d: invalid nucleotide %q", lineNo+1, c)
+			}
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("apps: no fasta records")
+	}
+	return out, nil
+}
+
+// FormatFASTA renders records as FASTA text with 60-column sequence lines.
+func FormatFASTA(records []FASTARecord) string {
+	var sb strings.Builder
+	for _, r := range records {
+		fmt.Fprintf(&sb, ">%s\n", r.Description)
+		for i := 0; i < len(r.Sequence); i += 60 {
+			end := i + 60
+			if end > len(r.Sequence) {
+				end = len(r.Sequence)
+			}
+			sb.Write(r.Sequence[i:end])
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,50 @@
+package baseline
+
+import "testing"
+
+// nativeCompute approximates the handler's measured compute cost: a few
+// cycles per byte plus a small constant (the https package measures the
+// real value; tests only need the shape).
+func nativeCompute(size int64) float64 { return 20_000 + 3.0*float64(size) }
+
+func TestNativeFastest(t *testing.T) {
+	for _, size := range []int64{1 << 10, 64 << 10, 1 << 20, 10 << 20} {
+		n := Native().TransferRate(nativeCompute(size), size, 3.6)
+		for _, m := range []Model{GrapheneSGX(), Occlum()} {
+			if r := m.TransferRate(nativeCompute(size), size, 3.6); r >= n {
+				t.Errorf("%s at %d bytes: %.1f MB/s >= native %.1f", m.Name, size, r, n)
+			}
+		}
+	}
+}
+
+func TestPagingCliffAtLargeFiles(t *testing.T) {
+	g := GrapheneSGX()
+	// Relative slowdown vs native grows sharply past the paging threshold.
+	small := g.ServiceCycles(nativeCompute(256<<10), 256<<10) / Native().ServiceCycles(nativeCompute(256<<10), 256<<10)
+	large := g.ServiceCycles(nativeCompute(10<<20), 10<<20) / Native().ServiceCycles(nativeCompute(10<<20), 10<<20)
+	if large < small*1.5 {
+		t.Errorf("no paging cliff: small ratio %.2f, large ratio %.2f", small, large)
+	}
+}
+
+func TestServiceCyclesMonotoneInSize(t *testing.T) {
+	for _, m := range []Model{Native(), GrapheneSGX(), Occlum()} {
+		prev := 0.0
+		for _, size := range []int64{1 << 10, 16 << 10, 256 << 10, 1 << 20, 10 << 20} {
+			c := m.ServiceCycles(nativeCompute(size), size)
+			if c <= prev {
+				t.Errorf("%s: cycles not monotone at %d", m.Name, size)
+			}
+			prev = c
+		}
+	}
+}
+
+func TestTransferRatePositive(t *testing.T) {
+	for _, m := range []Model{Native(), GrapheneSGX(), Occlum()} {
+		if r := m.TransferRate(nativeCompute(1<<20), 1<<20, 3.6); r <= 0 {
+			t.Errorf("%s: rate %.2f", m.Name, r)
+		}
+	}
+}

@@ -1,0 +1,188 @@
+package bench
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"deflection/internal/compiler"
+	"deflection/internal/cpu"
+	"deflection/internal/dclib"
+	"deflection/internal/enclave"
+	"deflection/internal/nbench"
+	"deflection/internal/policy"
+	"deflection/internal/runtime"
+)
+
+// AblationRow compares one kernel's P1-P5 overhead under the calibrated
+// out-of-order annotation discount against a flat per-class cost model.
+type AblationRow struct {
+	Program      string
+	DiscountedOv float64
+	FlatOv       float64
+}
+
+// AnnotCostResult is the DESIGN.md §5 ablation: how much of the paper's
+// reported overhead band depends on modelling annotations at spare-issue
+// cost rather than dedicated-slot cost.
+type AnnotCostResult struct {
+	Rows []AblationRow
+}
+
+// annotKernels is the subset used for the ablation (a spread of store
+// densities).
+var annotKernels = []string{"NUMERIC SORT", "FP EMULATION", "ASSIGNMENT", "HUFFMAN"}
+
+func runKernelWith(k nbench.Kernel, pols policy.Set, params []int64, flat bool) (cpu.Result, error) {
+	o, err := compiler.Compile(dclib.Program(k.Source), compiler.Options{Policies: pols})
+	if err != nil {
+		return cpu.Result{}, err
+	}
+	m := runtime.DefaultManifest()
+	m.Policies = pols
+	b, err := runtime.New(enclave.DefaultConfig(), m)
+	if err != nil {
+		return cpu.Result{}, err
+	}
+	if _, err := b.ReceiveBinary(o.Marshal()); err != nil {
+		return cpu.Result{}, err
+	}
+	for _, p := range params {
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], uint64(p))
+		b.ReceiveData(buf[:])
+	}
+	res, err := b.Run(runtime.RunConfig{FlatAnnotationCost: flat})
+	if err != nil {
+		return cpu.Result{}, err
+	}
+	if res.CPU.Status != cpu.StatusHalt || res.CPU.ExitValue < 0 {
+		return cpu.Result{}, fmt.Errorf("bench: ablation kernel %s failed: %v", k.Name, res.CPU)
+	}
+	return res.CPU, nil
+}
+
+// AnnotCostAblation measures P1-P5 overheads under both annotation-cost
+// models.
+func AnnotCostAblation(quick bool) (*AnnotCostResult, error) {
+	res := &AnnotCostResult{}
+	for _, name := range annotKernels {
+		k, ok := nbench.KernelByName(name)
+		if !ok {
+			return nil, fmt.Errorf("bench: unknown kernel %q", name)
+		}
+		params := k.Params
+		if quick {
+			params = quickParams[name]
+		}
+		base, err := runKernelWith(k, policy.SetNone, params, false)
+		if err != nil {
+			return nil, err
+		}
+		disc, err := runKernelWith(k, policy.SetP1P5, params, false)
+		if err != nil {
+			return nil, err
+		}
+		flat, err := runKernelWith(k, policy.SetP1P5, params, true)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, AblationRow{
+			Program:      name,
+			DiscountedOv: disc.Cycles/base.Cycles - 1,
+			FlatOv:       flat.Cycles/base.Cycles - 1,
+		})
+	}
+	return res, nil
+}
+
+// String renders the ablation.
+func (r *AnnotCostResult) String() string {
+	t := &table{header: []string{"Program", "P1-P5 (OoO discount)", "P1-P5 (flat model)", "inflation"}}
+	for _, row := range r.Rows {
+		t.add(row.Program, pct(row.DiscountedOv), pct(row.FlatOv),
+			fmt.Sprintf("%.1fx", row.FlatOv/row.DiscountedOv))
+	}
+	return "Ablation: annotation timing model (DESIGN.md §5)\n" + t.String() +
+		"A flat cost model charges annotations several times their real OoO cost,\n" +
+		"which would push overheads far outside the paper's reported band.\n"
+}
+
+// QRow is one AEX-check-interval setting.
+type QRow struct {
+	Q         int
+	AEXChecks int
+	Overhead  float64 // P1-P6 vs baseline
+}
+
+// QSweepResult is the P6 granularity ablation: the overhead cost of
+// tightening q, the max instructions between SSA inspections.
+type QSweepResult struct {
+	Kernel string
+	Rows   []QRow
+}
+
+// QSweep measures P1-P6 overhead for several values of q on one kernel.
+func QSweep(qs []int, quick bool) (*QSweepResult, error) {
+	if qs == nil {
+		qs = []int{5, 10, 20, 50}
+	}
+	k, _ := nbench.KernelByName("NUMERIC SORT")
+	params := k.Params
+	if quick {
+		params = quickParams[k.Name]
+	}
+	res := &QSweepResult{Kernel: k.Name}
+
+	base, err := runKernelWith(k, policy.SetNone, params, false)
+	if err != nil {
+		return nil, err
+	}
+	for _, q := range qs {
+		o, err := compiler.Compile(dclib.Program(k.Source), compiler.Options{
+			Policies:         policy.SetP1P6,
+			AEXCheckInterval: q,
+		})
+		if err != nil {
+			return nil, err
+		}
+		m := runtime.DefaultManifest()
+		m.Policies = policy.SetP1P6
+		m.AEXCheckMaxGap = 2*q + 64
+		b, err := runtime.New(enclave.DefaultConfig(), m)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := b.ReceiveBinary(o.Marshal())
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range params {
+			var buf [8]byte
+			binary.LittleEndian.PutUint64(buf[:], uint64(p))
+			b.ReceiveData(buf[:])
+		}
+		run, err := b.Run(runtime.RunConfig{})
+		if err != nil {
+			return nil, err
+		}
+		if run.CPU.Status != cpu.StatusHalt {
+			return nil, fmt.Errorf("bench: q=%d: %v", q, run.CPU)
+		}
+		res.Rows = append(res.Rows, QRow{
+			Q:         q,
+			AEXChecks: rep.Stats.AEXChecks,
+			Overhead:  run.CPU.Cycles/base.Cycles - 1,
+		})
+	}
+	return res, nil
+}
+
+// String renders the q sweep.
+func (r *QSweepResult) String() string {
+	t := &table{header: []string{"q (insts/check)", "static checks", "P1-P6 overhead"}}
+	for _, row := range r.Rows {
+		t.add(fmt.Sprintf("%d", row.Q), fmt.Sprintf("%d", row.AEXChecks), pct(row.Overhead))
+	}
+	return fmt.Sprintf("Ablation: P6 SSA-check interval q (%s)\n", r.Kernel) + t.String() +
+		"Smaller q detects AEX bursts sooner but costs more; the paper's default is 20.\n"
+}

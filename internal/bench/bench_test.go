@@ -1,0 +1,208 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTableI(t *testing.T) {
+	res, err := TableI()
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := res.TotalTrustedKLoC()
+	if total <= 0 {
+		t.Fatal("no trusted LoC counted")
+	}
+	// The paper's point: the in-enclave TCB is an order of magnitude
+	// smaller than libOS runtimes (their smallest published row is 22
+	// kLoC for a single component).
+	if total > 15 {
+		t.Errorf("trusted TCB = %.1f kLoC, larger than expected", total)
+	}
+	if !strings.Contains(res.String(), "DEFLECTION") {
+		t.Error("render missing our row")
+	}
+}
+
+func TestTableIIQuick(t *testing.T) {
+	res, err := TableII(Table2Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 10 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		prev := -1.0
+		for i, ov := range row.Overheads {
+			if ov < 0 {
+				t.Errorf("%s setting %d: negative overhead %.3f", row.Program, i, ov)
+			}
+			if ov < prev-0.005 { // allow sub-noise inversions
+				t.Errorf("%s: overheads not monotone: %v", row.Program, row.Overheads)
+			}
+			prev = ov
+		}
+	}
+	if res.GeoMeanP1P6 <= res.GeoMeanP1P5 {
+		t.Error("P6 must add overhead on average")
+	}
+	if res.String() == "" {
+		t.Error("empty render")
+	}
+}
+
+func TestFig7Quick(t *testing.T) {
+	res, err := Fig7([]int64{60, 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	if res.Points[1].BaseInsts <= res.Points[0].BaseInsts {
+		t.Error("alignment work must grow with input length")
+	}
+	if res.MaxOverhead(3) <= 0 {
+		t.Error("P1-P6 overhead must be positive")
+	}
+}
+
+func TestFig8Quick(t *testing.T) {
+	res, err := Fig8([]int64{1000, 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 || res.Points[1].BaseMs <= res.Points[0].BaseMs {
+		t.Errorf("generation cost must grow: %+v", res.Points)
+	}
+}
+
+func TestFig9Quick(t *testing.T) {
+	res, err := Fig9([]int64{500, 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	if s := res.String(); !strings.Contains(s, "records") {
+		t.Error("render missing axis")
+	}
+}
+
+func TestFig10Quick(t *testing.T) {
+	res, err := Fig10([]int{25, 200}, 32<<10, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	low, high := res.Points[0], res.Points[1]
+	// Past the worker count, response time grows sharply.
+	if high.BaseResponse < 2*low.BaseResponse {
+		t.Errorf("no saturation: %v vs %v", low.BaseResponse, high.BaseResponse)
+	}
+	// Instrumentation costs response time at every level.
+	for _, p := range res.Points {
+		if p.ResponseOverhead <= 0 {
+			t.Errorf("clients=%d: non-positive overhead %.3f", p.Clients, p.ResponseOverhead)
+		}
+	}
+}
+
+func TestFig11Shape(t *testing.T) {
+	res, err := Fig11(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := res.Points[0], res.Points[len(res.Points)-1]
+	// Paper shape: Graphene wins at small files...
+	if first.GrapheneMBs <= first.DeflectMBs {
+		t.Errorf("at %d bytes Graphene %.1f should beat DEFLECTION %.1f",
+			first.FileSize, first.GrapheneMBs, first.DeflectMBs)
+	}
+	// ...DEFLECTION overtakes as size grows...
+	if res.CrossoverSize == 0 {
+		t.Fatal("no crossover found")
+	}
+	if last.DeflectMBs <= last.GrapheneMBs || last.DeflectMBs <= last.OcclumMBs {
+		t.Error("DEFLECTION must win at 10MB")
+	}
+	// ...reaching roughly 77% of native (accept 60-90%).
+	if res.LargeFileNativeShare < 0.60 || res.LargeFileNativeShare > 0.92 {
+		t.Errorf("native share = %.2f, outside plausible band", res.LargeFileNativeShare)
+	}
+}
+
+func TestColoc(t *testing.T) {
+	res := Coloc(20000)
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.AlphaAnalytic > 1e-3 || row.BetaAnalytic > 1e-4 {
+			t.Errorf("%s: error rates too high: %+v", row.Processor, row)
+		}
+	}
+}
+
+func TestMicro(t *testing.T) {
+	res, err := Micro()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 10 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.LoadVerify <= 0 || row.LoadVerify > 2*time.Second {
+			t.Errorf("%s: load+verify = %v, outside quick-turnaround band", row.Name, row.LoadVerify)
+		}
+		if row.StoreGuards == 0 {
+			t.Errorf("%s: no store guards verified", row.Name)
+		}
+	}
+}
+
+func TestAnnotCostAblation(t *testing.T) {
+	res, err := AnnotCostAblation(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.FlatOv <= row.DiscountedOv {
+			t.Errorf("%s: flat %.3f should exceed discounted %.3f", row.Program, row.FlatOv, row.DiscountedOv)
+		}
+		if row.FlatOv < 2*row.DiscountedOv {
+			t.Errorf("%s: flat model should inflate overhead at least 2x, got %.1fx",
+				row.Program, row.FlatOv/row.DiscountedOv)
+		}
+	}
+}
+
+func TestQSweep(t *testing.T) {
+	res, err := QSweep([]int{5, 20, 50}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// Tighter q means more static checks and more overhead.
+	if !(res.Rows[0].AEXChecks > res.Rows[1].AEXChecks && res.Rows[1].AEXChecks > res.Rows[2].AEXChecks) {
+		t.Errorf("static check counts not decreasing in q: %+v", res.Rows)
+	}
+	if !(res.Rows[0].Overhead > res.Rows[1].Overhead && res.Rows[1].Overhead > res.Rows[2].Overhead) {
+		t.Errorf("overheads not decreasing in q: %+v", res.Rows)
+	}
+	if res.String() == "" {
+		t.Error("empty render")
+	}
+}

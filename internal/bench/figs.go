@@ -1,0 +1,138 @@
+package bench
+
+import (
+	"fmt"
+
+	"deflection/internal/apps"
+	"deflection/internal/policy"
+)
+
+// SweepPoint is one x-axis point of an overhead figure: the baseline cost
+// and relative overhead per instrumentation setting.
+type SweepPoint struct {
+	X         int64
+	BaseInsts uint64
+	BaseMs    float64 // baseline modelled time at 3.6 GHz
+	Overheads [4]float64
+}
+
+// SweepResult is a Fig. 7/8/9-style series.
+type SweepResult struct {
+	Title  string
+	XLabel string
+	Points []SweepPoint
+}
+
+// String renders the series as the figure's data table.
+func (r *SweepResult) String() string {
+	t := &table{header: []string{r.XLabel, "base ms", "P1", "P1+P2", "P1-P5", "P1-P6"}}
+	for _, p := range r.Points {
+		t.add(fmt.Sprintf("%d", p.X), fmt.Sprintf("%.2f", p.BaseMs),
+			pct(p.Overheads[0]), pct(p.Overheads[1]), pct(p.Overheads[2]), pct(p.Overheads[3]))
+	}
+	return r.Title + "\n" + t.String()
+}
+
+// MaxOverhead returns the largest overhead of the given setting column.
+func (r *SweepResult) MaxOverhead(col int) float64 {
+	max := 0.0
+	for _, p := range r.Points {
+		if p.Overheads[col] > max {
+			max = p.Overheads[col]
+		}
+	}
+	return max
+}
+
+// runApp executes fn once per policy setting and fills a sweep point.
+func runApp(x int64, fn func(pols policy.Set) (*apps.Result, error)) (SweepPoint, error) {
+	pt := SweepPoint{X: x}
+	base, err := fn(policy.SetNone)
+	if err != nil {
+		return pt, err
+	}
+	if !base.Ok() {
+		return pt, fmt.Errorf("bench: baseline failed at x=%d: status=%v exit=%d trap=%s", x, base.Status, base.Exit, base.Trap)
+	}
+	pt.BaseInsts = base.Insts
+	pt.BaseMs = base.Cycles / 3.6e9 * 1000
+	for i, s := range Settings {
+		res, err := fn(s.Set)
+		if err != nil {
+			return pt, err
+		}
+		if !res.Ok() || res.Exit != base.Exit {
+			return pt, fmt.Errorf("bench: %s at x=%d: status=%v exit=%d (want %d)", s.Name, x, res.Status, res.Exit, base.Exit)
+		}
+		pt.Overheads[i] = res.Cycles/base.Cycles - 1
+	}
+	return pt, nil
+}
+
+// Fig7InputLengths are the alignment input sizes (bytes per sequence).
+var Fig7InputLengths = []int64{100, 200, 300, 400, 500}
+
+// Fig7 reproduces the sequence-alignment overhead figure.
+func Fig7(lengths []int64) (*SweepResult, error) {
+	if lengths == nil {
+		lengths = Fig7InputLengths
+	}
+	res := &SweepResult{Title: "Fig. 7: sequence alignment (Needleman-Wunsch)", XLabel: "input len (B)"}
+	for _, n := range lengths {
+		a := apps.RandomSequence(int(n), 11)
+		b := apps.RandomSequence(int(n), 22)
+		pt, err := runApp(n, func(pols policy.Set) (*apps.Result, error) {
+			return apps.AlignGenomes(apps.RunConfig{Policies: pols}, a, b)
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.Points = append(res.Points, pt)
+	}
+	return res, nil
+}
+
+// Fig8OutputLengths are the generation sizes (nucleotides).
+var Fig8OutputLengths = []int64{1_000, 10_000, 50_000, 100_000, 200_000, 500_000}
+
+// Fig8 reproduces the sequence-generation overhead figure.
+func Fig8(lengths []int64) (*SweepResult, error) {
+	if lengths == nil {
+		lengths = Fig8OutputLengths
+	}
+	res := &SweepResult{Title: "Fig. 8: sequence generation", XLabel: "output len (nt)"}
+	for _, n := range lengths {
+		pt, err := runApp(n, func(pols policy.Set) (*apps.Result, error) {
+			return apps.GenerateSequence(apps.RunConfig{Policies: pols}, n, 7)
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.Points = append(res.Points, pt)
+	}
+	return res, nil
+}
+
+// Fig9RecordCounts are the credit-scoring workload sizes. The paper sweeps
+// 1k-100k records; the upper points are scaled to 50k to keep the emulated
+// sweep tractable (the per-record cost model is unchanged, so the overhead
+// curve shape is preserved).
+var Fig9RecordCounts = []int64{1_000, 5_000, 10_000, 25_000, 50_000}
+
+// Fig9 reproduces the credit-scoring overhead figure.
+func Fig9(records []int64) (*SweepResult, error) {
+	if records == nil {
+		records = Fig9RecordCounts
+	}
+	res := &SweepResult{Title: "Fig. 9: credit scoring (BP network)", XLabel: "records"}
+	for _, n := range records {
+		pt, err := runApp(n, func(pols policy.Set) (*apps.Result, error) {
+			return apps.CreditScore(apps.RunConfig{Policies: pols, Gas: 4_000_000_000}, n)
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.Points = append(res.Points, pt)
+	}
+	return res, nil
+}

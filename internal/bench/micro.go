@@ -1,0 +1,130 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"deflection/internal/compiler"
+	"deflection/internal/dclib"
+	"deflection/internal/enclave"
+	"deflection/internal/hyperrace"
+	"deflection/internal/nbench"
+	"deflection/internal/policy"
+	"deflection/internal/runtime"
+)
+
+// ColocRow is one processor's co-location accuracy.
+type ColocRow struct {
+	Processor     string
+	AlphaAnalytic float64
+	AlphaSampled  float64
+	BetaAnalytic  float64
+	Tests         int
+}
+
+// ColocResult reproduces the Section IV-C accuracy experiment: the
+// false-positive rate of the HyperRace co-location test on four processor
+// models.
+type ColocResult struct {
+	Rows []ColocRow
+}
+
+// Coloc estimates alpha/beta per processor model. tests is the number of
+// unit tests per placement (the paper runs 25.6M; 10k-1M reproduces the
+// same orders of magnitude in seconds).
+func Coloc(tests int) *ColocResult {
+	if tests <= 0 {
+		tests = 200_000
+	}
+	test := hyperrace.DefaultTest()
+	res := &ColocResult{}
+	for i, p := range hyperrace.Processors {
+		est := hyperrace.EstimateAlpha(test, p, tests, int64(1000+i))
+		res.Rows = append(res.Rows, ColocRow{
+			Processor:     p.Name,
+			AlphaAnalytic: hyperrace.AlphaAnalytic(test, p),
+			AlphaSampled:  est.Alpha,
+			BetaAnalytic:  hyperrace.BetaAnalytic(test, p),
+			Tests:         tests,
+		})
+	}
+	return res
+}
+
+// String renders the accuracy table.
+func (r *ColocResult) String() string {
+	t := &table{header: []string{"Processor", "alpha (analytic)", "alpha (sampled)", "beta (analytic)"}}
+	for _, row := range r.Rows {
+		t.add(row.Processor,
+			fmt.Sprintf("%.2e", row.AlphaAnalytic),
+			fmt.Sprintf("%.2e", row.AlphaSampled),
+			fmt.Sprintf("%.2e", row.BetaAnalytic))
+	}
+	return fmt.Sprintf("Co-location test accuracy (Section IV-C), %d unit tests per cell\n", r.Rows[0].Tests) + t.String()
+}
+
+// MicroRow is one binary's load+verify cost.
+type MicroRow struct {
+	Name        string
+	TextBytes   int
+	Insts       int
+	LoadVerify  time.Duration
+	PerKaByte   time.Duration // cost per KiB of text
+	StoreGuards int
+}
+
+// MicroResult reproduces the loader/verifier turnaround micro-benchmark
+// (the paper's "quick turnaround" requirement, Section III-B).
+type MicroResult struct {
+	Rows []MicroRow
+}
+
+// Micro measures the full ECall-to-accept path (parse, load, relocate,
+// verify, rewrite) for every nBench kernel binary under the full policy
+// set.
+func Micro() (*MicroResult, error) {
+	res := &MicroResult{}
+	for _, k := range nbench.Kernels() {
+		o, err := compiler.Compile(dclib.Program(k.Source), compiler.Options{Policies: policy.SetP1P6})
+		if err != nil {
+			return nil, err
+		}
+		objBytes := o.Marshal()
+
+		m := runtime.DefaultManifest()
+		m.Policies = policy.SetP1P6
+		// Fresh enclave per measurement, as each load would be.
+		b, err := runtime.New(enclave.DefaultConfig(), m)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		rep, err := b.ReceiveBinary(objBytes)
+		if err != nil {
+			return nil, fmt.Errorf("bench: micro %s: %w", k.Name, err)
+		}
+		elapsed := time.Since(start)
+		res.Rows = append(res.Rows, MicroRow{
+			Name:        k.Name,
+			TextBytes:   rep.TextSize,
+			Insts:       rep.Stats.Instructions,
+			LoadVerify:  elapsed,
+			PerKaByte:   time.Duration(float64(elapsed) / (float64(rep.TextSize) / 1024)),
+			StoreGuards: rep.Stats.StoreGuards,
+		})
+	}
+	return res, nil
+}
+
+// String renders the micro-benchmark table.
+func (r *MicroResult) String() string {
+	t := &table{header: []string{"binary", "text", "insts", "load+verify", "per KiB"}}
+	for _, row := range r.Rows {
+		t.add(row.Name,
+			fmt.Sprintf("%d KiB", row.TextBytes/1024),
+			fmt.Sprintf("%d", row.Insts),
+			row.LoadVerify.Round(time.Microsecond).String(),
+			row.PerKaByte.Round(time.Microsecond).String())
+	}
+	return "Loader/verifier turnaround (full P1-P6 verification)\n" + t.String()
+}

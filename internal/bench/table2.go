@@ -1,0 +1,105 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"deflection/internal/nbench"
+	"deflection/internal/policy"
+)
+
+// Table2Row is one nBench kernel's overheads across the four instrumentation
+// settings.
+type Table2Row struct {
+	Program   string
+	Overheads [4]float64 // P1, P1+P2, P1-P5, P1-P6
+	BaseInsts uint64
+}
+
+// Table2Result reproduces Table II.
+type Table2Result struct {
+	Rows []Table2Row
+	// GeoMeanP1P5 and GeoMeanP1P6 are the suite-level geometric means the
+	// paper's abstract quotes (~10% without side-channel mitigation, ~20%
+	// with).
+	GeoMeanP1P5 float64
+	GeoMeanP1P6 float64
+}
+
+// Table2Options scales the experiment.
+type Table2Options struct {
+	// Quick shrinks kernel parameters for smoke runs.
+	Quick bool
+	// Kernels restricts the run to the named kernels (nil = all).
+	Kernels []string
+}
+
+var quickParams = map[string][]int64{
+	"NUMERIC SORT":     {256, 1},
+	"STRING SORT":      {64, 1},
+	"BITFIELD":         {400},
+	"FP EMULATION":     {2000},
+	"FOURIER":          {4, 24},
+	"ASSIGNMENT":       {16, 1},
+	"IDEA":             {256},
+	"HUFFMAN":          {512},
+	"NEURAL NET":       {8},
+	"LU DECOMPOSITION": {12, 1},
+}
+
+// TableII measures nBench overheads for every kernel and setting.
+func TableII(opts Table2Options) (*Table2Result, error) {
+	r := nbench.NewRunner()
+	kernels := nbench.Kernels()
+	if opts.Kernels != nil {
+		var filtered []nbench.Kernel
+		for _, name := range opts.Kernels {
+			k, ok := nbench.KernelByName(name)
+			if !ok {
+				return nil, fmt.Errorf("bench: unknown kernel %q", name)
+			}
+			filtered = append(filtered, k)
+		}
+		kernels = filtered
+	}
+	res := &Table2Result{}
+	var prodP5, prodP6 float64 = 1, 1
+	for _, k := range kernels {
+		params := k.Params
+		if opts.Quick {
+			params = quickParams[k.Name]
+		}
+		base, err := r.Run(k, policy.SetNone, params)
+		if err != nil {
+			return nil, err
+		}
+		row := Table2Row{Program: k.Name, BaseInsts: base.Insts}
+		for i, s := range Settings {
+			ov, err := r.Overhead(k, s.Set, params)
+			if err != nil {
+				return nil, err
+			}
+			row.Overheads[i] = ov
+		}
+		prodP5 *= 1 + row.Overheads[2]
+		prodP6 *= 1 + row.Overheads[3]
+		res.Rows = append(res.Rows, row)
+	}
+	n := float64(len(res.Rows))
+	if n > 0 {
+		res.GeoMeanP1P5 = math.Pow(prodP5, 1/n) - 1
+		res.GeoMeanP1P6 = math.Pow(prodP6, 1/n) - 1
+	}
+	return res, nil
+}
+
+// String renders Table II.
+func (r *Table2Result) String() string {
+	t := &table{header: []string{"Program Name", "P1", "P1+P2", "P1-P5", "P1-P6"}}
+	for _, row := range r.Rows {
+		t.add(row.Program, pct(row.Overheads[0]), pct(row.Overheads[1]), pct(row.Overheads[2]), pct(row.Overheads[3]))
+	}
+	return "Table II: performance overhead on nBench\n" + t.String() +
+		fmt.Sprintf("geometric mean: %s without side-channel mitigation (P1-P5), %s with (P1-P6)\n",
+			pct(r.GeoMeanP1P5), pct(r.GeoMeanP1P6))
+}

@@ -1,0 +1,192 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"deflection/internal/baseline"
+	"deflection/internal/https"
+	"deflection/internal/policy"
+)
+
+// Fig10Point is one concurrency level of the HTTPS load test.
+type Fig10Point struct {
+	Clients          int
+	BaseResponse     time.Duration
+	InstResponse     time.Duration
+	BaseThroughput   float64
+	InstThroughput   float64
+	ResponseOverhead float64
+}
+
+// Fig10Result reproduces the HTTPS server response-time/throughput figure:
+// the in-enclave server without instrumentation versus the full P1-P6
+// DEFLECTION server, across concurrency levels.
+type Fig10Result struct {
+	FileSize int64
+	Workers  int
+	Points   []Fig10Point
+	// MeanResponseOverhead is the average response-time overhead (the
+	// paper reports 14.1% for P1-P6).
+	MeanResponseOverhead float64
+}
+
+// Fig10Concurrency are the Siege concurrency levels.
+var Fig10Concurrency = []int{25, 50, 75, 100, 150, 200}
+
+// Fig10 calibrates both servers on the real verified handler and runs the
+// closed-loop load simulation at each concurrency level.
+func Fig10(clients []int, fileSize int64, duration time.Duration) (*Fig10Result, error) {
+	if clients == nil {
+		clients = Fig10Concurrency
+	}
+	if fileSize == 0 {
+		fileSize = 64 << 10
+	}
+	if duration == 0 {
+		duration = 10 * time.Second
+	}
+	baseModel, err := https.Calibrate(policy.SetNone)
+	if err != nil {
+		return nil, err
+	}
+	instModel, err := https.Calibrate(policy.SetP1P6)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig10Result{FileSize: fileSize, Workers: https.DefaultWorkers}
+	var sum float64
+	for _, c := range clients {
+		cfg := https.LoadConfig{Clients: c, Duration: duration, FileSize: fileSize, Seed: int64(c)}
+		b, err := https.SimulateLoad(baseModel, cfg)
+		if err != nil {
+			return nil, err
+		}
+		i, err := https.SimulateLoad(instModel, cfg)
+		if err != nil {
+			return nil, err
+		}
+		ov := float64(i.MeanResponse)/float64(b.MeanResponse) - 1
+		sum += ov
+		res.Points = append(res.Points, Fig10Point{
+			Clients:          c,
+			BaseResponse:     b.MeanResponse,
+			InstResponse:     i.MeanResponse,
+			BaseThroughput:   b.Throughput,
+			InstThroughput:   i.Throughput,
+			ResponseOverhead: ov,
+		})
+	}
+	res.MeanResponseOverhead = sum / float64(len(res.Points))
+	return res, nil
+}
+
+// String renders Fig. 10's data.
+func (r *Fig10Result) String() string {
+	t := &table{header: []string{"conns", "resp base", "resp P1-P6", "ovh", "tput base", "tput P1-P6"}}
+	for _, p := range r.Points {
+		t.add(fmt.Sprintf("%d", p.Clients),
+			p.BaseResponse.Round(time.Microsecond).String(),
+			p.InstResponse.Round(time.Microsecond).String(),
+			pct(p.ResponseOverhead),
+			fmt.Sprintf("%.0f req/s", p.BaseThroughput),
+			fmt.Sprintf("%.0f req/s", p.InstThroughput))
+	}
+	return fmt.Sprintf("Fig. 10: HTTPS server, %d KB files, %d enclave workers\n", r.FileSize>>10, r.Workers) +
+		t.String() +
+		fmt.Sprintf("mean response-time overhead (P1-P6): %s\n", pct(r.MeanResponseOverhead))
+}
+
+// Fig11Point is one file size of the shielding-runtime comparison.
+type Fig11Point struct {
+	FileSize    int64
+	NativeMBs   float64
+	GrapheneMBs float64
+	OcclumMBs   float64
+	DeflectMBs  float64
+}
+
+// Fig11Result reproduces the transfer-rate comparison against Graphene-SGX
+// and Occlum.
+type Fig11Result struct {
+	Points []Fig11Point
+	// CrossoverSize is the first file size at which DEFLECTION beats both
+	// libOS runtimes (0 when never).
+	CrossoverSize int64
+	// LargeFileNativeShare is DEFLECTION's rate as a fraction of native at
+	// the largest size (the paper reports 77%).
+	LargeFileNativeShare float64
+}
+
+// Fig11FileSizes are the requested file sizes.
+var Fig11FileSizes = []int64{1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20, 10 << 20}
+
+// Fig11 measures DEFLECTION's real (verified, instrumented, P0-P5 as in the
+// paper) handler and applies the published-characteristics cost models of
+// the comparison runtimes to the same measured native compute.
+func Fig11(sizes []int64) (*Fig11Result, error) {
+	if sizes == nil {
+		sizes = Fig11FileSizes
+	}
+	// Native compute: the same handler, uninstrumented, with syscall-cost
+	// transitions instead of enclave transitions and no session sealing.
+	nativeModel, err := https.CalibrateNativeCompute()
+	if err != nil {
+		return nil, err
+	}
+	// DEFLECTION: the instrumented handler measured end-to-end (P0-P5, as
+	// in the paper's Fig. 11 caption).
+	deflModel, err := https.Calibrate(policy.SetP1P5)
+	if err != nil {
+		return nil, err
+	}
+
+	native := baseline.Native()
+	graphene := baseline.GrapheneSGX()
+	occlum := baseline.Occlum()
+
+	res := &Fig11Result{}
+	for _, size := range sizes {
+		compute := nativeModel.ServiceCycles(size)
+		p := Fig11Point{
+			FileSize:    size,
+			NativeMBs:   native.TransferRate(compute, size, https.CPUGHz),
+			GrapheneMBs: graphene.TransferRate(compute, size, https.CPUGHz),
+			OcclumMBs:   occlum.TransferRate(compute, size, https.CPUGHz),
+			DeflectMBs:  float64(size) / (1 << 20) / https.CyclesToSeconds(deflModel.ServiceCycles(size)),
+		}
+		res.Points = append(res.Points, p)
+		if res.CrossoverSize == 0 && p.DeflectMBs > p.GrapheneMBs && p.DeflectMBs > p.OcclumMBs {
+			res.CrossoverSize = size
+		}
+	}
+	last := res.Points[len(res.Points)-1]
+	res.LargeFileNativeShare = last.DeflectMBs / last.NativeMBs
+	return res, nil
+}
+
+// String renders Fig. 11's data.
+func (r *Fig11Result) String() string {
+	t := &table{header: []string{"file size", "Native MB/s", "Graphene MB/s", "Occlum MB/s", "DEFLECTION MB/s"}}
+	for _, p := range r.Points {
+		t.add(sizeLabel(p.FileSize),
+			fmt.Sprintf("%.1f", p.NativeMBs),
+			fmt.Sprintf("%.1f", p.GrapheneMBs),
+			fmt.Sprintf("%.1f", p.OcclumMBs),
+			fmt.Sprintf("%.1f", p.DeflectMBs))
+	}
+	return "Fig. 11: HTTPS transfer rate vs shielding runtimes\n" + t.String() +
+		fmt.Sprintf("DEFLECTION overtakes both libOS runtimes at %s; at %s it reaches %.0f%% of native\n",
+			sizeLabel(r.CrossoverSize), sizeLabel(r.Points[len(r.Points)-1].FileSize), r.LargeFileNativeShare*100)
+}
+
+func sizeLabel(n int64) string {
+	switch {
+	case n <= 0:
+		return "never"
+	case n >= 1<<20:
+		return fmt.Sprintf("%dMB", n>>20)
+	default:
+		return fmt.Sprintf("%dKB", n>>10)
+	}
+}

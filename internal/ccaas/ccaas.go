@@ -1,0 +1,269 @@
+// Package ccaas assembles the full confidential-computing-as-a-service
+// deployment of the paper's Fig. 1 over real connections: a Server hosts
+// bootstrap enclaves (one per session), attests itself to connecting
+// parties with the Section III-A protocol, accepts a target binary from the
+// code provider and data from the data owner over the authenticated
+// channel, runs the verified service, and streams the padded results back.
+package ccaas
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+
+	"deflection/attest"
+	"deflection/internal/cpu"
+	"deflection/internal/enclave"
+	"deflection/internal/policy"
+	"deflection/internal/runtime"
+)
+
+// Message tags of the post-handshake protocol. Every message travels
+// sealed inside the attested channel.
+const (
+	tagBinary = 'C' // code provider delivers the target binary
+	tagData   = 'D' // data owner uploads an input message
+	tagRun    = 'X' // execute the verified service
+	tagBye    = 'Q' // end of session
+)
+
+// ServerConfig parameterises a CCaaS host.
+type ServerConfig struct {
+	// Platform signs the attestation quotes.
+	Platform *attest.Platform
+	// Policies is the manifest's required policy set.
+	Policies policy.Set
+	// Enclave is the per-session enclave sizing (zero value = default).
+	Enclave enclave.Config
+	// Gas bounds each service execution (0 = default).
+	Gas uint64
+}
+
+// Server hosts one bootstrap enclave per accepted session.
+type Server struct {
+	cfg ServerConfig
+}
+
+// NewServer validates the configuration and returns a server.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if cfg.Platform == nil {
+		return nil, errors.New("ccaas: platform required")
+	}
+	if cfg.Enclave == (enclave.Config{}) {
+		cfg.Enclave = enclave.DefaultConfig()
+	}
+	return &Server{cfg: cfg}, nil
+}
+
+func (s *Server) manifest() runtime.Manifest {
+	m := runtime.DefaultManifest()
+	m.Policies = s.cfg.Policies
+	return m
+}
+
+// Measurement returns the launch measurement every session enclave will
+// have (the value parties must expect during attestation).
+func (s *Server) Measurement() ([32]byte, error) {
+	b, err := runtime.New(s.cfg.Enclave, s.manifest())
+	if err != nil {
+		return [32]byte{}, err
+	}
+	return b.Measurement(), nil
+}
+
+// Serve accepts sessions until the listener closes. Each session runs on
+// its own goroutine and its own enclave.
+func (s *Server) Serve(l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return fmt.Errorf("ccaas: %w", err)
+		}
+		go func() {
+			defer conn.Close()
+			_ = s.Handle(conn) // session errors terminate only that session
+		}()
+	}
+}
+
+// loadReply is the server's answer to a binary delivery.
+type loadReply struct {
+	OK         bool   `json:"ok"`
+	Error      string `json:"error,omitempty"`
+	BinaryHash []byte `json:"binary_hash,omitempty"`
+	TextSize   int    `json:"text_size,omitempty"`
+	Guards     int    `json:"guards,omitempty"`
+}
+
+// RunReply is the server's answer to a run request.
+type RunReply struct {
+	Exit       int64    `json:"exit"`
+	Trapped    bool     `json:"trapped"`
+	TrapReason string   `json:"trap_reason,omitempty"`
+	Insts      uint64   `json:"insts"`
+	Outputs    [][]byte `json:"outputs"`
+}
+
+// Handle drives one session on an established connection.
+func (s *Server) Handle(conn io.ReadWriter) error {
+	boot, err := runtime.New(s.cfg.Enclave, s.manifest())
+	if err != nil {
+		return err
+	}
+	sess, err := attest.NewEnclaveSession(s.cfg.Platform, boot.Measurement())
+	if err != nil {
+		return err
+	}
+	if err := sess.SendHello(conn); err != nil {
+		return err
+	}
+	_, ch, err := sess.Accept(conn)
+	if err != nil {
+		return err
+	}
+
+	reply := func(v any) error {
+		payload, err := json.Marshal(v)
+		if err != nil {
+			return fmt.Errorf("ccaas: %w", err)
+		}
+		return attest.WriteFrame(conn, ch.Seal(payload))
+	}
+
+	for {
+		frame, err := attest.ReadFrame(conn)
+		if err != nil {
+			return err
+		}
+		msg, err := ch.Open(frame)
+		if err != nil {
+			return err
+		}
+		if len(msg) == 0 {
+			return errors.New("ccaas: empty message")
+		}
+		switch msg[0] {
+		case tagBinary:
+			rep, err := boot.ReceiveBinary(msg[1:])
+			if err != nil {
+				if rerr := reply(loadReply{OK: false, Error: err.Error()}); rerr != nil {
+					return rerr
+				}
+				continue
+			}
+			if err := reply(loadReply{
+				OK:         true,
+				BinaryHash: rep.BinaryHash[:],
+				TextSize:   rep.TextSize,
+				Guards:     rep.Stats.StoreGuards + rep.Stats.CFIGuards + rep.Stats.AEXChecks,
+			}); err != nil {
+				return err
+			}
+		case tagData:
+			boot.ReceiveData(msg[1:])
+		case tagRun:
+			res, err := boot.Run(runtime.RunConfig{Gas: s.cfg.Gas})
+			if err != nil {
+				if rerr := reply(RunReply{Trapped: true, TrapReason: err.Error()}); rerr != nil {
+					return rerr
+				}
+				continue
+			}
+			rr := RunReply{
+				Exit:    res.CPU.ExitValue,
+				Insts:   res.CPU.Insts,
+				Outputs: res.Outputs,
+			}
+			if res.CPU.Status != cpu.StatusHalt {
+				rr.Trapped = true
+				rr.TrapReason = res.CPU.Trap.String()
+			}
+			if err := reply(rr); err != nil {
+				return err
+			}
+			boot.ResetIO()
+		case tagBye:
+			return nil
+		default:
+			return fmt.Errorf("ccaas: unknown message tag %q", msg[0])
+		}
+	}
+}
+
+// Client is a remote party's session handle.
+type Client struct {
+	conn io.ReadWriter
+	ch   *attest.Channel
+}
+
+// Dial attests the server's enclave (via the attestation service, against
+// the expected bootstrap measurement) and returns a session client.
+func Dial(conn io.ReadWriter, as *attest.Service, expected [32]byte, role attest.Role) (*Client, error) {
+	_, ch, err := attest.PartyHandshake(conn, as, expected, role)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn, ch: ch}, nil
+}
+
+func (c *Client) send(tag byte, payload []byte) error {
+	msg := make([]byte, 1+len(payload))
+	msg[0] = tag
+	copy(msg[1:], payload)
+	return attest.WriteFrame(c.conn, c.ch.Seal(msg))
+}
+
+func (c *Client) recv(v any) error {
+	frame, err := attest.ReadFrame(c.conn)
+	if err != nil {
+		return err
+	}
+	payload, err := c.ch.Open(frame)
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(payload, v); err != nil {
+		return fmt.Errorf("ccaas: %w", err)
+	}
+	return nil
+}
+
+// SendBinary delivers a target binary and returns the server's verification
+// verdict.
+func (c *Client) SendBinary(objBytes []byte) (hash []byte, guards int, err error) {
+	if err := c.send(tagBinary, objBytes); err != nil {
+		return nil, 0, err
+	}
+	var rep loadReply
+	if err := c.recv(&rep); err != nil {
+		return nil, 0, err
+	}
+	if !rep.OK {
+		return nil, 0, fmt.Errorf("ccaas: binary rejected: %s", rep.Error)
+	}
+	return rep.BinaryHash, rep.Guards, nil
+}
+
+// SendData uploads one input message.
+func (c *Client) SendData(b []byte) error { return c.send(tagData, b) }
+
+// Run executes the loaded service and returns the reply (outputs are the
+// padded frames; unpad with runtime.Unpad).
+func (c *Client) Run() (*RunReply, error) {
+	if err := c.send(tagRun, nil); err != nil {
+		return nil, err
+	}
+	var rr RunReply
+	if err := c.recv(&rr); err != nil {
+		return nil, err
+	}
+	return &rr, nil
+}
+
+// Close ends the session.
+func (c *Client) Close() error { return c.send(tagBye, nil) }

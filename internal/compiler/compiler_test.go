@@ -1,0 +1,400 @@
+package compiler_test
+
+import (
+	"testing"
+
+	"deflection/internal/compiler"
+	"deflection/internal/cpu"
+	"deflection/internal/enclave"
+	"deflection/internal/policy"
+	"deflection/internal/runtime"
+)
+
+// exec compiles src with the given policy set, loads and verifies it in a
+// bootstrap enclave, runs it, and returns the result.
+func exec(t *testing.T, src string, pols policy.Set, inputs ...[]byte) *runtime.RunResult {
+	t.Helper()
+	o, err := compiler.Compile(src, compiler.Options{Policies: pols})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	m := runtime.DefaultManifest()
+	m.Policies = pols
+	b, err := runtime.New(enclave.DefaultConfig(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.ReceiveBinary(o.Marshal()); err != nil {
+		t.Fatalf("load/verify: %v", err)
+	}
+	for _, in := range inputs {
+		b.ReceiveData(in)
+	}
+	res, err := b.Run(runtime.RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// expectExit runs src under several policy sets and asserts the exit value.
+func expectExit(t *testing.T, src string, want int64) {
+	t.Helper()
+	for _, pols := range []policy.Set{policy.SetNone, policy.SetP1, policy.SetP1P2, policy.SetP1P5, policy.SetP1P6} {
+		res := exec(t, src, pols)
+		if res.CPU.Status != cpu.StatusHalt {
+			t.Fatalf("policies %v: %v", pols, res.CPU)
+		}
+		if res.CPU.ExitValue != want {
+			t.Errorf("policies %v: exit = %d, want %d", pols, res.CPU.ExitValue, want)
+		}
+	}
+}
+
+func TestReturnConstant(t *testing.T) {
+	expectExit(t, `int main() { return 42; }`, 42)
+}
+
+func TestArithmetic(t *testing.T) {
+	expectExit(t, `
+int main() {
+	int a = 7;
+	int b = 3;
+	return a*b + a/b - a%b + (a<<b) - (a>>1) + (a&b) + (a|b) + (a^b) + ~a + -b;
+}`, 21+2-1+56-3+3+7+4-8-3)
+}
+
+func TestLoopsAndConditionals(t *testing.T) {
+	expectExit(t, `
+int main() {
+	int sum = 0;
+	for (int i = 1; i <= 10; i++) sum += i;
+	int j = 0;
+	while (j < 5) { sum += 2; j++; }
+	if (sum > 60) sum -= 1; else sum += 1000;
+	do_nothing();
+	return sum;
+}
+void do_nothing() { return; }`, 64)
+}
+
+func TestBreakContinue(t *testing.T) {
+	expectExit(t, `
+int main() {
+	int s = 0;
+	for (int i = 0; i < 100; i++) {
+		if (i % 2 == 0) continue;
+		if (i > 10) break;
+		s += i;
+	}
+	return s;
+}`, 1+3+5+7+9)
+}
+
+func TestRecursion(t *testing.T) {
+	expectExit(t, `
+int fib(int n) {
+	if (n < 2) return n;
+	return fib(n-1) + fib(n-2);
+}
+int main() { return fib(10); }`, 55)
+}
+
+func TestGlobalsAndArrays(t *testing.T) {
+	expectExit(t, `
+int table[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+int accum = 100;
+int main() {
+	int local[4];
+	for (int i = 0; i < 4; i++) local[i] = table[i] * 10;
+	int s = accum;
+	for (int i = 0; i < 4; i++) s += local[i];
+	for (int i = 4; i < 8; i++) s += table[i];
+	return s;
+}`, 100+10+20+30+40+5+6+7+8)
+}
+
+func TestCharsAndStrings(t *testing.T) {
+	expectExit(t, `
+char msg[16] = "hello";
+int strlen(char *s) {
+	int n = 0;
+	while (s[n] != 0) n++;
+	return n;
+}
+int main() {
+	char *lit = "worlds!";
+	return strlen(msg) * 100 + strlen(lit);
+}`, 507)
+}
+
+func TestPointers(t *testing.T) {
+	expectExit(t, `
+int g = 5;
+int main() {
+	int x = 10;
+	int *p = &x;
+	*p = *p + g;
+	int *q = &g;
+	*q = 7;
+	int arr[3];
+	arr[0] = 1; arr[1] = 2; arr[2] = 3;
+	int *r = &arr[1];
+	r[1] = 9;
+	return x + g + arr[2] + (r - arr);
+}`, 15+7+9+1)
+}
+
+func TestFunctionPointers(t *testing.T) {
+	expectExit(t, `
+int add(int a, int b) { return a + b; }
+int mul(int a, int b) { return a * b; }
+int apply(fnptr f, int a, int b) { return f(a, b); }
+int main() {
+	fnptr op = add;
+	int s = apply(op, 3, 4);
+	op = mul;
+	s += apply(op, 3, 4);
+	return s;
+}`, 7+12)
+}
+
+func TestSwitchDenseJumpTable(t *testing.T) {
+	expectExit(t, `
+int classify(int x) {
+	switch (x) {
+	case 0: return 10;
+	case 1: return 11;
+	case 2: return 12;
+	case 3: return 13;
+	case 4: return 14;
+	default: return -1;
+	}
+}
+int main() {
+	int s = 0;
+	for (int i = -1; i < 7; i++) s += classify(i);
+	return s;
+}`, -1+10+11+12+13+14-1-1)
+}
+
+func TestSwitchSparse(t *testing.T) {
+	expectExit(t, `
+int main() {
+	int s = 0;
+	for (int i = 0; i < 120; i += 10) {
+		switch (i) {
+		case 10: s += 1;
+		case 100: s += 2;
+		default: s += 100;
+		}
+	}
+	return s;
+}`, 100*10+1+2)
+}
+
+func TestFloats(t *testing.T) {
+	expectExit(t, `
+float half = 0.5;
+int main() {
+	float x = 2.0;
+	float y = x * 8.0 + 1.0;   // 17
+	float r = __sqrt(y - 1.0); // 4
+	float z = r / half;        // 8
+	if (z > 7.5 && z < 8.5) return (int)(z + 0.25);
+	return -1;
+}`, 8)
+}
+
+func TestFloatIntConversions(t *testing.T) {
+	expectExit(t, `
+int main() {
+	int i = 7;
+	float f = (float)i / 2.0;  // 3.5
+	int t = (int)f;            // 3
+	float g = -2.75;
+	int n = (int)g;            // -2 (truncation)
+	return t * 100 + n + 2;
+}`, 300)
+}
+
+func TestTernary(t *testing.T) {
+	expectExit(t, `
+int main() {
+	int a = 5;
+	int b = a > 3 ? 10 : 20;
+	int c = a < 3 ? 1 : a == 5 ? 2 : 3;
+	return b + c;
+}`, 12)
+}
+
+func TestShortCircuit(t *testing.T) {
+	expectExit(t, `
+int g = 0;
+int bump() { g = g + 1; return 1; }
+int main() {
+	int a = 0 && bump();
+	int b = 1 || bump();
+	int c = 1 && bump();
+	int d = 0 || bump();
+	return g * 10 + a + b + c + d;
+}`, 23)
+}
+
+func TestOcallSendRecv(t *testing.T) {
+	src := `
+char buf[64];
+int main() {
+	int n = __ocall_recv(buf, 64);
+	for (int i = 0; i < n; i++) buf[i] = buf[i] + 1;
+	__ocall_send(buf, n);
+	__ocall_print(n);
+	return n;
+}`
+	res := exec(t, src, policy.SetP1P6, []byte("abc"))
+	if res.CPU.Status != cpu.StatusHalt || res.CPU.ExitValue != 3 {
+		t.Fatalf("result = %v", res.CPU)
+	}
+	if len(res.Outputs) != 1 {
+		t.Fatalf("outputs = %d", len(res.Outputs))
+	}
+	msg, err := runtime.Unpad(res.Outputs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(msg) != "bcd" {
+		t.Errorf("output = %q, want bcd", msg)
+	}
+	if len(res.Outputs[0])%256 != 0 {
+		t.Errorf("output not padded to block: %d bytes", len(res.Outputs[0]))
+	}
+	if len(res.Debug) != 1 || res.Debug[0] != 3 {
+		t.Errorf("debug = %v", res.Debug)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []string{
+		`int main() { return undefined_var; }`,
+		`int main() { return 1 + "str"; }`,
+		`int main() { float f = 1.0; return f % 2; }`,
+		`int main() { break; }`,
+		`void main() { return 1; }`,
+		`int f() { return 1; } int f() { return 2; }`,
+		`int g = 1; int g = 2; int main() { return 0; }`,
+		`int main() { int x; int x; return 0; }`,
+		`int main() { 3 = 4; return 0; }`,
+		`int nope() { return 0; }`, // no main
+		`int main() { return f(1); } int f(int a, int b) { return a; }`,
+		`int main() { switch (1) { case 1: break; case 1: break; } return 0; }`,
+		`int main() { return *5; }`,
+		`int main( { return 0; }`,
+		`int main() { return 0 }`,
+	}
+	for _, src := range cases {
+		if _, err := compiler.Compile(src, compiler.Options{}); err == nil {
+			t.Errorf("compile should fail: %q", src)
+		}
+	}
+}
+
+func TestPolicyMaskRecorded(t *testing.T) {
+	o, err := compiler.Compile(`int main() { return 0; }`, compiler.Options{Policies: policy.SetP1P5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if policy.Set(o.PolicyMask) != policy.SetP1P5 {
+		t.Errorf("mask = %v", policy.Set(o.PolicyMask))
+	}
+}
+
+func TestInstrumentationGrowsCode(t *testing.T) {
+	src := `
+int a[16];
+int main() {
+	for (int i = 0; i < 16; i++) a[i] = i;
+	return a[7];
+}`
+	sizes := make(map[string]int)
+	for _, tc := range []struct {
+		name string
+		pols policy.Set
+	}{
+		{"none", policy.SetNone},
+		{"p1", policy.SetP1},
+		{"p1p2", policy.SetP1P2},
+		{"p1p5", policy.SetP1P5},
+		{"p1p6", policy.SetP1P6},
+	} {
+		o, err := compiler.Compile(src, compiler.Options{Policies: tc.pols})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizes[tc.name] = len(o.Text)
+	}
+	if !(sizes["none"] < sizes["p1"] && sizes["p1"] < sizes["p1p2"] &&
+		sizes["p1p2"] < sizes["p1p5"] && sizes["p1p5"] < sizes["p1p6"]) {
+		t.Errorf("instrumentation sizes not monotone: %v", sizes)
+	}
+}
+
+func TestOverheadOrdering(t *testing.T) {
+	// Cycle overhead must increase with the policy set, and the annotation
+	// discount must keep P1 overhead well under a dedicated-slot model.
+	src := `
+int a[256];
+int main() {
+	int s = 0;
+	for (int r = 0; r < 50; r++) {
+		for (int i = 0; i < 256; i++) a[i] = i * r;
+		for (int i = 0; i < 256; i++) s += a[i];
+	}
+	return s & 1023;
+}`
+	var base float64
+	cycles := map[string]float64{}
+	for _, tc := range []struct {
+		name string
+		pols policy.Set
+	}{
+		{"none", policy.SetNone},
+		{"p1", policy.SetP1},
+		{"p1p6", policy.SetP1P6},
+	} {
+		res := exec(t, src, tc.pols)
+		if res.CPU.Status != cpu.StatusHalt {
+			t.Fatalf("%s: %v", tc.name, res.CPU)
+		}
+		cycles[tc.name] = res.CPU.Cycles
+		if tc.name == "none" {
+			base = res.CPU.Cycles
+		}
+	}
+	if cycles["p1"] <= base || cycles["p1p6"] <= cycles["p1"] {
+		t.Errorf("cycle ordering broken: %v", cycles)
+	}
+	p1Overhead := cycles["p1"]/base - 1
+	if p1Overhead > 0.60 {
+		t.Errorf("P1 overhead %.1f%% implausibly high for the OoO model", p1Overhead*100)
+	}
+}
+
+func TestDoWhile(t *testing.T) {
+	expectExit(t, `
+int main() {
+	int s = 0;
+	int i = 10;
+	do { s += i; i--; } while (i > 7);
+	// Body runs at least once even when the condition is initially false.
+	int ran = 0;
+	do { ran++; } while (0);
+	// break and continue target the right labels.
+	int j = 0;
+	do {
+		j++;
+		if (j == 2) continue;
+		if (j >= 4) break;
+	} while (1);
+	return s + ran * 100 + j;
+}`, 10+9+8+100+4)
+}

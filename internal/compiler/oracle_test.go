@@ -1,0 +1,216 @@
+package compiler_test
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"deflection/internal/compiler"
+	"deflection/internal/cpu"
+	"deflection/internal/enclave"
+	"deflection/internal/policy"
+	"deflection/internal/runtime"
+)
+
+// exprGen builds random DC integer expressions together with their
+// Go-evaluated expected value, so compiled code can be checked against an
+// independent oracle. Division and modulo operands are OR-ed with 1 to
+// avoid trapping; shift counts are small literals so DC (count & 63) and Go
+// semantics coincide.
+type exprGen struct {
+	rng  *rand.Rand
+	vars map[string]int64
+}
+
+func (g *exprGen) gen(depth int) (string, int64) {
+	if depth <= 0 || g.rng.Intn(4) == 0 {
+		switch g.rng.Intn(3) {
+		case 0:
+			v := int64(g.rng.Intn(2001) - 1000)
+			if v < 0 {
+				return fmt.Sprintf("(%d)", v), v
+			}
+			return fmt.Sprintf("%d", v), v
+		default:
+			names := []string{"a", "b", "c", "d"}
+			n := names[g.rng.Intn(len(names))]
+			return n, g.vars[n]
+		}
+	}
+	switch g.rng.Intn(14) {
+	case 0:
+		s, v := g.gen(depth - 1)
+		return "(-" + s + ")", -v
+	case 1:
+		s, v := g.gen(depth - 1)
+		return "(~" + s + ")", ^v
+	case 2:
+		s, v := g.gen(depth - 1)
+		r := int64(0)
+		if v == 0 {
+			r = 1
+		}
+		return "(!" + s + ")", r
+	case 3:
+		c, cv := g.gen(depth - 1)
+		a, av := g.gen(depth - 1)
+		b, bv := g.gen(depth - 1)
+		r := bv
+		if cv != 0 {
+			r = av
+		}
+		return "(" + c + " ? " + a + " : " + b + ")", r
+	case 4:
+		a, av := g.gen(depth - 1)
+		b, bv := g.gen(depth - 1)
+		r := int64(0)
+		if av < bv {
+			r = 1
+		}
+		return "(" + a + " < " + b + ")", r
+	case 5:
+		a, av := g.gen(depth - 1)
+		b, bv := g.gen(depth - 1)
+		r := int64(0)
+		if av == bv {
+			r = 1
+		}
+		return "(" + a + " == " + b + ")", r
+	case 6:
+		a, av := g.gen(depth - 1)
+		b, bv := g.gen(depth - 1)
+		return "(" + a + " / (" + b + " | 1))", av / (bv | 1)
+	case 7:
+		a, av := g.gen(depth - 1)
+		b, bv := g.gen(depth - 1)
+		return "(" + a + " % (" + b + " | 1))", av % (bv | 1)
+	case 8:
+		a, av := g.gen(depth - 1)
+		sh := int64(g.rng.Intn(16))
+		return fmt.Sprintf("(%s << %d)", a, sh), av << sh
+	case 9:
+		a, av := g.gen(depth - 1)
+		sh := int64(g.rng.Intn(16))
+		return fmt.Sprintf("(%s >> %d)", a, sh), av >> sh
+	case 10:
+		a, av := g.gen(depth - 1)
+		b, bv := g.gen(depth - 1)
+		r := int64(0)
+		if av != 0 && bv != 0 {
+			r = 1
+		}
+		return "(" + a + " && " + b + ")", r
+	default:
+		ops := []struct {
+			s string
+			f func(x, y int64) int64
+		}{
+			{"+", func(x, y int64) int64 { return x + y }},
+			{"-", func(x, y int64) int64 { return x - y }},
+			{"*", func(x, y int64) int64 { return x * y }},
+			{"&", func(x, y int64) int64 { return x & y }},
+			{"|", func(x, y int64) int64 { return x | y }},
+			{"^", func(x, y int64) int64 { return x ^ y }},
+		}
+		op := ops[g.rng.Intn(len(ops))]
+		a, av := g.gen(depth - 1)
+		b, bv := g.gen(depth - 1)
+		return "(" + a + " " + op.s + " " + b + ")", op.f(av, bv)
+	}
+}
+
+func runOracleProgram(t *testing.T, src string, pols policy.Set) int64 {
+	t.Helper()
+	o, err := compiler.Compile(src, compiler.Options{Policies: pols})
+	if err != nil {
+		t.Fatalf("compile: %v\nsource:\n%s", err, src)
+	}
+	m := runtime.DefaultManifest()
+	m.Policies = pols
+	b, err := runtime.New(enclave.DefaultConfig(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.ReceiveBinary(o.Marshal()); err != nil {
+		t.Fatalf("verify: %v\nsource:\n%s", err, src)
+	}
+	res, err := b.Run(runtime.RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CPU.Status != cpu.StatusHalt {
+		t.Fatalf("run: %v\nsource:\n%s", res.CPU, src)
+	}
+	return res.CPU.ExitValue
+}
+
+// TestExpressionOracle compiles hundreds of random expressions and compares
+// each against Go's own evaluation — codegen, instrumentation, verification
+// and emulation must all be semantics-preserving.
+func TestExpressionOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	const trials = 150
+	for i := 0; i < trials; i++ {
+		g := &exprGen{
+			rng: rng,
+			vars: map[string]int64{
+				"a": int64(rng.Intn(4001) - 2000),
+				"b": int64(rng.Intn(4001) - 2000),
+				"c": int64(rng.Intn(9)),
+				"d": int64(rng.Uint32()) - 1<<31,
+			},
+		}
+		expr, want := g.gen(4)
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "int main() {\n")
+		for _, n := range []string{"a", "b", "c", "d"} {
+			fmt.Fprintf(&sb, "\tint %s = %d;\n", n, g.vars[n])
+		}
+		// Compare inside the program: the exit value only carries a
+		// pass/fail flag plus a few result bits, so 64-bit results are
+		// checked exactly regardless of exit-value width.
+		fmt.Fprintf(&sb, "\tint want = %d;\n", want)
+		fmt.Fprintf(&sb, "\tint got = %s;\n", expr)
+		fmt.Fprintf(&sb, "\tif (got != want) return -1;\n\treturn 1;\n}\n")
+
+		pols := policy.SetP1
+		if i%3 == 0 {
+			pols = policy.SetP1P6
+		}
+		if got := runOracleProgram(t, sb.String(), pols); got != 1 {
+			t.Fatalf("trial %d: expression %s mismatch (vars %v)", i, expr, g.vars)
+		}
+	}
+}
+
+// TestStatementOracle exercises random loop/accumulate programs against a
+// Go-side interpretation.
+func TestStatementOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 25; i++ {
+		n := 1 + rng.Intn(40)
+		mul := int64(1 + rng.Intn(5))
+		add := int64(rng.Intn(100))
+		mod := int64(2 + rng.Intn(50))
+		var want int64
+		for j := int64(0); j < int64(n); j++ {
+			if j%mod == 0 {
+				continue
+			}
+			want += j*mul + add
+		}
+		src := fmt.Sprintf(`
+int main() {
+	int s = 0;
+	for (int j = 0; j < %d; j++) {
+		if (j %% %d == 0) continue;
+		s += j * %d + %d;
+	}
+	return s;
+}`, n, mod, mul, add)
+		if got := runOracleProgram(t, src, policy.SetP1P5); got != want {
+			t.Fatalf("trial %d: got %d, want %d\n%s", i, got, want, src)
+		}
+	}
+}

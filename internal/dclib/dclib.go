@@ -1,0 +1,130 @@
+// Package dclib provides the DC-language support library linked (by source
+// concatenation, mirroring the paper's static pre-linking outside the
+// enclave) into every benchmark and service program: a deterministic PRNG,
+// memory/string helpers, host-parameter I/O over the recv/send OCall stubs,
+// and a float math library (sin/cos/exp/log) built on DC primitives.
+package dclib
+
+// Std is the base library: PRNG, memory and string helpers, parameter I/O.
+const Std = `
+int __rand_state = 12345;
+
+void srand(int s) { __rand_state = s; }
+
+int rand31() {
+	__rand_state = __rand_state * 1103515245 + 12345;
+	return (__rand_state >> 16) & 0x7FFFFFFF;
+}
+
+int iabs(int x) { if (x < 0) return -x; return x; }
+int imin(int a, int b) { if (a < b) return a; return b; }
+int imax(int a, int b) { if (a > b) return a; return b; }
+
+float fabs(float x) { if (x < 0.0) return -x; return x; }
+
+void memset8(char *p, int v, int n) {
+	for (int i = 0; i < n; i++) p[i] = (char)v;
+}
+
+void memcpy8(char *dst, char *src, int n) {
+	for (int i = 0; i < n; i++) dst[i] = src[i];
+}
+
+int strlen8(char *s) {
+	int n = 0;
+	while (s[n] != 0) n++;
+	return n;
+}
+
+int strcmp8(char *a, char *b) {
+	int i = 0;
+	while (a[i] != 0 && a[i] == b[i]) i++;
+	return (int)a[i] - (int)b[i];
+}
+
+char __param_buf[8];
+
+// read_param pulls one 8-byte little-endian integer parameter pushed by the
+// host through the data-owner channel.
+int read_param() {
+	int n = __ocall_recv(__param_buf, 8);
+	if (n < 8) return -1;
+	int v = 0;
+	for (int i = 7; i >= 0; i--) v = (v << 8) | __param_buf[i];
+	return v;
+}
+
+char __send_buf[8];
+
+void send_int(int v) {
+	for (int i = 0; i < 8; i++) {
+		__send_buf[i] = (char)(v & 255);
+		v = v >> 8;
+	}
+	__ocall_send(__send_buf, 8);
+}
+`
+
+// Math is the float math library.
+const Math = `
+float dc_sin(float x) {
+	float TWO_PI = 6.283185307179586;
+	float PI = 3.141592653589793;
+	float k = (float)(int)(x / TWO_PI);
+	x = x - k * TWO_PI;
+	if (x > PI) x = x - TWO_PI;
+	if (x < -PI) x = x + TWO_PI;
+	float x2 = x * x;
+	float term = x;
+	float sum = x;
+	for (int i = 1; i <= 9; i++) {
+		term = -term * x2 / ((float)(2*i) * (float)(2*i+1));
+		sum = sum + term;
+	}
+	return sum;
+}
+
+float dc_cos(float x) { return dc_sin(x + 1.5707963267948966); }
+
+float dc_exp(float x) {
+	if (x < 0.0) return 1.0 / dc_exp(-x);
+	int k = (int)x;
+	float r = x - (float)k;
+	float E = 2.718281828459045;
+	float e = 1.0;
+	for (int i = 0; i < k; i++) e = e * E;
+	float term = 1.0;
+	float sum = 1.0;
+	for (int i = 1; i <= 13; i++) {
+		term = term * r / (float)i;
+		sum = sum + term;
+	}
+	return e * sum;
+}
+
+float dc_log(float x) {
+	if (x <= 0.0) { __trap(); return 0.0; }
+	float E = 2.718281828459045;
+	int k = 0;
+	while (x > 1.5) { x = x / E; k = k + 1; }
+	while (x < 0.6) { x = x * E; k = k - 1; }
+	float y = (x - 1.0) / (x + 1.0);
+	float y2 = y * y;
+	float term = y;
+	float sum = 0.0;
+	for (int i = 0; i < 14; i++) {
+		sum = sum + term / (float)(2*i + 1);
+		term = term * y2;
+	}
+	return 2.0 * sum + (float)k;
+}
+
+float dc_pow(float base, int e) {
+	float r = 1.0;
+	for (int i = 0; i < e; i++) r = r * base;
+	return r;
+}
+`
+
+// Program concatenates a DC program with the support library.
+func Program(src string) string { return src + "\n" + Std + "\n" + Math }

@@ -1,0 +1,223 @@
+package dclib_test
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"testing"
+
+	"deflection/internal/compiler"
+	"deflection/internal/cpu"
+	"deflection/internal/dclib"
+	"deflection/internal/enclave"
+	"deflection/internal/policy"
+	"deflection/internal/runtime"
+)
+
+// runLib compiles a DC main against the support library and returns its
+// run result.
+func runLib(t *testing.T, src string, inputs ...[]byte) *runtime.RunResult {
+	t.Helper()
+	o, err := compiler.Compile(dclib.Program(src), compiler.Options{Policies: policy.SetP1P5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := runtime.DefaultManifest()
+	m.Policies = policy.SetP1P5
+	b, err := runtime.New(enclave.DefaultConfig(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.ReceiveBinary(o.Marshal()); err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range inputs {
+		b.ReceiveData(in)
+	}
+	res, err := b.Run(runtime.RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CPU.Status != cpu.StatusHalt {
+		t.Fatalf("run: %v", res.CPU)
+	}
+	return res
+}
+
+// mathResults runs a DC program that applies fn to each input and sends
+// each result's float64 bits.
+func mathResults(t *testing.T, fn string, inputs []float64) []float64 {
+	t.Helper()
+	var src string
+	src += "float inputs[32];\nchar inbuf[256];\n"
+	src += `
+int main() {
+	int n = __ocall_recv(inbuf, 256) / 8;
+	for (int i = 0; i < n; i++) {
+		int bits = 0;
+		for (int j = 7; j >= 0; j--) bits = (bits << 8) | (int)inbuf[i*8 + j];
+		float *p = (float*)&inputs[i];
+		int *ip = (int*)p;
+		*ip = bits;
+	}
+	for (int i = 0; i < n; i++) {
+		float r = ` + fn + `(inputs[i]);
+		int *rp = (int*)&inputs[i];
+		*rp = 0; // reuse slot
+		inputs[i] = r;
+		send_int(*rp);
+	}
+	return n;
+}`
+	buf := make([]byte, 8*len(inputs))
+	for i, v := range inputs {
+		binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(v))
+	}
+	res := runLib(t, src, buf)
+	if res.CPU.ExitValue != int64(len(inputs)) {
+		t.Fatalf("processed %d inputs, want %d", res.CPU.ExitValue, len(inputs))
+	}
+	out := make([]float64, 0, len(inputs))
+	for i := 0; i < len(inputs); i++ {
+		msg, err := runtime.Unpad(res.Outputs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, math.Float64frombits(binary.LittleEndian.Uint64(msg)))
+	}
+	return out
+}
+
+func TestMathAccuracy(t *testing.T) {
+	cases := []struct {
+		fn     string
+		ref    func(float64) float64
+		inputs []float64
+		relTol float64
+	}{
+		{"dc_sin", math.Sin, []float64{0, 0.5, 1.0, 2.0, 3.0, -1.5, 6.0, 10.0}, 2e-6},
+		{"dc_cos", math.Cos, []float64{0, 0.5, 1.5, 3.1, -2.0, 7.0}, 2e-5},
+		{"dc_exp", math.Exp, []float64{0, 0.5, 1.0, 2.5, 4.0, -1.0, -3.0}, 1e-5},
+		{"dc_log", math.Log, []float64{0.1, 0.5, 1.0, 2.0, 10.0, 100.0}, 1e-6},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.fn, func(t *testing.T) {
+			got := mathResults(t, c.fn, c.inputs)
+			for i, x := range c.inputs {
+				want := c.ref(x)
+				err := math.Abs(got[i] - want)
+				scale := math.Max(1, math.Abs(want))
+				if err/scale > c.relTol {
+					t.Errorf("%s(%v) = %v, want %v (err %g)", c.fn, x, got[i], want, err)
+				}
+			}
+		})
+	}
+}
+
+func TestStringHelpers(t *testing.T) {
+	res := runLib(t, `
+char a[16] = "hello";
+char b[16] = "help";
+char dst[16];
+int main() {
+	int r = 0;
+	if (strlen8(a) != 5) return -1;
+	if (strcmp8(a, a) != 0) return -2;
+	if (strcmp8(a, b) >= 0) return -3; // "hello" < "help" ('l' < 'p')
+	if (strcmp8(b, a) <= 0) return -4;
+	memcpy8(dst, a, 6);
+	if (strcmp8(dst, a) != 0) return -5;
+	memset8(dst, 'x', 3);
+	if (dst[0] != 'x' || dst[2] != 'x' || dst[3] != 'l') return -6;
+	return 1;
+}`)
+	if res.CPU.ExitValue != 1 {
+		t.Fatalf("string helpers failed with code %d", res.CPU.ExitValue)
+	}
+}
+
+func TestRandDeterministicAndBounded(t *testing.T) {
+	res := runLib(t, `
+int main() {
+	srand(12345);
+	int first = rand31();
+	for (int i = 0; i < 1000; i++) {
+		int v = rand31();
+		if (v < 0) return -1;
+	}
+	srand(12345);
+	if (rand31() != first) return -2;
+	return first & 1023;
+}`)
+	if res.CPU.ExitValue < 0 {
+		t.Fatalf("rand31 failed: %d", res.CPU.ExitValue)
+	}
+}
+
+func TestParamRoundTrip(t *testing.T) {
+	mk := func(v int64) []byte {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], uint64(v))
+		return b[:]
+	}
+	res := runLib(t, `
+int main() {
+	int a = read_param();
+	int b = read_param();
+	send_int(a + b);
+	return (a + b) & 0x7FFFFFFF;
+}`, mk(1234567), mk(-234567))
+	if res.CPU.ExitValue != 1000000 {
+		t.Fatalf("param round trip = %d", res.CPU.ExitValue)
+	}
+	msg, err := runtime.Unpad(res.Outputs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := int64(binary.LittleEndian.Uint64(msg)); got != 1000000 {
+		t.Fatalf("sent value = %d", got)
+	}
+}
+
+func TestAbsMinMax(t *testing.T) {
+	res := runLib(t, `
+int main() {
+	if (iabs(-5) != 5 || iabs(7) != 7) return -1;
+	if (imin(3, -2) != -2 || imax(3, -2) != 3) return -2;
+	if (fabs(-2.5) != 2.5) return -3;
+	if (dc_pow(2.0, 10) != 1024.0) return -4;
+	if (__sqrt(81.0) != 9.0) return -5;
+	return 1;
+}`)
+	if res.CPU.ExitValue != 1 {
+		t.Fatalf("helpers failed: %d", res.CPU.ExitValue)
+	}
+}
+
+func TestProgramConcatenation(t *testing.T) {
+	p := dclib.Program("int main() { return 0; }")
+	for _, frag := range []string{"rand31", "dc_sin", "read_param", "memcpy8"} {
+		if !contains(p, frag) {
+			t.Errorf("library missing %s", frag)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (func() bool {
+		for i := 0; i+len(sub) <= len(s); i++ {
+			if s[i:i+len(sub)] == sub {
+				return true
+			}
+		}
+		return false
+	})()
+}
+
+func ExampleProgram() {
+	src := dclib.Program("int main() { return 42; }")
+	fmt.Println(len(src) > 100)
+	// Output: true
+}

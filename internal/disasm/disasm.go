@@ -1,0 +1,165 @@
+// Package disasm implements the clipped recursive-descent disassembler of
+// the bootstrap enclave (the paper's trimmed Capstone, Section V-B).
+//
+// Disassembly starts from the program entry and every address on the
+// indirect-branch target list, follows direct control flow, and defers
+// call/jump targets onto a worklist ("deferred code to be disassembled at a
+// later time using the recursive descent algorithm"). Because the code
+// generator resolves all indirect control flow onto the target list, the
+// traversal reaches the complete control flow of a well-formed binary.
+package disasm
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"deflection/internal/isa"
+)
+
+// ErrOverlap is returned when a branch target lands inside the byte span of
+// a previously decoded instruction. Overlapping decodings are how annotation
+// sequences could be bypassed, so the verifier treats this as rejection.
+var ErrOverlap = errors.New("disasm: branch target inside another instruction")
+
+// Inst is a decoded instruction at a known offset.
+type Inst struct {
+	isa.Inst
+	Off int64
+	Len int
+}
+
+// End returns the offset just past the instruction.
+func (in Inst) End() int64 { return in.Off + int64(in.Len) }
+
+// Result is the outcome of a disassembly pass.
+type Result struct {
+	// Insts maps text offset to the instruction decoded there.
+	Insts map[int64]Inst
+	// Offsets lists all decoded offsets in ascending order.
+	Offsets []int64
+	// BlockStarts marks offsets that begin a basic block: entry points,
+	// branch targets, and fall-through successors of branches.
+	BlockStarts map[int64]bool
+}
+
+// At returns the instruction decoded at off.
+func (r *Result) At(off int64) (Inst, bool) {
+	in, ok := r.Insts[off]
+	return in, ok
+}
+
+// DirectTarget resolves the target offset of a direct branch instruction.
+func DirectTarget(in Inst) int64 { return in.End() + in.Imm }
+
+// Disassemble decodes text starting from every offset in entries.
+func Disassemble(text []byte, entries []int64) (*Result, error) {
+	r := &Result{
+		Insts:       make(map[int64]Inst),
+		BlockStarts: make(map[int64]bool),
+	}
+	// covered maps every byte offset inside a decoded instruction (but not
+	// its start) to the instruction start, to detect overlapping decodings.
+	covered := make(map[int64]int64)
+
+	work := make([]int64, 0, len(entries))
+	enqueue := func(off int64, isBlockStart bool) error {
+		if off < 0 || off > int64(len(text)) {
+			return fmt.Errorf("disasm: branch target %#x outside text (len %d)", off, len(text))
+		}
+		if isBlockStart {
+			r.BlockStarts[off] = true
+		}
+		if _, done := r.Insts[off]; done {
+			return nil
+		}
+		if start, mid := covered[off]; mid {
+			return fmt.Errorf("%w: target %#x splits instruction at %#x", ErrOverlap, off, start)
+		}
+		work = append(work, off)
+		return nil
+	}
+	for _, e := range entries {
+		if err := enqueue(e, true); err != nil {
+			return nil, err
+		}
+	}
+
+	for len(work) > 0 {
+		off := work[len(work)-1]
+		work = work[:len(work)-1]
+		for {
+			if _, done := r.Insts[off]; done {
+				break
+			}
+			if start, mid := covered[off]; mid {
+				return nil, fmt.Errorf("%w: fall-through into middle of instruction at %#x (from %#x)", ErrOverlap, start, off)
+			}
+			if off >= int64(len(text)) {
+				return nil, fmt.Errorf("disasm: control flow runs past end of text at %#x", off)
+			}
+			raw, n, err := isa.Decode(text[off:])
+			if err != nil {
+				return nil, fmt.Errorf("disasm: at %#x: %w", off, err)
+			}
+			in := Inst{Inst: raw, Off: off, Len: n}
+			r.Insts[off] = in
+			for b := off + 1; b < in.End(); b++ {
+				if _, dup := r.Insts[b]; dup {
+					return nil, fmt.Errorf("%w: instruction at %#x overlaps instruction at %#x", ErrOverlap, off, b)
+				}
+				covered[b] = off
+			}
+
+			switch raw.Op {
+			case isa.OpJmp:
+				if err := enqueue(DirectTarget(in), true); err != nil {
+					return nil, err
+				}
+			case isa.OpJcc, isa.OpCall:
+				if err := enqueue(DirectTarget(in), true); err != nil {
+					return nil, err
+				}
+				if err := enqueue(in.End(), true); err != nil {
+					return nil, err
+				}
+			case isa.OpJmpR, isa.OpCallR:
+				// Indirect: successors come from the branch-target list,
+				// which is already in entries. A CallR also falls through
+				// on return.
+				if raw.Op == isa.OpCallR {
+					if err := enqueue(in.End(), true); err != nil {
+						return nil, err
+					}
+				}
+			}
+			if raw.Op.Terminates() {
+				break
+			}
+			off = in.End()
+		}
+	}
+
+	r.Offsets = make([]int64, 0, len(r.Insts))
+	for off := range r.Insts {
+		r.Offsets = append(r.Offsets, off)
+	}
+	sort.Slice(r.Offsets, func(i, j int) bool { return r.Offsets[i] < r.Offsets[j] })
+	return r, nil
+}
+
+// Linear decodes text sequentially from offset 0, ignoring control flow.
+// It is used by tooling (the disassembler CLI) rather than the verifier.
+func Linear(text []byte) ([]Inst, error) {
+	var out []Inst
+	var off int64
+	for off < int64(len(text)) {
+		raw, n, err := isa.Decode(text[off:])
+		if err != nil {
+			return out, fmt.Errorf("disasm: at %#x: %w", off, err)
+		}
+		out = append(out, Inst{Inst: raw, Off: off, Len: n})
+		off += int64(n)
+	}
+	return out, nil
+}

@@ -1,0 +1,255 @@
+// Package enclave models the SGX memory and lifecycle semantics the
+// DEFLECTION design depends on: an ELRANGE of protected memory with
+// page-granular R/W/X permissions (fixed after launch, as under SGXv1),
+// state-save areas written by asynchronous enclave exits, guard pages, and a
+// measured launch that anchors remote attestation.
+//
+// Untrusted memory outside ELRANGE is part of the same flat address space
+// and is freely readable and writable — writing enclave secrets there is
+// exactly the leak channel policies P1-P5 exist to close, so the model must
+// allow such writes at the architectural level and rely on verified
+// annotations to prevent them.
+package enclave
+
+import (
+	"fmt"
+)
+
+// PageSize is the granularity of memory permissions.
+const PageSize = 4096
+
+// Perm is a page permission bitmask.
+type Perm uint8
+
+// Page permissions.
+const (
+	PermR Perm = 1 << iota
+	PermW
+	PermX
+
+	PermRW  = PermR | PermW
+	PermRX  = PermR | PermX
+	PermRWX = PermR | PermW | PermX
+)
+
+// String renders the permission as "rwx" flags.
+func (p Perm) String() string {
+	b := []byte("---")
+	if p&PermR != 0 {
+		b[0] = 'r'
+	}
+	if p&PermW != 0 {
+		b[1] = 'w'
+	}
+	if p&PermX != 0 {
+		b[2] = 'x'
+	}
+	return string(b)
+}
+
+// Access is the kind of memory access that faulted.
+type Access uint8
+
+// Access kinds.
+const (
+	AccessRead Access = iota + 1
+	AccessWrite
+	AccessExec
+)
+
+// String names the access kind.
+func (a Access) String() string {
+	switch a {
+	case AccessRead:
+		return "read"
+	case AccessWrite:
+		return "write"
+	case AccessExec:
+		return "exec"
+	default:
+		return "access"
+	}
+}
+
+// Fault describes a failed memory access.
+type Fault struct {
+	Addr   uint64
+	Access Access
+	Size   int
+}
+
+// Error implements error.
+func (f *Fault) Error() string {
+	return fmt.Sprintf("enclave: %s fault at %#x (size %d)", f.Access, f.Addr, f.Size)
+}
+
+// Memory is a flat, page-permissioned address space starting at Base.
+// The zero value is not usable; construct with NewMemory.
+type Memory struct {
+	base  uint64
+	data  []byte
+	perms []Perm
+
+	// writeWatches are invoked after every successful write with the
+	// address range written. Each CPU bound to this memory registers one
+	// to invalidate its decoded instruction cache when code pages change
+	// (self-modifying code).
+	writeWatches []func(addr uint64, size int)
+}
+
+// NewMemory creates size bytes of unmapped memory based at base. base and
+// size must be page aligned.
+func NewMemory(base, size uint64) (*Memory, error) {
+	if base%PageSize != 0 || size%PageSize != 0 {
+		return nil, fmt.Errorf("enclave: base %#x / size %#x not page aligned", base, size)
+	}
+	if size == 0 {
+		return nil, fmt.Errorf("enclave: zero-size memory")
+	}
+	return &Memory{
+		base:  base,
+		data:  make([]byte, size),
+		perms: make([]Perm, size/PageSize),
+	}, nil
+}
+
+// Base returns the lowest mapped address.
+func (m *Memory) Base() uint64 { return m.base }
+
+// End returns one past the highest mapped address.
+func (m *Memory) End() uint64 { return m.base + uint64(len(m.data)) }
+
+// AddWriteWatch installs a callback observing successful writes.
+func (m *Memory) AddWriteWatch(fn func(addr uint64, size int)) {
+	m.writeWatches = append(m.writeWatches, fn)
+}
+
+func (m *Memory) notifyWrite(addr uint64, size int) {
+	for _, fn := range m.writeWatches {
+		fn(addr, size)
+	}
+}
+
+// SetPerm sets the permission of all pages overlapping [lo, hi).
+func (m *Memory) SetPerm(lo, hi uint64, p Perm) error {
+	if lo < m.base || hi > m.End() || lo > hi {
+		return fmt.Errorf("enclave: SetPerm range [%#x,%#x) outside memory", lo, hi)
+	}
+	for pg := (lo - m.base) / PageSize; pg < (hi-m.base+PageSize-1)/PageSize; pg++ {
+		m.perms[pg] = p
+	}
+	return nil
+}
+
+// PermAt returns the permission of the page containing addr.
+func (m *Memory) PermAt(addr uint64) Perm {
+	if addr < m.base || addr >= m.End() {
+		return 0
+	}
+	return m.perms[(addr-m.base)/PageSize]
+}
+
+func (m *Memory) check(addr uint64, size int, want Perm, acc Access) *Fault {
+	if size <= 0 || addr < m.base || addr+uint64(size) > m.End() || addr+uint64(size) < addr {
+		return &Fault{Addr: addr, Access: acc, Size: size}
+	}
+	first := (addr - m.base) / PageSize
+	last := (addr + uint64(size) - 1 - m.base) / PageSize
+	for pg := first; pg <= last; pg++ {
+		if m.perms[pg]&want != want {
+			return &Fault{Addr: addr, Access: acc, Size: size}
+		}
+	}
+	return nil
+}
+
+// Read copies size bytes at addr into a fresh slice.
+func (m *Memory) Read(addr uint64, size int) ([]byte, *Fault) {
+	if f := m.check(addr, size, PermR, AccessRead); f != nil {
+		return nil, f
+	}
+	out := make([]byte, size)
+	copy(out, m.data[addr-m.base:])
+	return out, nil
+}
+
+// Write copies b into memory at addr.
+func (m *Memory) Write(addr uint64, b []byte) *Fault {
+	if f := m.check(addr, len(b), PermW, AccessWrite); f != nil {
+		return f
+	}
+	copy(m.data[addr-m.base:], b)
+	m.notifyWrite(addr, len(b))
+	return nil
+}
+
+// Read8 loads one byte.
+func (m *Memory) Read8(addr uint64) (uint8, *Fault) {
+	if f := m.check(addr, 1, PermR, AccessRead); f != nil {
+		return 0, f
+	}
+	return m.data[addr-m.base], nil
+}
+
+// Write8 stores one byte.
+func (m *Memory) Write8(addr uint64, v uint8) *Fault {
+	if f := m.check(addr, 1, PermW, AccessWrite); f != nil {
+		return f
+	}
+	m.data[addr-m.base] = v
+	m.notifyWrite(addr, 1)
+	return nil
+}
+
+// Read64 loads a little-endian 64-bit word.
+func (m *Memory) Read64(addr uint64) (uint64, *Fault) {
+	if f := m.check(addr, 8, PermR, AccessRead); f != nil {
+		return 0, f
+	}
+	d := m.data[addr-m.base:]
+	return uint64(d[0]) | uint64(d[1])<<8 | uint64(d[2])<<16 | uint64(d[3])<<24 |
+		uint64(d[4])<<32 | uint64(d[5])<<40 | uint64(d[6])<<48 | uint64(d[7])<<56, nil
+}
+
+// Write64 stores a little-endian 64-bit word.
+func (m *Memory) Write64(addr uint64, v uint64) *Fault {
+	if f := m.check(addr, 8, PermW, AccessWrite); f != nil {
+		return f
+	}
+	d := m.data[addr-m.base:]
+	d[0] = byte(v)
+	d[1] = byte(v >> 8)
+	d[2] = byte(v >> 16)
+	d[3] = byte(v >> 24)
+	d[4] = byte(v >> 32)
+	d[5] = byte(v >> 40)
+	d[6] = byte(v >> 48)
+	d[7] = byte(v >> 56)
+	m.notifyWrite(addr, 8)
+	return nil
+}
+
+// FetchWindow returns up to size bytes of executable memory starting at
+// addr, for instruction decoding. The returned slice aliases memory and must
+// not be written.
+func (m *Memory) FetchWindow(addr uint64, size int) ([]byte, *Fault) {
+	if addr < m.base || addr >= m.End() {
+		return nil, &Fault{Addr: addr, Access: AccessExec, Size: size}
+	}
+	if m.PermAt(addr)&PermX == 0 {
+		return nil, &Fault{Addr: addr, Access: AccessExec, Size: size}
+	}
+	end := addr + uint64(size)
+	if end > m.End() {
+		end = m.End()
+	}
+	// Clamp the window at the first non-executable page so decoding cannot
+	// read across an X boundary.
+	for pg := addr/PageSize + 1; pg*PageSize < end; pg++ {
+		if m.PermAt(pg*PageSize)&PermX == 0 {
+			end = pg * PageSize
+			break
+		}
+	}
+	return m.data[addr-m.base : end-m.base], nil
+}

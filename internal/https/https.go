@@ -1,0 +1,297 @@
+// Package https is the web-service substrate of the paper's Figs. 10-11:
+// an in-enclave HTTPS-like server built from the attested session channel
+// (the mbedTLS analogue), the verified DC request handler, a calibrated
+// linear service-time model, and a Siege-like closed-loop load generator
+// implemented as a discrete-event simulation driven by measured service
+// times.
+package https
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"deflection/internal/apps"
+	"deflection/internal/cpu"
+	"deflection/internal/policy"
+	"deflection/internal/runtime"
+)
+
+// CPUGHz converts modelled cycles to wall time; the paper's testbed is a
+// Xeon E3-1280 (3.9 GHz turbo, 3.6 sustained).
+const CPUGHz = 3.6
+
+// CyclesToSeconds converts modelled cycles to seconds at CPUGHz.
+func CyclesToSeconds(cycles float64) float64 { return cycles / (CPUGHz * 1e9) }
+
+// ServiceModel is a calibrated linear model of the in-enclave handler's
+// cost: cycles(request of size S) = Fixed + PerByte * S. Calibration runs
+// the real verified handler twice and solves the 2x2 system, so the model
+// carries the full instrumentation cost of the selected policy set.
+type ServiceModel struct {
+	Policies  policy.Set
+	Fixed     float64
+	PerByte   float64
+	Calibated [2]int64 // the sizes used
+}
+
+// calibration request sizes.
+const (
+	calSmall = 64 << 10
+	calLarge = 512 << 10
+)
+
+// P0 session-layer costs charged per sealed output message: block padding,
+// framing, AES-GCM under the attested session key, and the OCall stub's
+// copy-out of enclave memory plus the copy into the network buffer.
+// Derived from AES-NI GCM throughput (~0.7 cycles/byte) plus ~1.5
+// cycles/byte for the two copies and framing.
+const (
+	sealFixedCycles   = 3_000
+	sealPerByteCycles = 2.2
+)
+
+// measureHandler runs the DC HTTPS handler serving one request of the given
+// size and returns the consumed cycles. When sessionCrypto is set, the P0
+// sealing cost of every output message is added (the Go-side stub work the
+// emulator's cycle counter cannot see).
+func measureHandler(pols policy.Set, size int64, timing cpu.TimingModel, sessionCrypto bool) (float64, error) {
+	res, err := apps.Run("https", apps.HTTPSHandlerSource,
+		apps.RunConfig{Policies: pols, Gas: 2_000_000_000, Timing: timing},
+		apps.Param(size), apps.Param(0))
+	if err != nil {
+		return 0, err
+	}
+	if res.Status != cpu.StatusHalt || res.Exit != 1 {
+		return 0, fmt.Errorf("https: handler failed: status=%v exit=%d trap=%s", res.Status, res.Exit, res.Trap)
+	}
+	cycles := res.Cycles
+	if sessionCrypto {
+		for _, out := range res.Outputs {
+			cycles += sealFixedCycles + sealPerByteCycles*float64(len(out))
+		}
+	}
+	return cycles, nil
+}
+
+// Calibrate builds the service model for a DEFLECTION server enforcing the
+// given policy set: real enclave-transition costs plus the P0 session
+// sealing work.
+func Calibrate(pols policy.Set) (*ServiceModel, error) {
+	return calibrate(pols, cpu.TimingModel{}, true)
+}
+
+// CalibrateNativeCompute builds the pure-compute model of the same handler
+// outside any enclave: plain syscall transitions, no session sealing. The
+// baseline runtime models (package baseline) add their own overhead regimes
+// on top of this.
+func CalibrateNativeCompute() (*ServiceModel, error) {
+	t := cpu.DefaultTiming()
+	t.OcallCost = 150 // plain syscall, no EEXIT/EENTER
+	return calibrate(policy.SetNone, t, false)
+}
+
+func calibrate(pols policy.Set, timing cpu.TimingModel, sessionCrypto bool) (*ServiceModel, error) {
+	c1, err := measureHandler(pols, calSmall, timing, sessionCrypto)
+	if err != nil {
+		return nil, err
+	}
+	c2, err := measureHandler(pols, calLarge, timing, sessionCrypto)
+	if err != nil {
+		return nil, err
+	}
+	perByte := (c2 - c1) / float64(calLarge-calSmall)
+	fixed := c1 - perByte*calSmall
+	if fixed < 0 {
+		fixed = 0
+	}
+	return &ServiceModel{
+		Policies:  pols,
+		Fixed:     fixed,
+		PerByte:   perByte,
+		Calibated: [2]int64{calSmall, calLarge},
+	}, nil
+}
+
+// ServiceCycles predicts the handler cost for a response of the given size.
+func (m *ServiceModel) ServiceCycles(size int64) float64 {
+	return m.Fixed + m.PerByte*float64(size)
+}
+
+// ServiceTime predicts the handler wall time for a response size.
+func (m *ServiceModel) ServiceTime(size int64) time.Duration {
+	return time.Duration(CyclesToSeconds(m.ServiceCycles(size)) * float64(time.Second))
+}
+
+// LoadConfig parameterises a Siege-like closed-loop load test: Clients
+// concurrent connections issue back-to-back requests ("no delay between two
+// consecutive ones") for the simulated Duration against a server with
+// Workers enclave threads.
+type LoadConfig struct {
+	Clients  int
+	Workers  int
+	Duration time.Duration
+	FileSize int64
+	Seed     int64
+}
+
+// DefaultWorkers is the number of enclave worker threads (TCS slots) of the
+// simulated server.
+const DefaultWorkers = 96
+
+// LoadResult summarises a load test.
+type LoadResult struct {
+	Completed       int
+	Throughput      float64       // requests per second
+	MeanResponse    time.Duration // queueing + service
+	MaxResponse     time.Duration
+	MeanServiceOnly time.Duration
+}
+
+type event struct {
+	at   float64 // seconds
+	kind int     // 0 = request issued, 1 = service completes
+	id   int
+}
+
+type eventQueue []event
+
+func (q eventQueue) Len() int           { return len(q) }
+func (q eventQueue) Less(i, j int) bool { return q[i].at < q[j].at }
+func (q eventQueue) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)        { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	*q = old[:n-1]
+	return e
+}
+
+// SimulateLoad runs the discrete-event load test against a calibrated
+// service model.
+func SimulateLoad(m *ServiceModel, cfg LoadConfig) (LoadResult, error) {
+	if cfg.Clients <= 0 || cfg.Duration <= 0 {
+		return LoadResult{}, errors.New("https: invalid load config")
+	}
+	workers := cfg.Workers
+	if workers == 0 {
+		workers = DefaultWorkers
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	base := CyclesToSeconds(m.ServiceCycles(cfg.FileSize))
+	serviceSample := func() float64 {
+		return base * (0.9 + 0.2*rng.Float64())
+	}
+
+	horizon := cfg.Duration.Seconds()
+	warmup := horizon * 0.1
+
+	var q eventQueue
+	issueTimes := make(map[int]float64, cfg.Clients)
+	nextID := 0
+	for c := 0; c < cfg.Clients; c++ {
+		// Stagger initial connections over the first millisecond.
+		heap.Push(&q, event{at: float64(c) * 1e-6, kind: 0, id: nextID})
+		nextID++
+	}
+
+	free := workers
+	var waiting []event
+	var completed int
+	var sumResp, maxResp, sumSvc float64
+
+	start := func(now float64, ev event, pq *eventQueue) {
+		svc := serviceSample()
+		sumSvc += svc
+		heap.Push(pq, event{at: now + svc, kind: 1, id: ev.id})
+	}
+
+	for q.Len() > 0 {
+		ev := heap.Pop(&q).(event)
+		if ev.at > horizon {
+			break
+		}
+		switch ev.kind {
+		case 0: // request issued
+			issueTimes[ev.id] = ev.at
+			if free > 0 {
+				free--
+				start(ev.at, ev, &q)
+			} else {
+				waiting = append(waiting, ev)
+			}
+		case 1: // completed
+			resp := ev.at - issueTimes[ev.id]
+			delete(issueTimes, ev.id)
+			if ev.at > warmup {
+				completed++
+				sumResp += resp
+				if resp > maxResp {
+					maxResp = resp
+				}
+			}
+			// Closed loop: the client immediately issues the next request.
+			heap.Push(&q, event{at: ev.at, kind: 0, id: nextID})
+			nextID++
+			if len(waiting) > 0 {
+				next := waiting[0]
+				waiting = waiting[1:]
+				start(ev.at, next, &q)
+			} else {
+				free++
+			}
+		}
+	}
+	if completed == 0 {
+		return LoadResult{}, errors.New("https: no requests completed; duration too short")
+	}
+	res := LoadResult{
+		Completed:       completed,
+		Throughput:      float64(completed) / (horizon - warmup),
+		MeanResponse:    time.Duration(sumResp / float64(completed) * float64(time.Second)),
+		MaxResponse:     time.Duration(maxResp * float64(time.Second)),
+		MeanServiceOnly: time.Duration(sumSvc / float64(completed+1) * float64(time.Second)),
+	}
+	return res, nil
+}
+
+// Server is the real (non-simulated) end-to-end path: a bootstrap enclave
+// with the verified handler loaded, serving framed requests over an
+// attested session channel. One Server handles one session sequentially,
+// as one enclave thread would.
+type Server struct {
+	pols policy.Set
+}
+
+// NewServer prepares a server enforcing the given policy set.
+func NewServer(pols policy.Set) *Server { return &Server{pols: pols} }
+
+// Handle serves one request of the given size through the full verified
+// pipeline and returns the response body reassembled from the padded
+// output messages.
+func (s *Server) Handle(size int64) ([]byte, error) {
+	res, err := apps.Run("https", apps.HTTPSHandlerSource,
+		apps.RunConfig{Policies: s.pols, Gas: 2_000_000_000},
+		apps.Param(size), apps.Param(0))
+	if err != nil {
+		return nil, err
+	}
+	if res.Status != cpu.StatusHalt || res.Exit != 1 {
+		return nil, fmt.Errorf("https: handler failed: %v exit=%d", res.Status, res.Exit)
+	}
+	var body []byte
+	for i, out := range res.Outputs {
+		if i == len(res.Outputs)-1 {
+			break // trailing served-count message
+		}
+		msg, err := runtime.Unpad(out)
+		if err != nil {
+			return nil, err
+		}
+		body = append(body, msg...)
+	}
+	return body, nil
+}

@@ -1,0 +1,136 @@
+package https
+
+import (
+	"testing"
+	"time"
+
+	"deflection/internal/policy"
+)
+
+func TestCalibrateProducesLinearModel(t *testing.T) {
+	m, err := Calibrate(policy.SetNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.PerByte <= 0 {
+		t.Fatalf("per-byte cycles = %v", m.PerByte)
+	}
+	if m.ServiceCycles(1<<20) <= m.ServiceCycles(1<<10) {
+		t.Error("model not increasing in size")
+	}
+	if m.ServiceTime(1<<20) <= 0 {
+		t.Error("service time not positive")
+	}
+}
+
+func TestInstrumentedModelCostsMore(t *testing.T) {
+	base, err := Calibrate(policy.SetNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := Calibrate(policy.SetP1P6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const size = 256 << 10
+	ratio := inst.ServiceCycles(size) / base.ServiceCycles(size)
+	if ratio <= 1.0 {
+		t.Fatalf("instrumented/base = %.3f, want > 1", ratio)
+	}
+	if ratio > 1.6 {
+		t.Errorf("instrumented/base = %.3f, implausibly high", ratio)
+	}
+}
+
+func TestSimulateLoadSaturation(t *testing.T) {
+	m := &ServiceModel{Fixed: 50_000, PerByte: 2} // synthetic: ~0.57ms per 1MB? use 64KB files
+	cfg := LoadConfig{
+		Workers:  8,
+		Duration: 2 * time.Second,
+		FileSize: 64 << 10,
+		Seed:     1,
+	}
+	// Below saturation: response ~= service time.
+	cfg.Clients = 4
+	low, err := SimulateLoad(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Above saturation: queueing delays dominate and throughput plateaus.
+	cfg.Clients = 64
+	high, err := SimulateLoad(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if high.MeanResponse < 4*low.MeanResponse {
+		t.Errorf("saturated response %v not much larger than unsaturated %v", high.MeanResponse, low.MeanResponse)
+	}
+	// Throughput cannot exceed workers/serviceTime.
+	svc := CyclesToSeconds(m.ServiceCycles(cfg.FileSize))
+	cap := float64(cfg.Workers) / (svc * 0.9) // jitter lower bound
+	if high.Throughput > cap*1.05 {
+		t.Errorf("throughput %.1f exceeds capacity %.1f", high.Throughput, cap)
+	}
+	if low.Completed == 0 || high.Completed == 0 {
+		t.Error("no completions recorded")
+	}
+}
+
+func TestSimulateLoadThroughputScalesBelowSaturation(t *testing.T) {
+	m := &ServiceModel{Fixed: 100_000, PerByte: 1}
+	mk := func(clients int) LoadResult {
+		res, err := SimulateLoad(m, LoadConfig{
+			Clients: clients, Workers: 32, Duration: time.Second,
+			FileSize: 32 << 10, Seed: 2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	one := mk(1)
+	eight := mk(8)
+	if eight.Throughput < one.Throughput*5 {
+		t.Errorf("throughput did not scale: 1 client %.1f, 8 clients %.1f", one.Throughput, eight.Throughput)
+	}
+}
+
+func TestSimulateLoadValidation(t *testing.T) {
+	m := &ServiceModel{Fixed: 1000, PerByte: 1}
+	if _, err := SimulateLoad(m, LoadConfig{}); err == nil {
+		t.Error("zero config accepted")
+	}
+}
+
+func TestSimulateLoadDeterministic(t *testing.T) {
+	m := &ServiceModel{Fixed: 1000, PerByte: 0.5}
+	cfg := LoadConfig{Clients: 10, Workers: 4, Duration: time.Second, FileSize: 8 << 10, Seed: 9}
+	a, err := SimulateLoad(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SimulateLoad(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("simulation not deterministic for fixed seed")
+	}
+}
+
+func TestServerServesVerifiedBody(t *testing.T) {
+	srv := NewServer(policy.SetP1P5)
+	body, err := srv.Handle(3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(body) != 3000 {
+		t.Fatalf("body = %d bytes", len(body))
+	}
+	// Content is the deterministic generator pattern.
+	for i, c := range body {
+		if want := byte(32 + (i & 63)); c != want {
+			t.Fatalf("byte %d = %d, want %d", i, c, want)
+		}
+	}
+}

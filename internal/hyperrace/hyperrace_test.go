@@ -1,0 +1,125 @@
+package hyperrace
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAlphaSmallAcrossProcessors(t *testing.T) {
+	// Paper Section IV-C: false positives are rare and of the same order
+	// of magnitude across the four processors.
+	test := DefaultTest()
+	var alphas []float64
+	for _, p := range Processors {
+		a := AlphaAnalytic(test, p)
+		if a > 1e-3 {
+			t.Errorf("%s: α = %g too high", p.Name, a)
+		}
+		alphas = append(alphas, a)
+	}
+	// Same order of magnitude: max/min within a factor of 100.
+	minA, maxA := alphas[0], alphas[0]
+	for _, a := range alphas {
+		minA = math.Min(minA, a)
+		maxA = math.Max(maxA, a)
+	}
+	if minA <= 0 || maxA/minA > 100 {
+		t.Errorf("α spread too wide: min %g max %g", minA, maxA)
+	}
+}
+
+func TestBetaNegligible(t *testing.T) {
+	// Missing a separated (attacking) thread pair must be essentially
+	// impossible.
+	test := DefaultTest()
+	for _, p := range Processors {
+		if b := BetaAnalytic(test, p); b > 1e-4 {
+			t.Errorf("%s: β = %g too high", p.Name, b)
+		}
+	}
+}
+
+func TestEstimateMatchesAnalytic(t *testing.T) {
+	test := DefaultTest()
+	p := Processors[0]
+	res := EstimateAlpha(test, p, 200000, 42)
+	a := AlphaAnalytic(test, p)
+	// The estimator must agree with the exact value within sampling noise:
+	// allow an order of magnitude around tiny probabilities.
+	if res.Alpha > 0 && (res.Alpha > a*20+1e-4) {
+		t.Errorf("estimated α %g vs analytic %g", res.Alpha, a)
+	}
+	if res.Beta > BetaAnalytic(test, p)*20+1e-4 {
+		t.Errorf("estimated β %g vs analytic %g", res.Beta, BetaAnalytic(test, p))
+	}
+	if res.Tests != 200000 {
+		t.Error("test count not recorded")
+	}
+}
+
+func TestEstimateDeterministicPerSeed(t *testing.T) {
+	test := DefaultTest()
+	r1 := EstimateAlpha(test, Processors[1], 10000, 7)
+	r2 := EstimateAlpha(test, Processors[1], 10000, 7)
+	if r1 != r2 {
+		t.Error("same seed must reproduce the estimate")
+	}
+}
+
+func TestBinomCDF(t *testing.T) {
+	// P[X <= 1] for Binom(2, 0.5) = 0.75.
+	if got := binomCDF(1, 2, 0.5); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("binomCDF = %v", got)
+	}
+	if binomCDF(-1, 5, 0.3) != 0 || binomCDF(5, 5, 0.3) != 1 {
+		t.Error("edge cases wrong")
+	}
+	// Symmetry: P[X<=k;p] == 1 - P[X<=n-k-1;1-p].
+	lhs := binomCDF(10, 31, 0.3)
+	rhs := 1 - binomCDF(20, 31, 0.7)
+	if math.Abs(lhs-rhs) > 1e-9 {
+		t.Errorf("symmetry broken: %v vs %v", lhs, rhs)
+	}
+}
+
+func TestMonitorAbortsOnSeparation(t *testing.T) {
+	m := NewMonitor(DefaultTest(), Processors[0], 1000, 9)
+	// Co-located AEXes under threshold: no abort expected (β makes a false
+	// abort astronomically unlikely at these parameters).
+	for i := 0; i < 50; i++ {
+		if m.OnAEX(true) {
+			t.Fatalf("false abort at AEX %d", i)
+		}
+	}
+	// A separated thread pair must be flagged within very few AEXes.
+	aborted := false
+	for i := 0; i < 5; i++ {
+		if m.OnAEX(false) {
+			aborted = true
+			break
+		}
+	}
+	if !aborted {
+		t.Fatal("separated threads never detected")
+	}
+	if !m.Separated() {
+		t.Error("separation flag not latched")
+	}
+}
+
+func TestMonitorAbortsOnBudget(t *testing.T) {
+	m := NewMonitor(DefaultTest(), Processors[2], 10, 11)
+	aborted := false
+	for i := 0; i < 12; i++ {
+		if m.OnAEX(true) {
+			aborted = true
+			break
+		}
+	}
+	if !aborted {
+		t.Fatal("AEX budget never enforced")
+	}
+	if m.AEXCount() < 10 {
+		t.Errorf("abort too early: %d", m.AEXCount())
+	}
+}

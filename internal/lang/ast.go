@@ -1,0 +1,340 @@
+package lang
+
+import "fmt"
+
+// Kind is a type kind.
+type Kind uint8
+
+// Type kinds.
+const (
+	KindVoid  Kind = iota + 1
+	KindInt        // 64-bit signed
+	KindFloat      // IEEE-754 float64
+	KindChar       // 8-bit unsigned byte
+	KindPtr
+	KindArray
+	KindFnPtr // opaque pointer to a function
+)
+
+// Type describes a DC type.
+type Type struct {
+	Kind Kind
+	Elem *Type // for Ptr and Array
+	Len  int64 // for Array
+}
+
+// Predefined scalar types.
+var (
+	TypeVoid  = &Type{Kind: KindVoid}
+	TypeInt   = &Type{Kind: KindInt}
+	TypeFloat = &Type{Kind: KindFloat}
+	TypeChar  = &Type{Kind: KindChar}
+	TypeFnPtr = &Type{Kind: KindFnPtr}
+)
+
+// PtrTo returns the pointer type to elem.
+func PtrTo(elem *Type) *Type { return &Type{Kind: KindPtr, Elem: elem} }
+
+// ArrayOf returns the array type [n]elem.
+func ArrayOf(elem *Type, n int64) *Type { return &Type{Kind: KindArray, Elem: elem, Len: n} }
+
+// Size returns the storage size in bytes.
+func (t *Type) Size() int64 {
+	switch t.Kind {
+	case KindChar:
+		return 1
+	case KindArray:
+		return t.Len * t.Elem.Size()
+	case KindVoid:
+		return 0
+	default:
+		return 8
+	}
+}
+
+// IsNumeric reports whether the type participates in arithmetic.
+func (t *Type) IsNumeric() bool {
+	return t.Kind == KindInt || t.Kind == KindFloat || t.Kind == KindChar
+}
+
+// IsIntegral reports int-like types (int and char).
+func (t *Type) IsIntegral() bool { return t.Kind == KindInt || t.Kind == KindChar }
+
+// Decay converts array types to pointers (C array decay).
+func (t *Type) Decay() *Type {
+	if t.Kind == KindArray {
+		return PtrTo(t.Elem)
+	}
+	return t
+}
+
+// Equal reports structural equality.
+func (t *Type) Equal(o *Type) bool {
+	if t.Kind != o.Kind {
+		return false
+	}
+	switch t.Kind {
+	case KindPtr:
+		return t.Elem.Equal(o.Elem)
+	case KindArray:
+		return t.Len == o.Len && t.Elem.Equal(o.Elem)
+	default:
+		return true
+	}
+}
+
+// String renders the type in C-ish syntax.
+func (t *Type) String() string {
+	switch t.Kind {
+	case KindVoid:
+		return "void"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindChar:
+		return "char"
+	case KindFnPtr:
+		return "fnptr"
+	case KindPtr:
+		return t.Elem.String() + "*"
+	case KindArray:
+		return fmt.Sprintf("%s[%d]", t.Elem, t.Len)
+	default:
+		return "?"
+	}
+}
+
+// Expr is an expression node. After type checking every expression carries
+// its type in T.
+type Expr interface {
+	exprNode()
+	Pos() (line, col int)
+	Type() *Type
+	setType(*Type)
+}
+
+type exprBase struct {
+	Line, Col int
+	T         *Type
+}
+
+func (e *exprBase) exprNode()       {}
+func (e *exprBase) Pos() (int, int) { return e.Line, e.Col }
+func (e *exprBase) Type() *Type     { return e.T }
+func (e *exprBase) setType(t *Type) { e.T = t }
+
+// IntLit is an integer or character literal.
+type IntLit struct {
+	exprBase
+	Val int64
+}
+
+// FloatLit is a float literal.
+type FloatLit struct {
+	exprBase
+	Val float64
+}
+
+// StrLit is a string literal (becomes a char array in .data).
+type StrLit struct {
+	exprBase
+	Val string
+}
+
+// Ident references a variable, parameter or function by name.
+type Ident struct {
+	exprBase
+	Name string
+
+	// Resolved by the checker:
+	Sym *SymbolInfo
+}
+
+// Unary is -x, !x, ~x, *p, &x.
+type Unary struct {
+	exprBase
+	Op string
+	X  Expr
+}
+
+// Binary is x op y for arithmetic/logical/comparison operators.
+type Binary struct {
+	exprBase
+	Op   string
+	X, Y Expr
+}
+
+// Cond is c ? a : b.
+type Cond struct {
+	exprBase
+	C, A, B Expr
+}
+
+// Index is a[i].
+type Index struct {
+	exprBase
+	X, I Expr
+}
+
+// Call is f(args) — f is a function name or an fnptr-typed expression.
+type Call struct {
+	exprBase
+	Fn   Expr
+	Args []Expr
+
+	// Builtin is set by the checker for recognised intrinsics.
+	Builtin string
+}
+
+// Cast is (type)x.
+type Cast struct {
+	exprBase
+	To *Type
+	X  Expr
+}
+
+// Assign is lhs = rhs (plain only; compound assignments are desugared by
+// the parser).
+type Assign struct {
+	exprBase
+	LHS, RHS Expr
+}
+
+// Stmt is a statement node.
+type Stmt interface{ stmtNode() }
+
+type stmtBase struct{}
+
+func (stmtBase) stmtNode() {}
+
+// ExprStmt evaluates an expression for effect.
+type ExprStmt struct {
+	stmtBase
+	X Expr
+}
+
+// DeclStmt declares a local variable, optionally initialised.
+type DeclStmt struct {
+	stmtBase
+	Name string
+	Ty   *Type
+	Init Expr // nil if none
+
+	Sym *SymbolInfo // resolved by the checker
+}
+
+// Block is { ... }.
+type Block struct {
+	stmtBase
+	Stmts []Stmt
+}
+
+// If is if/else.
+type If struct {
+	stmtBase
+	Cond Expr
+	Then Stmt
+	Else Stmt // nil if absent
+}
+
+// While is a while loop.
+type While struct {
+	stmtBase
+	Cond Expr
+	Body Stmt
+}
+
+// DoWhile is a do { ... } while (cond); loop: the body always executes at
+// least once.
+type DoWhile struct {
+	stmtBase
+	Body Stmt
+	Cond Expr
+}
+
+// For is a for loop (any clause may be nil).
+type For struct {
+	stmtBase
+	Init Stmt // ExprStmt or DeclStmt
+	Cond Expr
+	Post Expr
+	Body Stmt
+}
+
+// Return returns from the function.
+type Return struct {
+	stmtBase
+	X Expr // nil for void
+}
+
+// Break exits the innermost loop or switch.
+type Break struct{ stmtBase }
+
+// Continue re-tests the innermost loop.
+type Continue struct{ stmtBase }
+
+// SwitchCase is one case (or default when IsDefault).
+type SwitchCase struct {
+	Val       int64
+	IsDefault bool
+	Body      []Stmt
+}
+
+// Switch is a switch over an integer expression. Cases do not fall through
+// (each case body is implicitly terminated), which matches how every
+// benchmark uses it and keeps jump-table codegen simple.
+type Switch struct {
+	stmtBase
+	X     Expr
+	Cases []SwitchCase
+}
+
+// SymbolInfo is the checker's record of a named entity.
+type SymbolInfo struct {
+	Name    string
+	Ty      *Type
+	Global  bool
+	IsFunc  bool
+	FuncSig *FuncDecl // for functions
+
+	// Codegen slots:
+	FrameOff int64 // locals/params: offset from RBP (negative for locals)
+	IsParam  bool
+	DataSym  string // globals: object symbol name
+	// RegHome, when non-zero, is 1 + the machine register this scalar
+	// lives in (register-allocated locals/params never touch the frame).
+	RegHome uint8
+}
+
+// FuncDecl is a function definition.
+type FuncDecl struct {
+	Name   string
+	Ret    *Type
+	Params []*SymbolInfo
+	Body   *Block
+
+	// AddrTaken is set when the function's address escapes (assigned to an
+	// fnptr); such functions receive BRMARK entry markers and appear on
+	// the indirect-branch target list.
+	AddrTaken bool
+}
+
+// GlobalVar is a file-scope variable definition.
+type GlobalVar struct {
+	Name string
+	Ty   *Type
+	// Init: at most one of these is set.
+	InitInts []int64   // int/char scalars or arrays
+	InitFlts []float64 // float scalars or arrays
+	InitStr  string    // char array from string literal
+	HasInit  bool
+
+	Sym *SymbolInfo
+}
+
+// Program is a parsed translation unit.
+type Program struct {
+	Globals []*GlobalVar
+	Funcs   []*FuncDecl
+}

@@ -1,0 +1,304 @@
+package lang
+
+// Fold performs constant folding on a checked program, in place: integer
+// and float arithmetic over literals, constant conditions of ?: and
+// !/&&/||, and algebraic identities (x+0, x*1). Division and modulo by a
+// literal zero are left untouched so the runtime trap semantics survive.
+//
+// The code generator runs folding before lowering, mirroring how the
+// paper's LLVM pipeline hands the backend pre-optimised IR; without it the
+// baseline instruction mix would be unrealistically literal-heavy.
+func Fold(prog *Program) {
+	for _, fn := range prog.Funcs {
+		foldBlock(fn.Body)
+	}
+}
+
+func foldBlock(b *Block) {
+	for _, s := range b.Stmts {
+		foldStmt(s)
+	}
+}
+
+func foldStmt(s Stmt) {
+	switch st := s.(type) {
+	case *Block:
+		foldBlock(st)
+	case *ExprStmt:
+		st.X = foldExpr(st.X)
+	case *DeclStmt:
+		if st.Init != nil {
+			st.Init = foldExpr(st.Init)
+		}
+	case *If:
+		st.Cond = foldExpr(st.Cond)
+		foldStmt(st.Then)
+		if st.Else != nil {
+			foldStmt(st.Else)
+		}
+	case *While:
+		st.Cond = foldExpr(st.Cond)
+		foldStmt(st.Body)
+	case *DoWhile:
+		st.Cond = foldExpr(st.Cond)
+		foldStmt(st.Body)
+	case *For:
+		if st.Init != nil {
+			foldStmt(st.Init)
+		}
+		if st.Cond != nil {
+			st.Cond = foldExpr(st.Cond)
+		}
+		if st.Post != nil {
+			st.Post = foldExpr(st.Post)
+		}
+		foldStmt(st.Body)
+	case *Return:
+		if st.X != nil {
+			st.X = foldExpr(st.X)
+		}
+	case *Switch:
+		st.X = foldExpr(st.X)
+		for _, c := range st.Cases {
+			for _, bs := range c.Body {
+				foldStmt(bs)
+			}
+		}
+	}
+}
+
+func intLit(v int64, like Expr) *IntLit {
+	l := &IntLit{Val: v}
+	l.Line, l.Col = like.Pos()
+	l.T = TypeInt
+	return l
+}
+
+func floatLit(v float64, like Expr) *FloatLit {
+	l := &FloatLit{Val: v}
+	l.Line, l.Col = like.Pos()
+	l.T = TypeFloat
+	return l
+}
+
+func asIntConst(e Expr) (int64, bool) {
+	if l, ok := e.(*IntLit); ok {
+		return l.Val, true
+	}
+	return 0, false
+}
+
+func asFloatConst(e Expr) (float64, bool) {
+	switch l := e.(type) {
+	case *FloatLit:
+		return l.Val, true
+	case *IntLit:
+		return float64(l.Val), true
+	}
+	return 0, false
+}
+
+func foldExpr(e Expr) Expr {
+	switch x := e.(type) {
+	case *Unary:
+		x.X = foldExpr(x.X)
+		if v, ok := asIntConst(x.X); ok {
+			switch x.Op {
+			case "-":
+				return intLit(-v, x)
+			case "~":
+				return intLit(^v, x)
+			case "!":
+				if v == 0 {
+					return intLit(1, x)
+				}
+				return intLit(0, x)
+			}
+		}
+		if f, ok := x.X.(*FloatLit); ok && x.Op == "-" {
+			return floatLit(-f.Val, x)
+		}
+		return x
+	case *Binary:
+		return foldBinary(x)
+	case *Cond:
+		x.C = foldExpr(x.C)
+		x.A = foldExpr(x.A)
+		x.B = foldExpr(x.B)
+		if v, ok := asIntConst(x.C); ok {
+			// Only collapse when the chosen arm already has the ternary's
+			// type (conversions are applied by codegen at the join).
+			arm := x.B
+			if v != 0 {
+				arm = x.A
+			}
+			if arm.Type() != nil && x.T != nil && arm.Type().Equal(x.T) {
+				return arm
+			}
+		}
+		return x
+	case *Index:
+		x.X = foldExpr(x.X)
+		x.I = foldExpr(x.I)
+		return x
+	case *Call:
+		x.Fn = foldExpr(x.Fn)
+		for i := range x.Args {
+			x.Args[i] = foldExpr(x.Args[i])
+		}
+		return x
+	case *Cast:
+		x.X = foldExpr(x.X)
+		if v, ok := asIntConst(x.X); ok {
+			switch x.To.Kind {
+			case KindInt:
+				return intLit(v, x)
+			case KindChar:
+				l := intLit(v&0xFF, x)
+				l.T = TypeChar
+				return l
+			case KindFloat:
+				return floatLit(float64(v), x)
+			}
+		}
+		if f, ok := x.X.(*FloatLit); ok && x.To.Kind == KindFloat {
+			return floatLit(f.Val, x)
+		}
+		return x
+	case *Assign:
+		x.RHS = foldExpr(x.RHS)
+		// LHS subexpressions (indices) fold too.
+		x.LHS = foldExpr(x.LHS)
+		return x
+	default:
+		return e
+	}
+}
+
+func foldBinary(x *Binary) Expr {
+	x.X = foldExpr(x.X)
+	x.Y = foldExpr(x.Y)
+
+	// Float folding for arithmetic when either side is a float literal and
+	// the expression has float type.
+	if x.T != nil && x.T.Kind == KindFloat {
+		if a, ok := asFloatConst(x.X); ok {
+			if b, ok2 := asFloatConst(x.Y); ok2 {
+				switch x.Op {
+				case "+":
+					return floatLit(a+b, x)
+				case "-":
+					return floatLit(a-b, x)
+				case "*":
+					return floatLit(a*b, x)
+				case "/":
+					if b != 0 {
+						return floatLit(a/b, x)
+					}
+				}
+			}
+		}
+		return x
+	}
+
+	a, aok := asIntConst(x.X)
+	b, bok := asIntConst(x.Y)
+	if aok && bok {
+		if v, ok := evalIntBinary(x.Op, a, b); ok {
+			return intLit(v, x)
+		}
+		return x
+	}
+
+	// Algebraic identities with one constant side (integer type only, and
+	// never across pointer arithmetic).
+	if x.T != nil && x.T.Kind == KindInt {
+		if bok {
+			switch {
+			case b == 0 && (x.Op == "+" || x.Op == "-" || x.Op == "|" || x.Op == "^" || x.Op == "<<" || x.Op == ">>"):
+				if x.X.Type() != nil && x.X.Type().Decay().IsIntegral() {
+					return x.X
+				}
+			case b == 1 && (x.Op == "*" || x.Op == "/"):
+				if x.X.Type() != nil && x.X.Type().Decay().IsIntegral() {
+					return x.X
+				}
+			}
+		}
+		if aok {
+			switch {
+			case a == 0 && (x.Op == "+" || x.Op == "|" || x.Op == "^"):
+				if x.Y.Type() != nil && x.Y.Type().Decay().IsIntegral() {
+					return x.Y
+				}
+			case a == 1 && x.Op == "*":
+				if x.Y.Type() != nil && x.Y.Type().Decay().IsIntegral() {
+					return x.Y
+				}
+			}
+		}
+	}
+	return x
+}
+
+func evalIntBinary(op string, a, b int64) (int64, bool) {
+	switch op {
+	case "+":
+		return a + b, true
+	case "-":
+		return a - b, true
+	case "*":
+		return a * b, true
+	case "/":
+		if b == 0 {
+			return 0, false // preserve the runtime trap
+		}
+		if a == -1<<63 && b == -1 {
+			return a, true // matches the emulator's defined overflow
+		}
+		return a / b, true
+	case "%":
+		if b == 0 {
+			return 0, false
+		}
+		if a == -1<<63 && b == -1 {
+			return 0, true
+		}
+		return a % b, true
+	case "&":
+		return a & b, true
+	case "|":
+		return a | b, true
+	case "^":
+		return a ^ b, true
+	case "<<":
+		return a << (uint64(b) & 63), true
+	case ">>":
+		return a >> (uint64(b) & 63), true
+	case "==":
+		return b2i(a == b), true
+	case "!=":
+		return b2i(a != b), true
+	case "<":
+		return b2i(a < b), true
+	case "<=":
+		return b2i(a <= b), true
+	case ">":
+		return b2i(a > b), true
+	case ">=":
+		return b2i(a >= b), true
+	case "&&":
+		return b2i(a != 0 && b != 0), true
+	case "||":
+		return b2i(a != 0 || b != 0), true
+	default:
+		return 0, false
+	}
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,125 @@
+package lang
+
+import "testing"
+
+func foldedMain(t *testing.T, src string) *FuncDecl {
+	t.Helper()
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(prog); err != nil {
+		t.Fatal(err)
+	}
+	Fold(prog)
+	for _, fn := range prog.Funcs {
+		if fn.Name == "main" {
+			return fn
+		}
+	}
+	t.Fatal("no main")
+	return nil
+}
+
+func retExpr(t *testing.T, fn *FuncDecl) Expr {
+	t.Helper()
+	ret, ok := fn.Body.Stmts[len(fn.Body.Stmts)-1].(*Return)
+	if !ok {
+		t.Fatalf("last stmt is %T", fn.Body.Stmts[len(fn.Body.Stmts)-1])
+	}
+	return ret.X
+}
+
+func TestFoldConstants(t *testing.T) {
+	cases := []struct {
+		expr string
+		want int64
+	}{
+		{"2 + 3 * 4", 14},
+		{"(10 - 4) / 3", 2},
+		{"7 % 4", 3},
+		{"1 << 10", 1024},
+		{"-(5 - 9)", 4},
+		{"~0 & 255", 255},
+		{"1 ? 42 : 7", 42},
+		{"0 ? 42 : 7", 7},
+		{"3 < 5", 1},
+		{"(int)'A'", 65},
+		{"!0", 1},
+		{"1 && 2", 1},
+		{"0 || 0", 0},
+		{"-9223372036854775807 - 1", -9223372036854775808},
+	}
+	for _, c := range cases {
+		fn := foldedMain(t, "int main() { return "+c.expr+"; }")
+		lit, ok := retExpr(t, fn).(*IntLit)
+		if !ok {
+			t.Errorf("%s: not folded to a literal (%T)", c.expr, retExpr(t, fn))
+			continue
+		}
+		if lit.Val != c.want {
+			t.Errorf("%s folded to %d, want %d", c.expr, lit.Val, c.want)
+		}
+	}
+}
+
+func TestFoldPreservesDivByZeroTrap(t *testing.T) {
+	fn := foldedMain(t, "int main() { return 1 / 0; }")
+	if _, folded := retExpr(t, fn).(*IntLit); folded {
+		t.Error("division by zero must not fold away")
+	}
+	fn = foldedMain(t, "int main() { return 1 % 0; }")
+	if _, folded := retExpr(t, fn).(*IntLit); folded {
+		t.Error("modulo by zero must not fold away")
+	}
+}
+
+func TestFoldIdentities(t *testing.T) {
+	fn := foldedMain(t, "int main() { int x = 3; return x + 0; }")
+	if _, ok := retExpr(t, fn).(*Ident); !ok {
+		t.Errorf("x + 0 should fold to x, got %T", retExpr(t, fn))
+	}
+	fn = foldedMain(t, "int main() { int x = 3; return 1 * x; }")
+	if _, ok := retExpr(t, fn).(*Ident); !ok {
+		t.Errorf("1 * x should fold to x, got %T", retExpr(t, fn))
+	}
+	// Pointer arithmetic must NOT be treated as an integer identity.
+	fn = foldedMain(t, "int main() { int a[2]; int *p = a; return *(p + 0); }")
+	_ = fn // compiling without panic is the assertion
+}
+
+func TestFoldFloat(t *testing.T) {
+	fn := foldedMain(t, "float half() { return 1.0 / 2.0; } int main() { return 0; }")
+	_ = fn
+	prog, err := Parse("float f() { return 2.0 * 3.5; } int main() { return 0; }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(prog); err != nil {
+		t.Fatal(err)
+	}
+	Fold(prog)
+	ret := prog.Funcs[0].Body.Stmts[0].(*Return)
+	lit, ok := ret.X.(*FloatLit)
+	if !ok || lit.Val != 7.0 {
+		t.Errorf("2.0*3.5 folded to %#v", ret.X)
+	}
+}
+
+func TestFoldInsideControlFlow(t *testing.T) {
+	fn := foldedMain(t, `
+int main() {
+	int s = 0;
+	for (int i = 0; i < 2 + 2; i++) s += 3 * 3;
+	while (s > 100 - 50) s -= 1 << 2;
+	if (s == 0 * 7) return 1 + 1;
+	switch (s) { case 1: return 6 / 2; }
+	return s;
+}`)
+	// The for condition's RHS must be a folded literal 4.
+	forStmt := fn.Body.Stmts[1].(*For)
+	cond := forStmt.Cond.(*Binary)
+	if lit, ok := cond.Y.(*IntLit); !ok || lit.Val != 4 {
+		t.Errorf("loop bound folded to %#v", cond.Y)
+	}
+}

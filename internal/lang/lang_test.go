@@ -1,0 +1,236 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLexBasics(t *testing.T) {
+	toks, err := Lex(`int x = 42; // comment
+float f = 3.5e2; /* block
+comment */ char c = 'a'; char n = '\n'; char *s = "hi\t\x41";
+x <<= 2; x >>= 1; y != z;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []string
+	for _, tk := range toks {
+		kinds = append(kinds, tk.String())
+	}
+	joined := strings.Join(kinds, " ")
+	for _, want := range []string{"int", "42", "350", "'a'", `"hi\tA"`, "<<=", ">>=", "!="} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("missing token %q in %s", want, joined)
+		}
+	}
+}
+
+func TestLexHexAndNewlineTracking(t *testing.T) {
+	toks, err := Lex("0x2A\nfoo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Int != 42 {
+		t.Errorf("hex literal = %d", toks[0].Int)
+	}
+	if toks[1].Line != 2 {
+		t.Errorf("line tracking: foo at line %d", toks[1].Line)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	cases := []string{
+		"\"unterminated",
+		"'a",
+		"/* unterminated",
+		"@",
+		"'\\q'",
+		"0x",
+	}
+	for _, src := range cases {
+		if _, err := Lex(src); err == nil {
+			t.Errorf("Lex(%q) should fail", src)
+		}
+	}
+}
+
+func TestParseProgramShape(t *testing.T) {
+	prog, err := Parse(`
+int g[4] = {1, 2, -3, 4};
+float pi = 3.14;
+char msg[8] = "hey";
+int add(int a, int b) { return a + b; }
+void noop(void) { }
+int main() {
+	int x = add(1, 2);
+	for (int i = 0; i < 4; i++) x += g[i];
+	switch (x) { case 1: x = 0; default: x = 9; }
+	return x;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Globals) != 3 || len(prog.Funcs) != 3 {
+		t.Fatalf("globals=%d funcs=%d", len(prog.Globals), len(prog.Funcs))
+	}
+	if prog.Globals[0].InitInts[2] != -3 {
+		t.Error("negative initialiser mishandled")
+	}
+	if prog.Funcs[0].Name != "add" || len(prog.Funcs[0].Params) != 2 {
+		t.Error("function parse broken")
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	prog, err := Parse(`int main() { return 2 + 3 * 4 == 14 && 1 | 0; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ret := prog.Funcs[0].Body.Stmts[0].(*Return)
+	top, ok := ret.X.(*Binary)
+	if !ok || top.Op != "&&" {
+		t.Fatalf("top operator = %T", ret.X)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		`int main() { if (1) }`,
+		`int main() { return (1; }`,
+		`int main() { int a[0]; return 0; }`,
+		`int main() { switch (1) { foo } return 0; }`,
+		`int 5x;`,
+		`int a[-1];`,
+		`int main() { for (;;) }`,
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func mustCheck(t *testing.T, src string) *Program {
+	t.Helper()
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(prog); err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func TestCheckTypes(t *testing.T) {
+	prog := mustCheck(t, `
+float scale(float x) { return x * 2; }
+int main() {
+	int i = 3;
+	float f = scale(i);
+	char c = 'x';
+	int j = c + i;
+	int *p = &i;
+	return (int)f + j + *p;
+}`)
+	// The call argument gets implicit int->float conversion; result float.
+	fn := prog.Funcs[1]
+	decl := fn.Body.Stmts[1].(*DeclStmt)
+	if decl.Init.Type().Kind != KindFloat {
+		t.Errorf("scale(i) type = %v", decl.Init.Type())
+	}
+}
+
+func TestCheckAddrTakenMarksFunctions(t *testing.T) {
+	prog := mustCheck(t, `
+int cb(int x) { return x; }
+int direct(int x) { return x; }
+int main() {
+	fnptr f = cb;
+	int a = direct(1);
+	return f(a);
+}`)
+	if !prog.Funcs[0].AddrTaken {
+		t.Error("cb should be address-taken")
+	}
+	if prog.Funcs[1].AddrTaken {
+		t.Error("direct should not be address-taken")
+	}
+}
+
+func TestCheckErrors(t *testing.T) {
+	cases := []string{
+		`int main() { unknown(); return 0; }`,
+		`int main() { int x = "str"; return 0; }`,
+		`int main() { float f; return f[0]; }`,
+		`int main() { int i; return *i; }`,
+		`int main() { return &5; }`,
+		`int main() { int a[2]; a = 0; return 0; }`,
+		`int main() { continue; return 0; }`,
+		`void v() {} int main() { int x = v(); return x; }`,
+		`int main() { switch (1.5) { default: break; } return 0; }`,
+		`int main() { switch (1) { default: break; default: break; } return 0; }`,
+		`int f(void x) { return 0; } int main() { return 0; }`,
+		`float main() { return; }`,
+		`int __sqrt(float f) { return 1; } int main() { return 0; }`,
+		`int main() { return __sqrt(1.0, 2.0); }`,
+		`int main() { fnptr f = 5; return 0; }`,
+	}
+	for _, src := range cases {
+		prog, err := Parse(src)
+		if err != nil {
+			continue // parse error also acceptable for malformed inputs
+		}
+		if err := Check(prog); err == nil {
+			t.Errorf("Check(%q) should fail", src)
+		}
+	}
+}
+
+func TestCheckErrorPositions(t *testing.T) {
+	prog, err := Parse("int main() {\n\treturn nope;\n}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cerr := Check(prog)
+	if cerr == nil {
+		t.Fatal("expected error")
+	}
+	var ce *CheckError
+	if !asCheckError(cerr, &ce) || ce.Line != 2 {
+		t.Errorf("error position = %v", cerr)
+	}
+}
+
+func asCheckError(err error, target **CheckError) bool {
+	ce, ok := err.(*CheckError)
+	if ok {
+		*target = ce
+	}
+	return ok
+}
+
+func TestTypeHelpers(t *testing.T) {
+	if TypeInt.Size() != 8 || TypeChar.Size() != 1 || ArrayOf(TypeInt, 4).Size() != 32 {
+		t.Error("sizes wrong")
+	}
+	if ArrayOf(TypeChar, 3).Decay().String() != "char*" {
+		t.Error("decay wrong")
+	}
+	if !PtrTo(TypeInt).Equal(PtrTo(TypeInt)) || PtrTo(TypeInt).Equal(PtrTo(TypeChar)) {
+		t.Error("equality wrong")
+	}
+	if ArrayOf(TypeFloat, 2).String() != "float[2]" {
+		t.Error("array string wrong")
+	}
+	if TypeVoid.Size() != 0 || TypeVoid.IsNumeric() {
+		t.Error("void properties wrong")
+	}
+}
+
+func TestPostIncrementDesugar(t *testing.T) {
+	prog := mustCheck(t, `int main() { int i = 0; i++; ++i; i--; return i; }`)
+	if len(prog.Funcs[0].Body.Stmts) != 5 {
+		t.Error("inc/dec statements missing")
+	}
+}

@@ -1,0 +1,746 @@
+package lang
+
+import "fmt"
+
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+// Parse parses a translation unit.
+func Parse(src string) (*Program, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog := &Program{}
+	for !p.at(TokEOF) {
+		if err := p.parseTopLevel(prog); err != nil {
+			return nil, err
+		}
+	}
+	return prog, nil
+}
+
+func (p *parser) cur() Token  { return p.toks[p.pos] }
+func (p *parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) at(k TokKind) bool { return p.cur().Kind == k }
+
+func (p *parser) atPunct(s string) bool {
+	return p.cur().Kind == TokPunct && p.cur().Text == s
+}
+
+func (p *parser) atKeyword(s string) bool {
+	return p.cur().Kind == TokKeyword && p.cur().Text == s
+}
+
+func (p *parser) eatPunct(s string) bool {
+	if p.atPunct(s) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	t := p.cur()
+	return &SyntaxError{Line: t.Line, Col: t.Col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) expectPunct(s string) error {
+	if !p.eatPunct(s) {
+		return p.errf("expected %q, found %s", s, p.cur())
+	}
+	return nil
+}
+
+func (p *parser) expectIdent() (string, error) {
+	if !p.at(TokIdent) {
+		return "", p.errf("expected identifier, found %s", p.cur())
+	}
+	return p.next().Text, nil
+}
+
+// atType reports whether the current token starts a type.
+func (p *parser) atType() bool {
+	if p.cur().Kind != TokKeyword {
+		return false
+	}
+	switch p.cur().Text {
+	case "int", "float", "char", "void", "fnptr":
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseType() (*Type, error) {
+	if !p.atType() {
+		return nil, p.errf("expected type, found %s", p.cur())
+	}
+	var t *Type
+	switch p.next().Text {
+	case "int":
+		t = TypeInt
+	case "float":
+		t = TypeFloat
+	case "char":
+		t = TypeChar
+	case "void":
+		t = TypeVoid
+	case "fnptr":
+		t = TypeFnPtr
+	}
+	for p.eatPunct("*") {
+		t = PtrTo(t)
+	}
+	return t, nil
+}
+
+func (p *parser) parseTopLevel(prog *Program) error {
+	ty, err := p.parseType()
+	if err != nil {
+		return err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	if p.atPunct("(") {
+		fn, err := p.parseFuncRest(ty, name)
+		if err != nil {
+			return err
+		}
+		prog.Funcs = append(prog.Funcs, fn)
+		return nil
+	}
+	g, err := p.parseGlobalRest(ty, name)
+	if err != nil {
+		return err
+	}
+	prog.Globals = append(prog.Globals, g)
+	return nil
+}
+
+func (p *parser) parseGlobalRest(ty *Type, name string) (*GlobalVar, error) {
+	g := &GlobalVar{Name: name, Ty: ty}
+	if p.eatPunct("[") {
+		if !p.at(TokInt) {
+			return nil, p.errf("array length must be an integer literal")
+		}
+		n := p.next().Int
+		if n <= 0 {
+			return nil, p.errf("array length must be positive")
+		}
+		if err := p.expectPunct("]"); err != nil {
+			return nil, err
+		}
+		g.Ty = ArrayOf(ty, n)
+	}
+	if p.eatPunct("=") {
+		if err := p.parseGlobalInit(g); err != nil {
+			return nil, err
+		}
+	}
+	return g, p.expectPunct(";")
+}
+
+func (p *parser) parseGlobalInit(g *GlobalVar) error {
+	g.HasInit = true
+	switch {
+	case p.at(TokString):
+		g.InitStr = p.next().Str
+		return nil
+	case p.eatPunct("{"):
+		for {
+			if err := p.parseGlobalScalar(g); err != nil {
+				return err
+			}
+			if p.eatPunct(",") {
+				if p.atPunct("}") { // trailing comma
+					break
+				}
+				continue
+			}
+			break
+		}
+		return p.expectPunct("}")
+	default:
+		return p.parseGlobalScalar(g)
+	}
+}
+
+func (p *parser) parseGlobalScalar(g *GlobalVar) error {
+	neg := false
+	if p.atPunct("-") {
+		p.pos++
+		neg = true
+	}
+	switch {
+	case p.at(TokInt), p.at(TokChar):
+		v := p.next().Int
+		if neg {
+			v = -v
+		}
+		g.InitInts = append(g.InitInts, v)
+		g.InitFlts = append(g.InitFlts, float64(v))
+	case p.at(TokFloat):
+		v := p.next().Flt
+		if neg {
+			v = -v
+		}
+		g.InitFlts = append(g.InitFlts, v)
+		g.InitInts = append(g.InitInts, int64(v))
+	default:
+		return p.errf("global initialiser must be a literal")
+	}
+	return nil
+}
+
+func (p *parser) parseFuncRest(ret *Type, name string) (*FuncDecl, error) {
+	fn := &FuncDecl{Name: name, Ret: ret}
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	if !p.eatPunct(")") {
+		if p.atKeyword("void") && p.toks[p.pos+1].Kind == TokPunct && p.toks[p.pos+1].Text == ")" {
+			p.pos += 2 // f(void)
+		} else {
+			for {
+				pty, err := p.parseType()
+				if err != nil {
+					return nil, err
+				}
+				pname, err := p.expectIdent()
+				if err != nil {
+					return nil, err
+				}
+				fn.Params = append(fn.Params, &SymbolInfo{Name: pname, Ty: pty.Decay(), IsParam: true})
+				if !p.eatPunct(",") {
+					break
+				}
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+		}
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	fn.Body = body
+	return fn, nil
+}
+
+func (p *parser) parseBlock() (*Block, error) {
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	b := &Block{}
+	for !p.eatPunct("}") {
+		if p.at(TokEOF) {
+			return nil, p.errf("unexpected EOF in block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	return b, nil
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	switch {
+	case p.atPunct("{"):
+		return p.parseBlock()
+	case p.atKeyword("if"):
+		p.pos++
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		then, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		st := &If{Cond: cond, Then: then}
+		if p.atKeyword("else") {
+			p.pos++
+			st.Else, err = p.parseStmt()
+			if err != nil {
+				return nil, err
+			}
+		}
+		return st, nil
+	case p.atKeyword("while"):
+		p.pos++
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		return &While{Cond: cond, Body: body}, nil
+	case p.atKeyword("do"):
+		p.pos++
+		body, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		if !p.atKeyword("while") {
+			return nil, p.errf("expected while after do body, found %s", p.cur())
+		}
+		p.pos++
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return &DoWhile{Body: body, Cond: cond}, p.expectPunct(";")
+	case p.atKeyword("for"):
+		return p.parseFor()
+	case p.atKeyword("return"):
+		p.pos++
+		st := &Return{}
+		if !p.atPunct(";") {
+			x, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			st.X = x
+		}
+		return st, p.expectPunct(";")
+	case p.atKeyword("break"):
+		p.pos++
+		return &Break{}, p.expectPunct(";")
+	case p.atKeyword("continue"):
+		p.pos++
+		return &Continue{}, p.expectPunct(";")
+	case p.atKeyword("switch"):
+		return p.parseSwitch()
+	case p.atType():
+		return p.parseDecl()
+	default:
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &ExprStmt{X: x}, p.expectPunct(";")
+	}
+}
+
+func (p *parser) parseDecl() (Stmt, error) {
+	ty, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if p.eatPunct("[") {
+		if !p.at(TokInt) {
+			return nil, p.errf("array length must be an integer literal")
+		}
+		n := p.next().Int
+		if n <= 0 {
+			return nil, p.errf("array length must be positive")
+		}
+		if err := p.expectPunct("]"); err != nil {
+			return nil, err
+		}
+		ty = ArrayOf(ty, n)
+	}
+	d := &DeclStmt{Name: name, Ty: ty}
+	if p.eatPunct("=") {
+		d.Init, err = p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return d, p.expectPunct(";")
+}
+
+func (p *parser) parseFor() (Stmt, error) {
+	p.pos++ // for
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	st := &For{}
+	if !p.eatPunct(";") {
+		if p.atType() {
+			d, err := p.parseDecl() // consumes the ';'
+			if err != nil {
+				return nil, err
+			}
+			st.Init = d
+		} else {
+			x, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			st.Init = &ExprStmt{X: x}
+			if err := p.expectPunct(";"); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if !p.atPunct(";") {
+		c, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Cond = c
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	if !p.atPunct(")") {
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Post = x
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	body, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	st.Body = body
+	return st, nil
+}
+
+func (p *parser) parseSwitch() (Stmt, error) {
+	p.pos++ // switch
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	x, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	st := &Switch{X: x}
+	for !p.eatPunct("}") {
+		var c SwitchCase
+		switch {
+		case p.atKeyword("case"):
+			p.pos++
+			neg := p.eatPunct("-")
+			if !p.at(TokInt) && !p.at(TokChar) {
+				return nil, p.errf("case value must be an integer literal")
+			}
+			c.Val = p.next().Int
+			if neg {
+				c.Val = -c.Val
+			}
+		case p.atKeyword("default"):
+			p.pos++
+			c.IsDefault = true
+		default:
+			return nil, p.errf("expected case or default, found %s", p.cur())
+		}
+		if err := p.expectPunct(":"); err != nil {
+			return nil, err
+		}
+		for !p.atKeyword("case") && !p.atKeyword("default") && !p.atPunct("}") {
+			if p.at(TokEOF) {
+				return nil, p.errf("unexpected EOF in switch")
+			}
+			s, err := p.parseStmt()
+			if err != nil {
+				return nil, err
+			}
+			c.Body = append(c.Body, s)
+		}
+		st.Cases = append(st.Cases, c)
+	}
+	return st, nil
+}
+
+// Expression parsing: precedence climbing.
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseAssign() }
+
+var compoundOps = map[string]string{
+	"+=": "+", "-=": "-", "*=": "*", "/=": "/", "%=": "%",
+	"&=": "&", "|=": "|", "^=": "^", "<<=": "<<", ">>=": ">>",
+}
+
+func (p *parser) parseAssign() (Expr, error) {
+	lhs, err := p.parseTernary()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().Kind == TokPunct {
+		op := p.cur().Text
+		if op == "=" {
+			t := p.next()
+			rhs, err := p.parseAssign()
+			if err != nil {
+				return nil, err
+			}
+			a := &Assign{LHS: lhs, RHS: rhs}
+			a.Line, a.Col = t.Line, t.Col
+			return a, nil
+		}
+		if base, ok := compoundOps[op]; ok {
+			t := p.next()
+			rhs, err := p.parseAssign()
+			if err != nil {
+				return nil, err
+			}
+			bin := &Binary{Op: base, X: lhs, Y: rhs}
+			bin.Line, bin.Col = t.Line, t.Col
+			a := &Assign{LHS: lhs, RHS: bin}
+			a.Line, a.Col = t.Line, t.Col
+			return a, nil
+		}
+	}
+	return lhs, nil
+}
+
+func (p *parser) parseTernary() (Expr, error) {
+	c, err := p.parseBinary(0)
+	if err != nil {
+		return nil, err
+	}
+	if !p.atPunct("?") {
+		return c, nil
+	}
+	t := p.next()
+	a, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(":"); err != nil {
+		return nil, err
+	}
+	b, err := p.parseTernary()
+	if err != nil {
+		return nil, err
+	}
+	e := &Cond{C: c, A: a, B: b}
+	e.Line, e.Col = t.Line, t.Col
+	return e, nil
+}
+
+var binPrec = map[string]int{
+	"||": 1,
+	"&&": 2,
+	"|":  3,
+	"^":  4,
+	"&":  5,
+	"==": 6, "!=": 6,
+	"<": 7, "<=": 7, ">": 7, ">=": 7,
+	"<<": 8, ">>": 8,
+	"+": 9, "-": 9,
+	"*": 10, "/": 10, "%": 10,
+}
+
+func (p *parser) parseBinary(minPrec int) (Expr, error) {
+	lhs, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		if p.cur().Kind != TokPunct {
+			return lhs, nil
+		}
+		op := p.cur().Text
+		prec, ok := binPrec[op]
+		if !ok || prec < minPrec {
+			return lhs, nil
+		}
+		t := p.next()
+		rhs, err := p.parseBinary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		b := &Binary{Op: op, X: lhs, Y: rhs}
+		b.Line, b.Col = t.Line, t.Col
+		lhs = b
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	t := p.cur()
+	if t.Kind == TokPunct {
+		switch t.Text {
+		case "-", "!", "~", "*", "&":
+			p.pos++
+			x, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			u := &Unary{Op: t.Text, X: x}
+			u.Line, u.Col = t.Line, t.Col
+			return u, nil
+		case "++", "--":
+			// Pre-increment: desugar to (x = x +- 1), value is new value.
+			p.pos++
+			x, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			return desugarIncDec(t, x), nil
+		case "(":
+			// Could be a cast: "(" type ")" unary.
+			if p.toks[p.pos+1].Kind == TokKeyword && IsKeyword(p.toks[p.pos+1].Text) {
+				switch p.toks[p.pos+1].Text {
+				case "int", "float", "char", "void", "fnptr":
+					p.pos++ // (
+					ty, err := p.parseType()
+					if err != nil {
+						return nil, err
+					}
+					if err := p.expectPunct(")"); err != nil {
+						return nil, err
+					}
+					x, err := p.parseUnary()
+					if err != nil {
+						return nil, err
+					}
+					c := &Cast{To: ty, X: x}
+					c.Line, c.Col = t.Line, t.Col
+					return c, nil
+				}
+			}
+		}
+	}
+	return p.parsePostfix()
+}
+
+func desugarIncDec(t Token, x Expr) Expr {
+	op := "+"
+	if t.Text == "--" {
+		op = "-"
+	}
+	one := &IntLit{Val: 1}
+	one.Line, one.Col = t.Line, t.Col
+	b := &Binary{Op: op, X: x, Y: one}
+	b.Line, b.Col = t.Line, t.Col
+	a := &Assign{LHS: x, RHS: b}
+	a.Line, a.Col = t.Line, t.Col
+	return a
+}
+
+func (p *parser) parsePostfix() (Expr, error) {
+	x, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		switch {
+		case p.atPunct("["):
+			p.pos++
+			i, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct("]"); err != nil {
+				return nil, err
+			}
+			idx := &Index{X: x, I: i}
+			idx.Line, idx.Col = t.Line, t.Col
+			x = idx
+		case p.atPunct("("):
+			p.pos++
+			call := &Call{Fn: x}
+			call.Line, call.Col = t.Line, t.Col
+			if !p.eatPunct(")") {
+				for {
+					a, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, a)
+					if !p.eatPunct(",") {
+						break
+					}
+				}
+				if err := p.expectPunct(")"); err != nil {
+					return nil, err
+				}
+			}
+			x = call
+		case p.atPunct("++"), p.atPunct("--"):
+			// Post-increment as statement-level sugar; the produced value
+			// is the updated one (documented deviation from C).
+			p.pos++
+			x = desugarIncDec(t, x)
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case TokInt, TokChar:
+		p.pos++
+		e := &IntLit{Val: t.Int}
+		e.Line, e.Col = t.Line, t.Col
+		if t.Kind == TokChar {
+			e.T = TypeChar
+		}
+		return e, nil
+	case TokFloat:
+		p.pos++
+		e := &FloatLit{Val: t.Flt}
+		e.Line, e.Col = t.Line, t.Col
+		return e, nil
+	case TokString:
+		p.pos++
+		e := &StrLit{Val: t.Str}
+		e.Line, e.Col = t.Line, t.Col
+		return e, nil
+	case TokIdent:
+		p.pos++
+		e := &Ident{Name: t.Text}
+		e.Line, e.Col = t.Line, t.Col
+		return e, nil
+	case TokPunct:
+		if t.Text == "(" {
+			p.pos++
+			x, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			return x, p.expectPunct(")")
+		}
+	}
+	return nil, p.errf("unexpected token %s", t)
+}

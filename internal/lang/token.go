@@ -1,0 +1,63 @@
+// Package lang implements the frontend of the code generator's input
+// language: a small C dialect ("DC") with 64-bit ints, float64, bytes
+// (char), pointers, arrays, function pointers and switch statements — rich
+// enough to express the paper's complete benchmark suite (nBench kernels,
+// Needleman–Wunsch, the credit-scoring neural net and the HTTPS service
+// handler) while keeping the trusted side independent: the verifier never
+// sees this language, only machine code.
+package lang
+
+import "fmt"
+
+// TokKind classifies a token.
+type TokKind uint8
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokInt    // integer literal
+	TokFloat  // float literal
+	TokChar   // character literal
+	TokString // string literal
+	TokKeyword
+	TokPunct
+)
+
+// Token is a lexical token.
+type Token struct {
+	Kind TokKind
+	Text string // identifier, keyword or punctuation text
+	Int  int64
+	Flt  float64
+	Str  string // decoded string literal
+	Line int
+	Col  int
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokEOF:
+		return "EOF"
+	case TokInt:
+		return fmt.Sprintf("%d", t.Int)
+	case TokFloat:
+		return fmt.Sprintf("%g", t.Flt)
+	case TokString:
+		return fmt.Sprintf("%q", t.Str)
+	case TokChar:
+		return fmt.Sprintf("'%c'", rune(t.Int))
+	default:
+		return t.Text
+	}
+}
+
+var keywords = map[string]bool{
+	"int": true, "float": true, "char": true, "void": true, "fnptr": true,
+	"if": true, "else": true, "while": true, "for": true, "do": true,
+	"return": true, "break": true, "continue": true,
+	"switch": true, "case": true, "default": true,
+}
+
+// IsKeyword reports whether s is a reserved word.
+func IsKeyword(s string) bool { return keywords[s] }

@@ -1,0 +1,151 @@
+package nbench
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"deflection/internal/compiler"
+	"deflection/internal/cpu"
+	"deflection/internal/dclib"
+	"deflection/internal/enclave"
+	"deflection/internal/policy"
+	"deflection/internal/runtime"
+)
+
+// Kernel is one benchmark program.
+type Kernel struct {
+	// Name matches the paper's Table II row.
+	Name string
+	// Source is the DC program (without the support library).
+	Source string
+	// Params are the default host-supplied parameters.
+	Params []int64
+}
+
+// Kernels returns the full suite in the paper's Table II order.
+func Kernels() []Kernel {
+	return []Kernel{
+		{Name: "NUMERIC SORT", Source: NumericSort, Params: []int64{1500, 2}},
+		{Name: "STRING SORT", Source: StringSort, Params: []int64{300, 2}},
+		{Name: "BITFIELD", Source: BitField, Params: []int64{4000}},
+		{Name: "FP EMULATION", Source: FPEmulation, Params: []int64{20000}},
+		{Name: "FOURIER", Source: Fourier, Params: []int64{8, 64}},
+		{Name: "ASSIGNMENT", Source: Assignment, Params: []int64{40, 2}},
+		{Name: "IDEA", Source: IDEA, Params: []int64{2048}},
+		{Name: "HUFFMAN", Source: Huffman, Params: []int64{2048}},
+		{Name: "NEURAL NET", Source: NeuralNet, Params: []int64{30}},
+		{Name: "LU DECOMPOSITION", Source: LUDecomposition, Params: []int64{45, 2}},
+	}
+}
+
+// KernelByName looks a kernel up by its Table II row name.
+func KernelByName(name string) (Kernel, bool) {
+	for _, k := range Kernels() {
+		if k.Name == name {
+			return k, true
+		}
+	}
+	return Kernel{}, false
+}
+
+// Metrics is the outcome of one kernel execution.
+type Metrics struct {
+	Exit   int64
+	Status cpu.Status
+	Insts  uint64
+	Cycles float64
+}
+
+// Runner compiles kernels on demand and caches the objects per policy set.
+type Runner struct {
+	mu    sync.Mutex
+	cache map[string][]byte // key: name|policies -> marshalled object
+
+	// AEXInterval simulates the benign interrupt cadence during runs
+	// (instructions between AEXes; 0 disables).
+	AEXInterval uint64
+	// Gas bounds each execution (0 = emulator default).
+	Gas uint64
+}
+
+// NewRunner returns a Runner with the benign-environment AEX cadence used
+// by the Table II experiment.
+func NewRunner() *Runner {
+	return &Runner{
+		cache:       make(map[string][]byte),
+		AEXInterval: 400_000, // ~ a timer tick every 400k instructions
+	}
+}
+
+func (r *Runner) object(k Kernel, pols policy.Set) ([]byte, error) {
+	key := fmt.Sprintf("%s|%d", k.Name, pols)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if b, ok := r.cache[key]; ok {
+		return b, nil
+	}
+	o, err := compiler.Compile(dclib.Program(k.Source), compiler.Options{Policies: pols})
+	if err != nil {
+		return nil, fmt.Errorf("nbench: compiling %s: %w", k.Name, err)
+	}
+	b := o.Marshal()
+	r.cache[key] = b
+	return b, nil
+}
+
+// Run executes kernel k under the given policy set with params (nil uses
+// the kernel defaults).
+func (r *Runner) Run(k Kernel, pols policy.Set, params []int64) (Metrics, error) {
+	if params == nil {
+		params = k.Params
+	}
+	objBytes, err := r.object(k, pols)
+	if err != nil {
+		return Metrics{}, err
+	}
+	m := runtime.DefaultManifest()
+	m.Policies = pols
+	b, err := runtime.New(enclave.DefaultConfig(), m)
+	if err != nil {
+		return Metrics{}, err
+	}
+	if _, err := b.ReceiveBinary(objBytes); err != nil {
+		return Metrics{}, fmt.Errorf("nbench: loading %s: %w", k.Name, err)
+	}
+	for _, p := range params {
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], uint64(p))
+		b.ReceiveData(buf[:])
+	}
+	res, err := b.Run(runtime.RunConfig{Gas: r.Gas, AEXInterval: r.AEXInterval, AEXSeed: 1})
+	if err != nil {
+		return Metrics{}, err
+	}
+	return Metrics{
+		Exit:   res.CPU.ExitValue,
+		Status: res.CPU.Status,
+		Insts:  res.CPU.Insts,
+		Cycles: res.CPU.Cycles,
+	}, nil
+}
+
+// Overhead runs k at baseline (no policies) and under pols, returning the
+// relative cycle overhead (e.g. 0.12 for +12%).
+func (r *Runner) Overhead(k Kernel, pols policy.Set, params []int64) (float64, error) {
+	base, err := r.Run(k, policy.SetNone, params)
+	if err != nil {
+		return 0, err
+	}
+	if base.Status != cpu.StatusHalt || base.Exit < 0 {
+		return 0, fmt.Errorf("nbench: %s baseline failed: %v exit=%d", k.Name, base.Status, base.Exit)
+	}
+	with, err := r.Run(k, pols, params)
+	if err != nil {
+		return 0, err
+	}
+	if with.Status != cpu.StatusHalt || with.Exit != base.Exit {
+		return 0, fmt.Errorf("nbench: %s under %v: %v exit=%d (want %d)", k.Name, pols, with.Status, with.Exit, base.Exit)
+	}
+	return with.Cycles/base.Cycles - 1, nil
+}

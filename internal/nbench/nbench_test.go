@@ -1,0 +1,118 @@
+package nbench
+
+import (
+	"testing"
+
+	"deflection/internal/cpu"
+	"deflection/internal/policy"
+)
+
+// small per-kernel parameters keeping unit tests fast.
+var smallParams = map[string][]int64{
+	"NUMERIC SORT":     {256, 1},
+	"STRING SORT":      {64, 1},
+	"BITFIELD":         {400},
+	"FP EMULATION":     {2000},
+	"FOURIER":          {4, 24},
+	"ASSIGNMENT":       {12, 1},
+	"IDEA":             {256},
+	"HUFFMAN":          {512},
+	"NEURAL NET":       {8},
+	"LU DECOMPOSITION": {12, 1},
+}
+
+func TestKernelsRunAndSelfValidate(t *testing.T) {
+	r := NewRunner()
+	r.AEXInterval = 0
+	for _, k := range Kernels() {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			m, err := r.Run(k, policy.SetNone, smallParams[k.Name])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m.Status != cpu.StatusHalt {
+				t.Fatalf("status = %v", m.Status)
+			}
+			if m.Exit < 0 {
+				t.Fatalf("self-validation failed: exit = %d", m.Exit)
+			}
+			if m.Insts == 0 || m.Cycles <= 0 {
+				t.Error("no work measured")
+			}
+		})
+	}
+}
+
+func TestKernelsInvariantUnderInstrumentation(t *testing.T) {
+	// The same kernel must compute the same checksum under every policy
+	// set — instrumentation must be semantically transparent.
+	r := NewRunner()
+	r.AEXInterval = 0
+	sets := []policy.Set{policy.SetNone, policy.SetP1, policy.SetP1P2, policy.SetP1P5, policy.SetP1P6}
+	for _, k := range Kernels() {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			var want int64
+			for i, pols := range sets {
+				m, err := r.Run(k, pols, smallParams[k.Name])
+				if err != nil {
+					t.Fatalf("%v: %v", pols, err)
+				}
+				if m.Status != cpu.StatusHalt {
+					t.Fatalf("%v: status %v", pols, m.Status)
+				}
+				if i == 0 {
+					want = m.Exit
+				} else if m.Exit != want {
+					t.Errorf("%v: exit %d, want %d", pols, m.Exit, want)
+				}
+			}
+		})
+	}
+}
+
+func TestOverheadComputation(t *testing.T) {
+	r := NewRunner()
+	r.AEXInterval = 0
+	k, ok := KernelByName("NUMERIC SORT")
+	if !ok {
+		t.Fatal("kernel missing")
+	}
+	ov, err := r.Overhead(k, policy.SetP1, smallParams[k.Name])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ov <= 0 || ov > 1 {
+		t.Errorf("P1 overhead = %.3f, implausible", ov)
+	}
+}
+
+func TestKernelByName(t *testing.T) {
+	if _, ok := KernelByName("NO SUCH"); ok {
+		t.Error("bogus name found")
+	}
+	if len(Kernels()) != 10 {
+		t.Errorf("kernel count = %d, want 10", len(Kernels()))
+	}
+}
+
+func TestRunnerCachesObjects(t *testing.T) {
+	r := NewRunner()
+	r.AEXInterval = 0
+	k, _ := KernelByName("BITFIELD")
+	if _, err := r.Run(k, policy.SetP1, smallParams[k.Name]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(k, policy.SetP1, smallParams[k.Name]); err != nil {
+		t.Fatal(err)
+	}
+	r.mu.Lock()
+	n := len(r.cache)
+	r.mu.Unlock()
+	if n != 2 { // baseline implied? no: only P1 compiled here
+		if n != 1 {
+			t.Errorf("cache entries = %d", n)
+		}
+	}
+}

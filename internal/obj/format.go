@@ -1,0 +1,371 @@
+// Package obj defines the relocatable object format exchanged between the
+// untrusted code generator and the bootstrap enclave, plus the assembler that
+// produces it.
+//
+// An Object is the paper's "target binary together with its proof": machine
+// code and data sections, a symbol table, relocation entries (the generator
+// performs static linking outside the enclave and leaves only relocation for
+// the in-enclave loader, Section IV-C of the paper), and the indirect-branch
+// target list the verifier uses to drive just-enough disassembly and the
+// loader translates to in-enclave addresses (Section IV-D).
+package obj
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Section identifies which section an offset refers to.
+type Section uint8
+
+// Sections of an object file.
+const (
+	SecNone Section = iota
+	SecText
+	SecData
+	SecBSS
+)
+
+// String names the section.
+func (s Section) String() string {
+	switch s {
+	case SecText:
+		return ".text"
+	case SecData:
+		return ".data"
+	case SecBSS:
+		return ".bss"
+	default:
+		return "none"
+	}
+}
+
+// SymKind classifies a symbol.
+type SymKind uint8
+
+// Symbol kinds.
+const (
+	SymNone  SymKind = iota
+	SymFunc          // function entry
+	SymObj           // data object
+	SymLabel         // code label (function-local, mangled "func.label")
+)
+
+// Symbol is a named location in a section.
+type Symbol struct {
+	Name    string
+	Section Section
+	Offset  int64
+	Size    int64
+	Kind    SymKind
+}
+
+// RelocKind identifies how a relocation patches its site.
+type RelocKind uint8
+
+// Relocation kinds.
+const (
+	// RelAbs64 stores the 64-bit absolute loaded address of Symbol+Addend
+	// at the site.
+	RelAbs64 RelocKind = iota + 1
+)
+
+// Reloc asks the loader to patch Section[Offset:] with the resolved address
+// of Symbol+Addend.
+type Reloc struct {
+	Section Section
+	Offset  int64
+	Symbol  string
+	Addend  int64
+	Kind    RelocKind
+}
+
+// BranchTarget is one entry of the indirect-branch target list ("the proof"):
+// the symbol name is the hint the verifier uses (paper Section IV-D), and
+// after loading the loader translates it to an in-enclave address.
+type BranchTarget struct {
+	Symbol string
+}
+
+// Object is a relocatable target binary plus its proof.
+type Object struct {
+	// Entry is the symbol where execution starts.
+	Entry string
+	// PolicyMask declares which policies the generator instrumented
+	// (a bitmask of 1<<policy for P1..P6). The verifier checks the claim.
+	PolicyMask uint8
+
+	Text    []byte
+	Data    []byte
+	BSSSize int64
+
+	Symbols       []Symbol
+	Relocs        []Reloc
+	BranchTargets []BranchTarget
+}
+
+// Symbol returns the named symbol, if present.
+func (o *Object) Symbol(name string) (Symbol, bool) {
+	for _, s := range o.Symbols {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Symbol{}, false
+}
+
+const (
+	objMagic   = "DFLOBJ01"
+	maxSection = 64 << 20 // 64 MiB cap on any one section
+	maxEntries = 1 << 20  // cap on table lengths
+)
+
+// ErrBadObject is returned when parsing malformed object bytes.
+var ErrBadObject = errors.New("obj: malformed object file")
+
+type writer struct {
+	buf bytes.Buffer
+}
+
+func (w *writer) u8(v uint8)   { w.buf.WriteByte(v) }
+func (w *writer) u64(v uint64) { w.buf.Write(binary.LittleEndian.AppendUint64(nil, v)) }
+func (w *writer) i64(v int64)  { w.u64(uint64(v)) }
+
+func (w *writer) str(s string) {
+	w.u64(uint64(len(s)))
+	w.buf.WriteString(s)
+}
+
+func (w *writer) bytes(b []byte) {
+	w.u64(uint64(len(b)))
+	w.buf.Write(b)
+}
+
+type reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *reader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("%w: %s", ErrBadObject, fmt.Sprintf(format, args...))
+	}
+}
+
+func (r *reader) u8() uint8 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off+1 > len(r.b) {
+		r.fail("truncated at byte %d", r.off)
+		return 0
+	}
+	v := r.b[r.off]
+	r.off++
+	return v
+}
+
+func (r *reader) u64() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off+8 > len(r.b) {
+		r.fail("truncated at byte %d", r.off)
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *reader) i64() int64 { return int64(r.u64()) }
+
+func (r *reader) count(what string) int {
+	n := r.u64()
+	if n > maxEntries {
+		r.fail("%s count %d exceeds limit", what, n)
+		return 0
+	}
+	return int(n)
+}
+
+func (r *reader) str() string {
+	n := r.u64()
+	if r.err != nil {
+		return ""
+	}
+	if n > maxSection || r.off+int(n) > len(r.b) {
+		r.fail("string length %d out of range", n)
+		return ""
+	}
+	s := string(r.b[r.off : r.off+int(n)])
+	r.off += int(n)
+	return s
+}
+
+func (r *reader) blob(what string) []byte {
+	n := r.u64()
+	if r.err != nil {
+		return nil
+	}
+	if n > maxSection || r.off+int(n) > len(r.b) {
+		r.fail("%s length %d out of range", what, n)
+		return nil
+	}
+	b := make([]byte, n)
+	copy(b, r.b[r.off:])
+	r.off += int(n)
+	return b
+}
+
+// Marshal serialises the object to its wire format.
+func (o *Object) Marshal() []byte {
+	var w writer
+	w.buf.WriteString(objMagic)
+	w.str(o.Entry)
+	w.u8(o.PolicyMask)
+	w.bytes(o.Text)
+	w.bytes(o.Data)
+	w.i64(o.BSSSize)
+
+	w.u64(uint64(len(o.Symbols)))
+	for _, s := range o.Symbols {
+		w.str(s.Name)
+		w.u8(uint8(s.Section))
+		w.i64(s.Offset)
+		w.i64(s.Size)
+		w.u8(uint8(s.Kind))
+	}
+	w.u64(uint64(len(o.Relocs)))
+	for _, rl := range o.Relocs {
+		w.u8(uint8(rl.Section))
+		w.i64(rl.Offset)
+		w.str(rl.Symbol)
+		w.i64(rl.Addend)
+		w.u8(uint8(rl.Kind))
+	}
+	w.u64(uint64(len(o.BranchTargets)))
+	for _, bt := range o.BranchTargets {
+		w.str(bt.Symbol)
+	}
+	return w.buf.Bytes()
+}
+
+// Unmarshal parses an object from its wire format, validating structural
+// limits. It does not validate policy compliance; that is the verifier's job.
+func Unmarshal(b []byte) (*Object, error) {
+	if len(b) < len(objMagic) || string(b[:len(objMagic)]) != objMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadObject)
+	}
+	r := &reader{b: b, off: len(objMagic)}
+	o := &Object{}
+	o.Entry = r.str()
+	o.PolicyMask = r.u8()
+	o.Text = r.blob(".text")
+	o.Data = r.blob(".data")
+	o.BSSSize = r.i64()
+	if o.BSSSize < 0 || o.BSSSize > maxSection {
+		r.fail("bss size %d out of range", o.BSSSize)
+	}
+
+	nsym := r.count("symbol")
+	if r.err == nil {
+		o.Symbols = make([]Symbol, 0, nsym)
+	}
+	for i := 0; i < nsym && r.err == nil; i++ {
+		var s Symbol
+		s.Name = r.str()
+		s.Section = Section(r.u8())
+		s.Offset = r.i64()
+		s.Size = r.i64()
+		s.Kind = SymKind(r.u8())
+		o.Symbols = append(o.Symbols, s)
+	}
+	nrel := r.count("reloc")
+	if r.err == nil {
+		o.Relocs = make([]Reloc, 0, nrel)
+	}
+	for i := 0; i < nrel && r.err == nil; i++ {
+		var rl Reloc
+		rl.Section = Section(r.u8())
+		rl.Offset = r.i64()
+		rl.Symbol = r.str()
+		rl.Addend = r.i64()
+		rl.Kind = RelocKind(r.u8())
+		o.Relocs = append(o.Relocs, rl)
+	}
+	nbt := r.count("branch target")
+	if r.err == nil {
+		o.BranchTargets = make([]BranchTarget, 0, nbt)
+	}
+	for i := 0; i < nbt && r.err == nil; i++ {
+		o.BranchTargets = append(o.BranchTargets, BranchTarget{Symbol: r.str()})
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.off != len(b) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadObject, len(b)-r.off)
+	}
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	return o, nil
+}
+
+func (o *Object) validate() error {
+	secLen := func(s Section) int64 {
+		switch s {
+		case SecText:
+			return int64(len(o.Text))
+		case SecData:
+			return int64(len(o.Data))
+		case SecBSS:
+			return o.BSSSize
+		default:
+			return -1
+		}
+	}
+	for _, s := range o.Symbols {
+		n := secLen(s.Section)
+		if n < 0 {
+			return fmt.Errorf("%w: symbol %q in invalid section", ErrBadObject, s.Name)
+		}
+		if s.Offset < 0 || s.Size < 0 || s.Offset > n || s.Offset+s.Size > n {
+			return fmt.Errorf("%w: symbol %q range [%d,%d) outside %s", ErrBadObject, s.Name, s.Offset, s.Offset+s.Size, s.Section)
+		}
+	}
+	for _, rl := range o.Relocs {
+		if rl.Kind != RelAbs64 {
+			return fmt.Errorf("%w: unknown relocation kind %d", ErrBadObject, rl.Kind)
+		}
+		n := secLen(rl.Section)
+		if rl.Section == SecBSS || n < 0 {
+			return fmt.Errorf("%w: relocation in invalid section %s", ErrBadObject, rl.Section)
+		}
+		if rl.Offset < 0 || rl.Offset+8 > n {
+			return fmt.Errorf("%w: relocation site %d outside %s", ErrBadObject, rl.Offset, rl.Section)
+		}
+		if _, ok := o.Symbol(rl.Symbol); !ok {
+			return fmt.Errorf("%w: relocation against undefined symbol %q", ErrBadObject, rl.Symbol)
+		}
+		if rl.Addend < math.MinInt32 || rl.Addend > math.MaxInt32 {
+			return fmt.Errorf("%w: relocation addend %d out of range", ErrBadObject, rl.Addend)
+		}
+	}
+	for _, bt := range o.BranchTargets {
+		if _, ok := o.Symbol(bt.Symbol); !ok {
+			return fmt.Errorf("%w: branch target references undefined symbol %q", ErrBadObject, bt.Symbol)
+		}
+	}
+	if o.Entry != "" {
+		if _, ok := o.Symbol(o.Entry); !ok {
+			return fmt.Errorf("%w: entry symbol %q undefined", ErrBadObject, o.Entry)
+		}
+	}
+	return nil
+}

