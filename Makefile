@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: check build vet test race chaos bench
+
+# Tier-1 gate: what CI must keep green.
+check: build vet race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# The fault-injection suite on its own (always runs under -race: the point
+# is that injected faults surface as clean errors, not data races).
+chaos:
+	$(GO) test -race -run 'TestChaos|TestMalformed|TestNoGoroutineLeaks|TestShutdown|TestMaxSessions|TestDraining|TestServe' ./internal/ccaas/ ./internal/faultnet/
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...

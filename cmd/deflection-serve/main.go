@@ -4,6 +4,10 @@
 // a complete session — attestation, key agreement, private binary delivery,
 // compliance verification, data upload and sealed results.
 //
+// The host runs with production lifecycle defaults: per-message I/O
+// timeouts, a whole-session deadline, a concurrent-session cap, and a
+// graceful drain on SIGINT/SIGTERM.
+//
 // Usage:
 //
 //	deflection-serve                      # demo: server + both parties
@@ -11,11 +15,16 @@
 package main
 
 import (
+	"context"
 	"encoding/binary"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"deflection"
 	"deflection/attest"
@@ -39,9 +48,13 @@ func main() {
 
 func run() int {
 	var (
-		addr     = flag.String("addr", "127.0.0.1:0", "listen address")
-		policies = flag.String("policies", "p1-p6", "required policy set")
-		demo     = flag.Bool("demo", true, "run an in-process client session against the server")
+		addr           = flag.String("addr", "127.0.0.1:0", "listen address")
+		policies       = flag.String("policies", "p1-p6", "required policy set")
+		demo           = flag.Bool("demo", true, "run an in-process client session against the server")
+		maxSessions    = flag.Int("max-sessions", 256, "concurrent session cap (0 = unlimited)")
+		ioTimeout      = flag.Duration("io-timeout", 30*time.Second, "per-message read/write timeout (0 = none)")
+		sessionTimeout = flag.Duration("session-timeout", 5*time.Minute, "whole-session deadline (0 = none)")
+		drain          = flag.Duration("drain", 15*time.Second, "graceful-shutdown drain budget before force-closing sessions")
 	)
 	flag.Parse()
 	pols, err := deflection.ParsePolicies(*policies)
@@ -58,7 +71,16 @@ func run() int {
 	as := attest.NewService()
 	as.Register(platform)
 
-	srv, err := ccaas.NewServer(ccaas.ServerConfig{Platform: platform, Policies: pols})
+	srv, err := ccaas.NewServer(ccaas.ServerConfig{
+		Platform:       platform,
+		Policies:       pols,
+		MaxSessions:    *maxSessions,
+		IOTimeout:      *ioTimeout,
+		SessionTimeout: *sessionTimeout,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
@@ -77,25 +99,45 @@ func run() int {
 	fmt.Printf("CCaaS host listening on %s\n", l.Addr())
 	fmt.Printf("bootstrap enclave measurement: %x\n", meas)
 	fmt.Printf("required policies: %s\n", pols)
+	fmt.Printf("limits: %d sessions, io timeout %v, session timeout %v\n",
+		*maxSessions, *ioTimeout, *sessionTimeout)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(l) }()
 
 	if !*demo {
-		if err := srv.Serve(l); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			return 1
+		select {
+		case err := <-serveErr:
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 1
+			}
+			return 0
+		case <-ctx.Done():
+			stop()
+			fmt.Println("\nsignal received: draining sessions...")
+			sctx, cancel := context.WithTimeout(context.Background(), *drain)
+			defer cancel()
+			if err := srv.Shutdown(sctx); err != nil {
+				fmt.Fprintf(os.Stderr, "forced shutdown after %v drain: %v\n", *drain, err)
+				<-serveErr
+				return 1
+			}
+			<-serveErr
+			fmt.Println("all sessions drained, server stopped")
+			return 0
 		}
-		return 0
 	}
 
-	go func() { _ = srv.Serve(l) }()
-
-	// ---- Demo session: code provider + data owner on one connection.
-	conn, err := net.Dial("tcp", l.Addr().String())
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		return 1
+	// ---- Demo session: code provider + data owner on one connection,
+	// dialed through the retry/backoff path a real party would use.
+	dial := func() (io.ReadWriteCloser, error) {
+		return net.Dial("tcp", l.Addr().String())
 	}
-	defer conn.Close()
-	client, err := ccaas.Dial(conn, as, meas, attest.RoleCodeProvider)
+	client, err := ccaas.DialRetry(dial, as, meas, attest.RoleCodeProvider, ccaas.RetryConfig{})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "attestation failed: %v\n", err)
 		return 1
@@ -118,6 +160,7 @@ func run() int {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
+	fmt.Println("[party] input accepted by the enclave")
 	rr, err := client.Run()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -140,5 +183,13 @@ func run() int {
 		return 1
 	}
 	fmt.Println("[party] session closed")
+
+	sctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	<-serveErr
 	return 0
 }

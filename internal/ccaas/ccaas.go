@@ -4,6 +4,13 @@
 // parties with the Section III-A protocol, accepts a target binary from the
 // code provider and data from the data owner over the authenticated
 // channel, runs the verified service, and streams the padded results back.
+//
+// The session layer is built to survive a hostile network: per-session and
+// per-message deadlines, a concurrent-session cap with authenticated
+// rejection, per-session panic recovery, accept retry with backoff, and a
+// draining Shutdown. The client side pairs it with DialRetry and Retry
+// (exponential backoff + jitter) so transient faults are absorbed without
+// operator intervention.
 package ccaas
 
 import (
@@ -11,12 +18,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"net"
 
 	"deflection/attest"
 	"deflection/internal/cpu"
-	"deflection/internal/enclave"
-	"deflection/internal/policy"
 	"deflection/internal/runtime"
 )
 
@@ -29,66 +33,16 @@ const (
 	tagBye    = 'Q' // end of session
 )
 
-// ServerConfig parameterises a CCaaS host.
-type ServerConfig struct {
-	// Platform signs the attestation quotes.
-	Platform *attest.Platform
-	// Policies is the manifest's required policy set.
-	Policies policy.Set
-	// Enclave is the per-session enclave sizing (zero value = default).
-	Enclave enclave.Config
-	// Gas bounds each service execution (0 = default).
-	Gas uint64
-}
+// runHook, when non-nil, runs at the top of every tagRun dispatch. Test
+// hook for injecting faults (panics) inside the session loop.
+var runHook func()
 
-// Server hosts one bootstrap enclave per accepted session.
-type Server struct {
-	cfg ServerConfig
-}
-
-// NewServer validates the configuration and returns a server.
-func NewServer(cfg ServerConfig) (*Server, error) {
-	if cfg.Platform == nil {
-		return nil, errors.New("ccaas: platform required")
-	}
-	if cfg.Enclave == (enclave.Config{}) {
-		cfg.Enclave = enclave.DefaultConfig()
-	}
-	return &Server{cfg: cfg}, nil
-}
-
-func (s *Server) manifest() runtime.Manifest {
-	m := runtime.DefaultManifest()
-	m.Policies = s.cfg.Policies
-	return m
-}
-
-// Measurement returns the launch measurement every session enclave will
-// have (the value parties must expect during attestation).
-func (s *Server) Measurement() ([32]byte, error) {
-	b, err := runtime.New(s.cfg.Enclave, s.manifest())
-	if err != nil {
-		return [32]byte{}, err
-	}
-	return b.Measurement(), nil
-}
-
-// Serve accepts sessions until the listener closes. Each session runs on
-// its own goroutine and its own enclave.
-func (s *Server) Serve(l net.Listener) error {
-	for {
-		conn, err := l.Accept()
-		if err != nil {
-			if errors.Is(err, net.ErrClosed) {
-				return nil
-			}
-			return fmt.Errorf("ccaas: %w", err)
-		}
-		go func() {
-			defer conn.Close()
-			_ = s.Handle(conn) // session errors terminate only that session
-		}()
-	}
+// statusReply is the control envelope the server sends when it cannot admit
+// a session (capacity reached or draining). Clients detect it via the Busy
+// field before decoding a typed reply.
+type statusReply struct {
+	Busy  bool   `json:"busy,omitempty"`
+	Error string `json:"error,omitempty"`
 }
 
 // loadReply is the server's answer to a binary delivery.
@@ -100,6 +54,13 @@ type loadReply struct {
 	Guards     int    `json:"guards,omitempty"`
 }
 
+// dataReply acknowledges a data upload (or rejects an oversized one).
+type dataReply struct {
+	OK    bool   `json:"ok"`
+	Size  int    `json:"size,omitempty"`
+	Error string `json:"error,omitempty"`
+}
+
 // RunReply is the server's answer to a run request.
 type RunReply struct {
 	Exit       int64    `json:"exit"`
@@ -109,13 +70,26 @@ type RunReply struct {
 	Outputs    [][]byte `json:"outputs"`
 }
 
-// Handle drives one session on an established connection.
-func (s *Server) Handle(conn io.ReadWriter) error {
-	boot, err := runtime.New(s.cfg.Enclave, s.manifest())
+// Handle drives one session on an established connection. A panic anywhere
+// in the session (verifier, loader, emulator) is converted into an error so
+// it kills only this session, never the server.
+func (s *Server) Handle(transport io.ReadWriter) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("ccaas: session panic: %v", r)
+		}
+	}()
+
+	release, admit, reason := s.acquire(transport)
+	defer release()
+
+	conn := newDeadlineRW(transport, s.cfg.IOTimeout, s.cfg.SessionTimeout)
+
+	meas, err := s.Measurement()
 	if err != nil {
 		return err
 	}
-	sess, err := attest.NewEnclaveSession(s.cfg.Platform, boot.Measurement())
+	sess, err := attest.NewEnclaveSession(s.cfg.Platform, meas)
 	if err != nil {
 		return err
 	}
@@ -133,6 +107,25 @@ func (s *Server) Handle(conn io.ReadWriter) error {
 			return fmt.Errorf("ccaas: %w", err)
 		}
 		return attest.WriteFrame(conn, ch.Seal(payload))
+	}
+
+	if !admit {
+		// Reject over the attested channel so the party can tell an
+		// authenticated capacity rejection from an attack. The party may
+		// already be mid-send on a synchronous transport (net.Pipe), so
+		// drain its frames while the rejection goes out; the drain ends
+		// when the caller closes the connection.
+		go func() { _, _ = io.Copy(io.Discard, conn) }()
+		if rerr := reply(statusReply{Busy: true, Error: reason}); rerr != nil {
+			return rerr
+		}
+		return fmt.Errorf("%w: %s", ErrServerBusy, reason)
+	}
+
+	// Only admitted sessions pay for an enclave.
+	boot, err := runtime.New(s.cfg.Enclave, s.manifest())
+	if err != nil {
+		return err
 	}
 
 	for {
@@ -165,8 +158,22 @@ func (s *Server) Handle(conn io.ReadWriter) error {
 				return err
 			}
 		case tagData:
-			boot.ReceiveData(msg[1:])
+			data := msg[1:]
+			if len(data) > s.cfg.MaxInputSize {
+				if rerr := reply(dataReply{OK: false, Error: fmt.Sprintf(
+					"input of %d bytes exceeds the %d-byte cap", len(data), s.cfg.MaxInputSize)}); rerr != nil {
+					return rerr
+				}
+				continue
+			}
+			boot.ReceiveData(data)
+			if err := reply(dataReply{OK: true, Size: len(data)}); err != nil {
+				return err
+			}
 		case tagRun:
+			if runHook != nil {
+				runHook()
+			}
 			res, err := boot.Run(runtime.RunConfig{Gas: s.cfg.Gas})
 			if err != nil {
 				if rerr := reply(RunReply{Trapped: true, TrapReason: err.Error()}); rerr != nil {
@@ -194,76 +201,3 @@ func (s *Server) Handle(conn io.ReadWriter) error {
 		}
 	}
 }
-
-// Client is a remote party's session handle.
-type Client struct {
-	conn io.ReadWriter
-	ch   *attest.Channel
-}
-
-// Dial attests the server's enclave (via the attestation service, against
-// the expected bootstrap measurement) and returns a session client.
-func Dial(conn io.ReadWriter, as *attest.Service, expected [32]byte, role attest.Role) (*Client, error) {
-	_, ch, err := attest.PartyHandshake(conn, as, expected, role)
-	if err != nil {
-		return nil, err
-	}
-	return &Client{conn: conn, ch: ch}, nil
-}
-
-func (c *Client) send(tag byte, payload []byte) error {
-	msg := make([]byte, 1+len(payload))
-	msg[0] = tag
-	copy(msg[1:], payload)
-	return attest.WriteFrame(c.conn, c.ch.Seal(msg))
-}
-
-func (c *Client) recv(v any) error {
-	frame, err := attest.ReadFrame(c.conn)
-	if err != nil {
-		return err
-	}
-	payload, err := c.ch.Open(frame)
-	if err != nil {
-		return err
-	}
-	if err := json.Unmarshal(payload, v); err != nil {
-		return fmt.Errorf("ccaas: %w", err)
-	}
-	return nil
-}
-
-// SendBinary delivers a target binary and returns the server's verification
-// verdict.
-func (c *Client) SendBinary(objBytes []byte) (hash []byte, guards int, err error) {
-	if err := c.send(tagBinary, objBytes); err != nil {
-		return nil, 0, err
-	}
-	var rep loadReply
-	if err := c.recv(&rep); err != nil {
-		return nil, 0, err
-	}
-	if !rep.OK {
-		return nil, 0, fmt.Errorf("ccaas: binary rejected: %s", rep.Error)
-	}
-	return rep.BinaryHash, rep.Guards, nil
-}
-
-// SendData uploads one input message.
-func (c *Client) SendData(b []byte) error { return c.send(tagData, b) }
-
-// Run executes the loaded service and returns the reply (outputs are the
-// padded frames; unpad with runtime.Unpad).
-func (c *Client) Run() (*RunReply, error) {
-	if err := c.send(tagRun, nil); err != nil {
-		return nil, err
-	}
-	var rr RunReply
-	if err := c.recv(&rr); err != nil {
-		return nil, err
-	}
-	return &rr, nil
-}
-
-// Close ends the session.
-func (c *Client) Close() error { return c.send(tagBye, nil) }

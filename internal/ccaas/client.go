@@ -1,0 +1,102 @@
+package ccaas
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"deflection/attest"
+)
+
+// Client is a remote party's session handle.
+type Client struct {
+	conn io.ReadWriter
+	ch   *attest.Channel
+}
+
+// Dial attests the server's enclave (via the attestation service, against
+// the expected bootstrap measurement) and returns a session client.
+func Dial(conn io.ReadWriter, as *attest.Service, expected [32]byte, role attest.Role) (*Client, error) {
+	_, ch, err := attest.PartyHandshake(conn, as, expected, role)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn, ch: ch}, nil
+}
+
+func (c *Client) send(tag byte, payload []byte) error {
+	msg := make([]byte, 1+len(payload))
+	msg[0] = tag
+	copy(msg[1:], payload)
+	return attest.WriteFrame(c.conn, c.ch.Seal(msg))
+}
+
+func (c *Client) recv(v any) error {
+	frame, err := attest.ReadFrame(c.conn)
+	if err != nil {
+		return err
+	}
+	payload, err := c.ch.Open(frame)
+	if err != nil {
+		return err
+	}
+	// A busy envelope can arrive in place of any typed reply: the server
+	// rejects over the attested channel when at capacity or draining.
+	var probe statusReply
+	if err := json.Unmarshal(payload, &probe); err == nil && probe.Busy {
+		return fmt.Errorf("%w: %s", ErrServerBusy, probe.Error)
+	}
+	if err := json.Unmarshal(payload, v); err != nil {
+		return fmt.Errorf("ccaas: %w", err)
+	}
+	return nil
+}
+
+// SendBinary delivers a target binary and returns the server's verification
+// verdict.
+func (c *Client) SendBinary(objBytes []byte) (hash []byte, guards int, err error) {
+	if err := c.send(tagBinary, objBytes); err != nil {
+		return nil, 0, err
+	}
+	var rep loadReply
+	if err := c.recv(&rep); err != nil {
+		return nil, 0, err
+	}
+	if !rep.OK {
+		return nil, 0, fmt.Errorf("ccaas: binary rejected: %s", rep.Error)
+	}
+	return rep.BinaryHash, rep.Guards, nil
+}
+
+// SendData uploads one input message and waits for the server's
+// acknowledgement; the server rejects inputs over its configured size cap
+// with a structured error.
+func (c *Client) SendData(b []byte) error {
+	if err := c.send(tagData, b); err != nil {
+		return err
+	}
+	var rep dataReply
+	if err := c.recv(&rep); err != nil {
+		return err
+	}
+	if !rep.OK {
+		return fmt.Errorf("ccaas: data rejected: %s", rep.Error)
+	}
+	return nil
+}
+
+// Run executes the loaded service and returns the reply (outputs are the
+// padded frames; unpad with runtime.Unpad).
+func (c *Client) Run() (*RunReply, error) {
+	if err := c.send(tagRun, nil); err != nil {
+		return nil, err
+	}
+	var rr RunReply
+	if err := c.recv(&rr); err != nil {
+		return nil, err
+	}
+	return &rr, nil
+}
+
+// Close ends the session.
+func (c *Client) Close() error { return c.send(tagBye, nil) }

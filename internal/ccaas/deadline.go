@@ -1,0 +1,82 @@
+package ccaas
+
+import (
+	"errors"
+	"io"
+	"net"
+	"time"
+)
+
+var errSessionExpired = errors.New("ccaas: session deadline exceeded")
+
+// deadlineRW wraps a session transport and arms a per-operation I/O
+// deadline plus an overall session deadline before every read and write.
+// When the transport is a net.Conn the deadlines are real; for a plain
+// io.ReadWriter (in-process test pipes) the per-operation timeout degrades
+// to a pass-through and only the session deadline is checked between
+// operations.
+type deadlineRW struct {
+	rw         io.ReadWriter
+	nc         net.Conn // nil when rw is not a net.Conn
+	ioTimeout  time.Duration
+	sessionEnd time.Time // zero = no session deadline
+}
+
+func newDeadlineRW(rw io.ReadWriter, ioTimeout, sessionTimeout time.Duration) *deadlineRW {
+	d := &deadlineRW{rw: rw, ioTimeout: ioTimeout}
+	if nc, ok := rw.(net.Conn); ok {
+		d.nc = nc
+	}
+	if sessionTimeout > 0 {
+		d.sessionEnd = time.Now().Add(sessionTimeout)
+	}
+	return d
+}
+
+// deadline returns the earlier of now+ioTimeout and the session deadline.
+func (d *deadlineRW) deadline() time.Time {
+	var dl time.Time
+	if d.ioTimeout > 0 {
+		dl = time.Now().Add(d.ioTimeout)
+	}
+	if !d.sessionEnd.IsZero() && (dl.IsZero() || d.sessionEnd.Before(dl)) {
+		dl = d.sessionEnd
+	}
+	return dl
+}
+
+// arm returns an error once the session deadline has passed; otherwise it
+// installs the next operation deadline where the transport supports one.
+func (d *deadlineRW) arm(set func(time.Time) error) error {
+	if !d.sessionEnd.IsZero() && !time.Now().Before(d.sessionEnd) {
+		return errSessionExpired
+	}
+	if set != nil {
+		if dl := d.deadline(); !dl.IsZero() {
+			return set(dl)
+		}
+	}
+	return nil
+}
+
+func (d *deadlineRW) Read(p []byte) (int, error) {
+	var set func(time.Time) error
+	if d.nc != nil {
+		set = d.nc.SetReadDeadline
+	}
+	if err := d.arm(set); err != nil {
+		return 0, err
+	}
+	return d.rw.Read(p)
+}
+
+func (d *deadlineRW) Write(p []byte) (int, error) {
+	var set func(time.Time) error
+	if d.nc != nil {
+		set = d.nc.SetWriteDeadline
+	}
+	if err := d.arm(set); err != nil {
+		return 0, err
+	}
+	return d.rw.Write(p)
+}

@@ -1,0 +1,72 @@
+package ccaas
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+func TestDeadlineRWDegradesForPlainReadWriter(t *testing.T) {
+	var buf bytes.Buffer
+	d := newDeadlineRW(&buf, 50*time.Millisecond, 0)
+	if _, err := d.Write([]byte("plain")); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]byte, 5)
+	if _, err := d.Read(out); err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != "plain" {
+		t.Fatalf("read %q", out)
+	}
+}
+
+func TestDeadlineRWSessionExpiryWithoutNetConn(t *testing.T) {
+	var buf bytes.Buffer
+	d := newDeadlineRW(&buf, 0, 10*time.Millisecond)
+	if _, err := d.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if _, err := d.Write([]byte("y")); !errors.Is(err, errSessionExpired) {
+		t.Fatalf("post-deadline write = %v, want errSessionExpired", err)
+	}
+	if _, err := d.Read(make([]byte, 1)); !errors.Is(err, errSessionExpired) {
+		t.Fatalf("post-deadline read = %v, want errSessionExpired", err)
+	}
+}
+
+func TestDeadlineRWArmsNetConnDeadlines(t *testing.T) {
+	server, client := net.Pipe()
+	defer server.Close()
+	defer client.Close()
+	d := newDeadlineRW(server, 30*time.Millisecond, 0)
+	start := time.Now()
+	_, err := d.Read(make([]byte, 1))
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Fatalf("read err = %v, want i/o timeout", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("deadline took %v to fire", elapsed)
+	}
+}
+
+func TestDeadlineRWSessionCapsIOTimeout(t *testing.T) {
+	server, client := net.Pipe()
+	defer server.Close()
+	defer client.Close()
+	// Session deadline (30ms) is tighter than the per-op timeout (10s).
+	d := newDeadlineRW(server, 10*time.Second, 30*time.Millisecond)
+	start := time.Now()
+	_, err := d.Read(make([]byte, 1))
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Fatalf("read err = %v, want i/o timeout", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("session deadline took %v, not capped by sessionEnd", elapsed)
+	}
+}

@@ -1,0 +1,163 @@
+package ccaas
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"time"
+
+	"deflection/attest"
+)
+
+// Dialer opens a fresh transport to a CCaaS host. Each retry attempt gets
+// its own connection; the retry helpers close it when the attempt fails.
+type Dialer func() (io.ReadWriteCloser, error)
+
+// RetryConfig tunes the exponential backoff used by DialRetry and Retry.
+// The zero value gives 4 attempts starting at 50ms, doubling to a 2s
+// ceiling, with 50% jitter from a fixed seed (deterministic schedules).
+type RetryConfig struct {
+	// Attempts is the total number of attempts, including the first.
+	Attempts int
+	// BaseDelay is the backoff before the second attempt.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff growth.
+	MaxDelay time.Duration
+	// Jitter in (0,1] randomises each delay down by up to that fraction.
+	Jitter float64
+	// Seed makes the jitter reproducible (0 is treated as 1).
+	Seed int64
+	// Sleep replaces time.Sleep in tests.
+	Sleep func(time.Duration)
+}
+
+type retrier struct {
+	RetryConfig
+	rng *rand.Rand
+}
+
+func (rc RetryConfig) norm() *retrier {
+	if rc.Attempts <= 0 {
+		rc.Attempts = 4
+	}
+	if rc.BaseDelay <= 0 {
+		rc.BaseDelay = 50 * time.Millisecond
+	}
+	if rc.MaxDelay <= 0 {
+		rc.MaxDelay = 2 * time.Second
+	}
+	if rc.Jitter <= 0 || rc.Jitter > 1 {
+		rc.Jitter = 0.5
+	}
+	if rc.Sleep == nil {
+		rc.Sleep = time.Sleep
+	}
+	seed := rc.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &retrier{RetryConfig: rc, rng: rand.New(rand.NewSource(seed))}
+}
+
+// delay computes the backoff after `failed` failed attempts (1-based).
+func (r *retrier) delay(failed int) time.Duration {
+	d := r.BaseDelay
+	for i := 1; i < failed && d < r.MaxDelay; i++ {
+		d *= 2
+	}
+	if d > r.MaxDelay {
+		d = r.MaxDelay
+	}
+	return time.Duration(float64(d) * (1 - r.Jitter*r.rng.Float64()))
+}
+
+// IsTransient reports whether err looks like a transient transport failure
+// worth retrying: connection errors and timeouts, truncated or corrupted
+// frames, or a server-busy rejection. Attestation failures (unknown
+// platform, bad quote, measurement mismatch, bad key confirmation) are
+// permanent: retrying would only re-attest the same untrusted enclave.
+func IsTransient(err error) bool {
+	if err == nil {
+		return false
+	}
+	switch {
+	case errors.Is(err, attest.ErrUnknownPlatform),
+		errors.Is(err, attest.ErrBadQuote),
+		errors.Is(err, attest.ErrMeasurementMismatch),
+		errors.Is(err, attest.ErrBadConfirmation):
+		return false
+	case errors.Is(err, ErrServerBusy),
+		errors.Is(err, attest.ErrReplay),
+		errors.Is(err, io.EOF),
+		errors.Is(err, io.ErrUnexpectedEOF),
+		errors.Is(err, io.ErrClosedPipe),
+		errors.Is(err, net.ErrClosed):
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne)
+}
+
+// DialRetry dials and attests with exponential backoff + jitter. Transient
+// failures re-dial a fresh transport; permanent failures abort immediately.
+func DialRetry(dial Dialer, as *attest.Service, expected [32]byte, role attest.Role, rc RetryConfig) (*Client, error) {
+	r := rc.norm()
+	var lastErr error
+	for attempt := 1; attempt <= r.Attempts; attempt++ {
+		if attempt > 1 {
+			r.Sleep(r.delay(attempt - 1))
+		}
+		conn, err := dial()
+		if err == nil {
+			var c *Client
+			if c, err = Dial(conn, as, expected, role); err == nil {
+				return c, nil
+			}
+			_ = conn.Close()
+		}
+		if !IsTransient(err) {
+			return nil, err
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("ccaas: dial failed after %d attempts: %w", r.Attempts, lastErr)
+}
+
+// Retry runs one full session — dial, handshake, then fn (typically the
+// SendBinary→SendData→Run sequence) — and re-runs it from scratch on a
+// transient failure. This is safe to repeat because a session mutates
+// nothing outside its own enclave, and every attempt gets a fresh enclave.
+func Retry(dial Dialer, as *attest.Service, expected [32]byte, role attest.Role, rc RetryConfig, fn func(*Client) error) error {
+	r := rc.norm()
+	var lastErr error
+	for attempt := 1; attempt <= r.Attempts; attempt++ {
+		if attempt > 1 {
+			r.Sleep(r.delay(attempt - 1))
+		}
+		err := func() error {
+			conn, err := dial()
+			if err != nil {
+				return err
+			}
+			defer conn.Close()
+			c, err := Dial(conn, as, expected, role)
+			if err != nil {
+				return err
+			}
+			if err := fn(c); err != nil {
+				return err
+			}
+			return c.Close()
+		}()
+		if err == nil {
+			return nil
+		}
+		if !IsTransient(err) {
+			return err
+		}
+		lastErr = err
+	}
+	return fmt.Errorf("ccaas: session failed after %d attempts: %w", r.Attempts, lastErr)
+}

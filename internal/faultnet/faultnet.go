@@ -1,0 +1,256 @@
+// Package faultnet wraps a connection with deterministic, seedable fault
+// injection — latency, partial writes, mid-frame connection drops, bit-flip
+// corruption and stalls — for chaos-testing session layers such as the
+// CCaaS server. The wrapper implements net.Conn; when the inner transport
+// is a plain io.ReadWriter the net.Conn-only methods (addresses, deadlines)
+// degrade to harmless no-ops so the same wrapper works over in-process
+// pipes and buffers.
+//
+// All faults are keyed to byte offsets in the write stream and to a seeded
+// RNG, so a given Config reproduces the exact same failure every run.
+package faultnet
+
+import (
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// Config selects which faults to inject. The zero value injects nothing
+// (the wrapper is then a transparent pass-through).
+type Config struct {
+	// Seed makes the injected faults reproducible (0 is treated as 1).
+	Seed int64
+
+	// ReadLatency and WriteLatency delay every read / write operation.
+	ReadLatency  time.Duration
+	WriteLatency time.Duration
+
+	// PartialWrites splits each Write into short randomly-sized bursts,
+	// exercising the peer's frame reassembly. Not an error by itself: a
+	// correct frame layer must reassemble the stream.
+	PartialWrites bool
+
+	// DropAfterBytes hard-closes the transport once that many bytes have
+	// been written through the wrapper, truncating whatever frame is in
+	// flight (0 = never). The write that crosses the threshold returns a
+	// short count plus ErrDropped.
+	DropAfterBytes int64
+
+	// CorruptAtByte flips one random bit of the write stream at that byte
+	// offset, once (0 = never). On an AEAD-sealed channel the peer must
+	// observe an authentication failure, never silent corruption.
+	CorruptAtByte int64
+
+	// StallAfterBytes blocks every Write after that many written bytes
+	// until the connection is closed (0 = never). Simulates a peer that
+	// stops mid-frame without closing, which only I/O deadlines can cure.
+	StallAfterBytes int64
+
+	// RecordTranscript keeps a copy of every byte written through the
+	// wrapper, readable via Transcript — used to assert that nothing
+	// unsealed ever crosses the wire.
+	RecordTranscript bool
+}
+
+// faultErr is a net.Error so retry layers classify injected faults the same
+// way they classify real transport failures.
+type faultErr struct {
+	msg     string
+	timeout bool
+}
+
+func (e *faultErr) Error() string   { return e.msg }
+func (e *faultErr) Timeout() bool   { return e.timeout }
+func (e *faultErr) Temporary() bool { return true }
+
+var (
+	// ErrDropped is returned by writes after the injected connection drop.
+	ErrDropped net.Error = &faultErr{msg: "faultnet: connection dropped by fault injection"}
+	// ErrStalled is returned by a stalled write once the conn is closed.
+	ErrStalled net.Error = &faultErr{msg: "faultnet: write stalled by fault injection", timeout: true}
+)
+
+// Conn is a fault-injecting transport wrapper.
+type Conn struct {
+	inner io.ReadWriter
+	nc    net.Conn // non-nil when inner is a real net.Conn
+	cfg   Config
+
+	mu         sync.Mutex
+	rng        *rand.Rand
+	written    int64
+	corrupted  bool
+	dropped    bool
+	transcript []byte
+
+	closed    chan struct{}
+	closeOnce sync.Once
+}
+
+// Wrap builds a fault-injecting wrapper around rw.
+func Wrap(rw io.ReadWriter, cfg Config) *Conn {
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	c := &Conn{
+		inner:  rw,
+		cfg:    cfg,
+		rng:    rand.New(rand.NewSource(seed)),
+		closed: make(chan struct{}),
+	}
+	if nc, ok := rw.(net.Conn); ok {
+		c.nc = nc
+	}
+	return c
+}
+
+// sleep waits for d or until the connection is closed.
+func (c *Conn) sleep(d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-c.closed:
+	}
+}
+
+func (c *Conn) Read(p []byte) (int, error) {
+	if c.cfg.ReadLatency > 0 {
+		c.sleep(c.cfg.ReadLatency)
+	}
+	return c.inner.Read(p)
+}
+
+func (c *Conn) Write(p []byte) (int, error) {
+	if c.cfg.WriteLatency > 0 {
+		c.sleep(c.cfg.WriteLatency)
+	}
+
+	c.mu.Lock()
+	if c.dropped {
+		c.mu.Unlock()
+		return 0, ErrDropped
+	}
+	if c.cfg.StallAfterBytes > 0 && c.written >= c.cfg.StallAfterBytes {
+		c.mu.Unlock()
+		<-c.closed
+		return 0, ErrStalled
+	}
+
+	buf := append([]byte(nil), p...)
+	if c.cfg.CorruptAtByte > 0 && !c.corrupted {
+		if off := c.cfg.CorruptAtByte - c.written; off >= 0 && off < int64(len(buf)) {
+			buf[off] ^= 1 << uint(c.rng.Intn(8))
+			c.corrupted = true
+		}
+	}
+	limit := len(buf)
+	drop := false
+	if c.cfg.DropAfterBytes > 0 && c.written+int64(len(buf)) > c.cfg.DropAfterBytes {
+		limit = int(c.cfg.DropAfterBytes - c.written)
+		drop = true
+	}
+
+	n := 0
+	for n < limit {
+		chunk := limit - n
+		if c.cfg.PartialWrites {
+			if chunk > 8 {
+				chunk = 1 + c.rng.Intn(8)
+			}
+		}
+		m, err := c.inner.Write(buf[n : n+chunk])
+		n += m
+		c.written += int64(m)
+		if c.cfg.RecordTranscript {
+			c.transcript = append(c.transcript, buf[n-m:n]...)
+		}
+		if err != nil {
+			c.mu.Unlock()
+			return n, err
+		}
+	}
+	if drop {
+		c.dropped = true
+		c.mu.Unlock()
+		c.closeInner()
+		return n, ErrDropped
+	}
+	c.mu.Unlock()
+	return n, nil
+}
+
+func (c *Conn) closeInner() {
+	if cl, ok := c.inner.(io.Closer); ok {
+		_ = cl.Close()
+	}
+}
+
+// Close unblocks stalled operations and closes the inner transport.
+func (c *Conn) Close() error {
+	c.closeOnce.Do(func() {
+		close(c.closed)
+		c.closeInner()
+	})
+	return nil
+}
+
+// Transcript returns a copy of every byte written so far (only recorded
+// when Config.RecordTranscript is set).
+func (c *Conn) Transcript() []byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]byte(nil), c.transcript...)
+}
+
+// BytesWritten reports how many bytes have crossed the wrapper.
+func (c *Conn) BytesWritten() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.written
+}
+
+// fakeAddr stands in for transports that have no address.
+type fakeAddr struct{}
+
+func (fakeAddr) Network() string { return "faultnet" }
+func (fakeAddr) String() string  { return "faultnet" }
+
+func (c *Conn) LocalAddr() net.Addr {
+	if c.nc != nil {
+		return c.nc.LocalAddr()
+	}
+	return fakeAddr{}
+}
+
+func (c *Conn) RemoteAddr() net.Addr {
+	if c.nc != nil {
+		return c.nc.RemoteAddr()
+	}
+	return fakeAddr{}
+}
+
+func (c *Conn) SetDeadline(t time.Time) error {
+	if c.nc != nil {
+		return c.nc.SetDeadline(t)
+	}
+	return nil
+}
+
+func (c *Conn) SetReadDeadline(t time.Time) error {
+	if c.nc != nil {
+		return c.nc.SetReadDeadline(t)
+	}
+	return nil
+}
+
+func (c *Conn) SetWriteDeadline(t time.Time) error {
+	if c.nc != nil {
+		return c.nc.SetWriteDeadline(t)
+	}
+	return nil
+}

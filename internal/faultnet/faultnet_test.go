@@ -1,0 +1,211 @@
+package faultnet
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// chunkRecorder records the size of every write it receives.
+type chunkRecorder struct {
+	mu     sync.Mutex
+	buf    bytes.Buffer
+	chunks []int
+}
+
+func (r *chunkRecorder) Write(p []byte) (int, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.chunks = append(r.chunks, len(p))
+	return r.buf.Write(p)
+}
+
+func (r *chunkRecorder) Read(p []byte) (int, error) { return r.buf.Read(p) }
+
+func TestPassThrough(t *testing.T) {
+	var rec chunkRecorder
+	c := Wrap(&rec, Config{})
+	msg := []byte("hello through the wrapper")
+	n, err := c.Write(msg)
+	if err != nil || n != len(msg) {
+		t.Fatalf("write = %d, %v", n, err)
+	}
+	if !bytes.Equal(rec.buf.Bytes(), msg) {
+		t.Fatalf("inner got %q", rec.buf.Bytes())
+	}
+	out := make([]byte, len(msg))
+	if _, err := io.ReadFull(c, out); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, msg) {
+		t.Fatalf("read back %q", out)
+	}
+}
+
+func TestPartialWritesDeterministic(t *testing.T) {
+	payload := bytes.Repeat([]byte("abcdefgh"), 64)
+	run := func(seed int64) []int {
+		var rec chunkRecorder
+		c := Wrap(&rec, Config{Seed: seed, PartialWrites: true})
+		if n, err := c.Write(payload); err != nil || n != len(payload) {
+			t.Fatalf("write = %d, %v", n, err)
+		}
+		if !bytes.Equal(rec.buf.Bytes(), payload) {
+			t.Fatal("partial writes corrupted the stream")
+		}
+		return rec.chunks
+	}
+	a, b := run(7), run(7)
+	if len(a) < 2 {
+		t.Fatalf("expected chunked writes, got %d chunk(s)", len(a))
+	}
+	if len(a) != len(b) {
+		t.Fatalf("same seed, different schedules: %d vs %d chunks", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed, chunk %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestDropAfterBytes(t *testing.T) {
+	server, client := net.Pipe()
+	defer server.Close()
+	go func() { _, _ = io.Copy(io.Discard, server) }()
+
+	c := Wrap(client, Config{DropAfterBytes: 10})
+	n, err := c.Write(make([]byte, 100))
+	if n != 10 || !errors.Is(err, ErrDropped) {
+		t.Fatalf("write = %d, %v; want 10, ErrDropped", n, err)
+	}
+	if _, err := c.Write([]byte("more")); !errors.Is(err, ErrDropped) {
+		t.Fatalf("post-drop write err = %v", err)
+	}
+	// The inner transport must be closed so the peer sees the truncation.
+	if _, err := client.Write([]byte("x")); err == nil {
+		t.Fatal("inner conn still open after drop")
+	}
+}
+
+func TestCorruptAtByteFlipsExactlyOneBit(t *testing.T) {
+	payload := bytes.Repeat([]byte{0x00}, 64)
+	var rec chunkRecorder
+	c := Wrap(&rec, Config{Seed: 3, CorruptAtByte: 20})
+	if n, err := c.Write(payload); err != nil || n != len(payload) {
+		t.Fatalf("write = %d, %v", n, err)
+	}
+	got := rec.buf.Bytes()
+	diff := 0
+	for i := range got {
+		if got[i] != payload[i] {
+			diff++
+			if i != 20 {
+				t.Fatalf("corruption at byte %d, want 20", i)
+			}
+			if b := got[i]; b&(b-1) != 0 {
+				t.Fatalf("byte %d = %#x, want a single flipped bit", i, b)
+			}
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("%d corrupted bytes, want exactly 1", diff)
+	}
+	// The flip happens once: a second pass over the same offset is clean.
+	rec.buf.Reset()
+	if _, err := c.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rec.buf.Bytes(), payload) {
+		t.Fatal("corruption injected more than once")
+	}
+}
+
+func TestStallAfterBytes(t *testing.T) {
+	var rec chunkRecorder
+	c := Wrap(&rec, Config{StallAfterBytes: 4})
+	if n, err := c.Write([]byte{1, 2, 3, 4}); err != nil || n != 4 {
+		t.Fatalf("write = %d, %v", n, err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Write([]byte("stalls"))
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("stalled write returned early: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	c.Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrStalled) {
+			t.Fatalf("stalled write err = %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("stalled write never unblocked after Close")
+	}
+	var ne net.Error
+	if !errors.As(ErrStalled, &ne) || !ne.Timeout() {
+		t.Fatal("ErrStalled should be a timeout net.Error")
+	}
+}
+
+func TestLatency(t *testing.T) {
+	var rec chunkRecorder
+	c := Wrap(&rec, Config{WriteLatency: 30 * time.Millisecond})
+	start := time.Now()
+	if _, err := c.Write([]byte("slow")); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Fatalf("write completed in %v, want >= 30ms", d)
+	}
+}
+
+func TestTranscript(t *testing.T) {
+	var rec chunkRecorder
+	c := Wrap(&rec, Config{RecordTranscript: true, PartialWrites: true, Seed: 9})
+	msg := bytes.Repeat([]byte("sealed-bytes"), 16)
+	if _, err := c.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(c.Transcript(), msg) {
+		t.Fatal("transcript does not match written bytes")
+	}
+	if c.BytesWritten() != int64(len(msg)) {
+		t.Fatalf("BytesWritten = %d", c.BytesWritten())
+	}
+}
+
+func TestNetConnDegradation(t *testing.T) {
+	// Over a plain io.ReadWriter the net.Conn surface degrades to no-ops.
+	var rec chunkRecorder
+	c := Wrap(&rec, Config{})
+	if err := c.SetDeadline(time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	if c.LocalAddr() == nil || c.RemoteAddr() == nil {
+		t.Fatal("nil addresses for non-net.Conn transport")
+	}
+
+	// Over a real net.Conn deadlines pass through.
+	server, client := net.Pipe()
+	defer server.Close()
+	fc := Wrap(client, Config{})
+	defer fc.Close()
+	if err := fc.SetReadDeadline(time.Now().Add(20 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1)
+	_, err := fc.Read(buf)
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Fatalf("read err = %v, want deadline timeout", err)
+	}
+}
