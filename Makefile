@@ -1,12 +1,16 @@
 GO ?= go
 
-.PHONY: check build vet test race chaos bench
+.PHONY: check build fmt vet test race chaos bench metrics-smoke
 
 # Tier-1 gate: what CI must keep green.
-check: build vet race
+check: build fmt vet race
 
 build:
 	$(GO) build ./...
+
+# gofmt -l prints offending files; fail if it prints anything.
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...
@@ -24,3 +28,8 @@ chaos:
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+# Boots the real deflection-serve binary with -metrics-addr, scrapes
+# /metrics and /healthz after the demo session, and checks a clean drain.
+metrics-smoke:
+	$(GO) test -v -run TestMetricsSmoke ./cmd/deflection-serve/

@@ -69,7 +69,8 @@ func run() int {
 		aex      = flag.Uint64("aex-interval", 0, "inject an AEX every ~N instructions (0 = off)")
 		paper    = flag.Bool("paper", false, "use the paper's 96MB enclave memory budget")
 		verbose  = flag.Bool("v", false, "print verification statistics")
-		trace    = flag.Int("trace", 0, "print the first N executed instructions")
+		trace    = flag.Bool("trace", false, "print the pipeline stage trace and per-policy audit trail")
+		itrace   = flag.Int("itrace", 0, "print the first N executed instructions")
 	)
 	flag.Var(&params, "param", "8-byte integer parameter (repeatable)")
 	flag.Parse()
@@ -108,6 +109,20 @@ func run() int {
 	}
 	fmt.Printf("load+verify: ACCEPTED in %v (text %d bytes, hash %x)\n",
 		time.Since(start).Round(time.Microsecond), rep.TextSize, rep.BinaryHash[:8])
+	if *trace {
+		fmt.Print(rep.Trace.Text())
+		fmt.Println("policy audit:")
+		for _, a := range rep.Audit {
+			verdict := "PASS"
+			if !a.Passed {
+				verdict = "FAIL"
+			}
+			if !a.Required {
+				verdict = "SKIP"
+			}
+			fmt.Printf("  %-3s %s  checks=%d dur=%v  %s\n", a.Policy, verdict, a.Checks, a.Duration, a.Detail)
+		}
+	}
 	if *verbose {
 		fmt.Printf("  instructions checked: %d\n", rep.Stats.Instructions)
 		fmt.Printf("  store guards: %d, rsp guards: %d, cfi guards: %d\n",
@@ -131,8 +146,8 @@ func run() int {
 	}
 
 	rc := runtime.RunConfig{Gas: *gas, AEXInterval: *aex}
-	if *trace > 0 {
-		left := *trace
+	if *itrace > 0 {
+		left := *itrace
 		rc.Trace = func(rip uint64, in isa.Inst) {
 			if left > 0 {
 				fmt.Printf("  %#08x  %s\n", rip, in.String())

@@ -6,21 +6,28 @@
 //
 // The host runs with production lifecycle defaults: per-message I/O
 // timeouts, a whole-session deadline, a concurrent-session cap, and a
-// graceful drain on SIGINT/SIGTERM.
+// graceful drain on SIGINT/SIGTERM. All server-side events go through one
+// structured key=value logger with session IDs; -metrics-addr exposes the
+// live metrics registry as JSON (plus /healthz) and a periodic summary
+// line. With both -demo and -metrics-addr set, the server keeps serving
+// after the demo session so the endpoint can be scraped.
 //
 // Usage:
 //
-//	deflection-serve                      # demo: server + both parties
-//	deflection-serve -addr :7055 -demo=false   # server only
+//	deflection-serve                            # demo: server + both parties
+//	deflection-serve -addr :7055 -demo=false    # server only
+//	deflection-serve -metrics-addr 127.0.0.1:9090
 package main
 
 import (
 	"context"
 	"encoding/binary"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -29,6 +36,7 @@ import (
 	"deflection"
 	"deflection/attest"
 	"deflection/internal/ccaas"
+	"deflection/internal/obs"
 	"deflection/internal/runtime"
 )
 
@@ -48,15 +56,21 @@ func main() {
 
 func run() int {
 	var (
-		addr           = flag.String("addr", "127.0.0.1:0", "listen address")
-		policies       = flag.String("policies", "p1-p6", "required policy set")
-		demo           = flag.Bool("demo", true, "run an in-process client session against the server")
-		maxSessions    = flag.Int("max-sessions", 256, "concurrent session cap (0 = unlimited)")
-		ioTimeout      = flag.Duration("io-timeout", 30*time.Second, "per-message read/write timeout (0 = none)")
-		sessionTimeout = flag.Duration("session-timeout", 5*time.Minute, "whole-session deadline (0 = none)")
-		drain          = flag.Duration("drain", 15*time.Second, "graceful-shutdown drain budget before force-closing sessions")
+		addr            = flag.String("addr", "127.0.0.1:0", "listen address")
+		policies        = flag.String("policies", "p1-p6", "required policy set")
+		demo            = flag.Bool("demo", true, "run an in-process client session against the server")
+		maxSessions     = flag.Int("max-sessions", 256, "concurrent session cap (0 = unlimited)")
+		ioTimeout       = flag.Duration("io-timeout", 30*time.Second, "per-message read/write timeout (0 = none)")
+		sessionTimeout  = flag.Duration("session-timeout", 5*time.Minute, "whole-session deadline (0 = none)")
+		drain           = flag.Duration("drain", 15*time.Second, "graceful-shutdown drain budget before force-closing sessions")
+		metricsAddr     = flag.String("metrics-addr", "", "serve JSON metrics on this address (/metrics, /healthz; empty = off)")
+		metricsInterval = flag.Duration("metrics-interval", time.Minute, "period of the metrics summary log line")
 	)
 	flag.Parse()
+
+	logger := obs.NewLogger(os.Stderr)
+	reg := obs.NewRegistry()
+
 	pols, err := deflection.ParsePolicies(*policies)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -77,9 +91,8 @@ func run() int {
 		MaxSessions:    *maxSessions,
 		IOTimeout:      *ioTimeout,
 		SessionTimeout: *sessionTimeout,
-		Logf: func(format string, args ...any) {
-			fmt.Fprintf(os.Stderr, format+"\n", args...)
-		},
+		Log:            logger.Log,
+		Metrics:        reg,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -96,11 +109,46 @@ func run() int {
 		return 1
 	}
 	defer l.Close()
-	fmt.Printf("CCaaS host listening on %s\n", l.Addr())
-	fmt.Printf("bootstrap enclave measurement: %x\n", meas)
-	fmt.Printf("required policies: %s\n", pols)
-	fmt.Printf("limits: %d sessions, io timeout %v, session timeout %v\n",
-		*maxSessions, *ioTimeout, *sessionTimeout)
+	logger.Log("listening", "addr", l.Addr(),
+		"measurement", fmt.Sprintf("%x", meas[:8]),
+		"policies", pols,
+		"max_sessions", *maxSessions,
+		"io_timeout", *ioTimeout,
+		"session_timeout", *sessionTimeout)
+
+	if *metricsAddr != "" {
+		ml, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer ml.Close()
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", reg.Handler())
+		mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+			status := "ok"
+			if srv.Draining() {
+				status = "draining"
+			}
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(map[string]any{
+				"status":          status,
+				"active_sessions": srv.ActiveSessions(),
+			})
+		})
+		go func() { _ = http.Serve(ml, mux) }()
+		logger.Log("metrics_listening", "addr", ml.Addr())
+	}
+
+	if *metricsInterval > 0 {
+		ticker := time.NewTicker(*metricsInterval)
+		defer ticker.Stop()
+		go func() {
+			for range ticker.C {
+				logger.Log("metrics_summary", "metrics", reg.Summary())
+			}
+		}()
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -108,7 +156,9 @@ func run() int {
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(l) }()
 
-	if !*demo {
+	// waitAndDrain blocks until the server dies or a signal arrives, then
+	// drains gracefully.
+	waitAndDrain := func() int {
 		select {
 		case err := <-serveErr:
 			if err != nil {
@@ -118,18 +168,22 @@ func run() int {
 			return 0
 		case <-ctx.Done():
 			stop()
-			fmt.Println("\nsignal received: draining sessions...")
+			logger.Log("draining", "budget", *drain)
 			sctx, cancel := context.WithTimeout(context.Background(), *drain)
 			defer cancel()
 			if err := srv.Shutdown(sctx); err != nil {
-				fmt.Fprintf(os.Stderr, "forced shutdown after %v drain: %v\n", *drain, err)
+				logger.Log("forced_shutdown", "after", *drain, "err", err)
 				<-serveErr
 				return 1
 			}
 			<-serveErr
-			fmt.Println("all sessions drained, server stopped")
+			logger.Log("stopped", "drained", true)
 			return 0
 		}
+	}
+
+	if !*demo {
+		return waitAndDrain()
 	}
 
 	// ---- Demo session: code provider + data owner on one connection,
@@ -137,12 +191,12 @@ func run() int {
 	dial := func() (io.ReadWriteCloser, error) {
 		return net.Dial("tcp", l.Addr().String())
 	}
-	client, err := ccaas.DialRetry(dial, as, meas, attest.RoleCodeProvider, ccaas.RetryConfig{})
+	client, err := ccaas.DialRetry(dial, as, meas, attest.RoleCodeProvider, ccaas.RetryConfig{Metrics: reg})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "attestation failed: %v\n", err)
 		return 1
 	}
-	fmt.Println("\n[party] attested the enclave, session channel established")
+	fmt.Println("[party] attested the enclave, session channel established")
 
 	bin, err := deflection.Generate(demoService, deflection.GeneratorOptions{Policies: pols})
 	if err != nil {
@@ -183,6 +237,13 @@ func run() int {
 		return 1
 	}
 	fmt.Println("[party] session closed")
+	logger.Log("demo_complete", "metrics", reg.Summary())
+
+	// With a metrics endpoint up, stay alive after the demo so the
+	// registry can be scraped; shut down on SIGINT/SIGTERM.
+	if *metricsAddr != "" {
+		return waitAndDrain()
+	}
 
 	sctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()

@@ -1,0 +1,160 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"regexp"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestMain re-execs the test binary as the real server when the marker env
+// var is set, so TestMetricsSmoke can drive a genuine separate process
+// without a build step.
+func TestMain(m *testing.M) {
+	if os.Getenv("DEFLECTION_SERVE_RUN_MAIN") == "1" {
+		os.Exit(run())
+	}
+	os.Exit(m.Run())
+}
+
+var metricsAddrRE = regexp.MustCompile(`event=metrics_listening addr=([0-9.:]+)`)
+
+// TestMetricsSmoke starts deflection-serve with -demo and -metrics-addr,
+// waits for the in-process demo session to finish, scrapes /metrics and
+// /healthz, asserts the session counters moved, and shuts the server down
+// with SIGTERM expecting a clean exit.
+func TestMetricsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns a server process")
+	}
+	cmd := exec.Command(os.Args[0],
+		"-addr", "127.0.0.1:0",
+		"-metrics-addr", "127.0.0.1:0",
+		"-metrics-interval", "50ms",
+		"-drain", "5s")
+	cmd.Env = append(os.Environ(), "DEFLECTION_SERVE_RUN_MAIN=1")
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stdout = io.Discard
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = cmd.Process.Kill() }()
+
+	// Scan the structured log for the metrics address, the demo completion
+	// marker and at least one periodic summary line.
+	var metricsAddr string
+	demoDone := make(chan struct{})
+	summarySeen := make(chan struct{})
+	scanErr := make(chan error, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		var demoClosed, summaryClosed bool
+		for sc.Scan() {
+			line := sc.Text()
+			if m := metricsAddrRE.FindStringSubmatch(line); m != nil {
+				metricsAddr = m[1]
+			}
+			if !demoClosed && metricsAddr != "" &&
+				regexp.MustCompile(`event=demo_complete`).MatchString(line) {
+				demoClosed = true
+				close(demoDone)
+			}
+			if !summaryClosed && regexp.MustCompile(`event=metrics_summary`).MatchString(line) {
+				summaryClosed = true
+				close(summarySeen)
+			}
+		}
+		scanErr <- sc.Err()
+	}()
+
+	select {
+	case <-demoDone:
+	case <-time.After(60 * time.Second):
+		t.Fatal("demo session did not complete within 60s")
+	}
+
+	// Scrape the metrics endpoint and check the demo session registered.
+	resp, err := http.Get(fmt.Sprintf("http://%s/metrics", metricsAddr))
+	if err != nil {
+		t.Fatalf("scraping /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("/metrics content-type = %q", ct)
+	}
+	var snap struct {
+		Counters   map[string]int64          `json:"counters"`
+		Gauges     map[string]int64          `json:"gauges"`
+		Histograms map[string]map[string]any `json:"histograms"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatalf("/metrics is not JSON: %v", err)
+	}
+	for _, name := range []string{
+		"ccaas_sessions_accepted_total",
+		"ccaas_binaries_verified_total",
+		"ccaas_runs_total",
+	} {
+		if got := snap.Counters[name]; got < 1 {
+			t.Errorf("%s = %d after the demo session, want >= 1", name, got)
+		}
+	}
+	if _, ok := snap.Gauges["ccaas_sessions_active"]; !ok {
+		t.Error("ccaas_sessions_active gauge missing")
+	}
+	for _, name := range []string{"ccaas_session_seconds", "ccaas_attest_seconds", "ccaas_load_seconds", "ccaas_run_seconds"} {
+		if _, ok := snap.Histograms[name]; !ok {
+			t.Errorf("histogram %s missing from /metrics", name)
+		}
+	}
+
+	hresp, err := http.Get(fmt.Sprintf("http://%s/healthz", metricsAddr))
+	if err != nil {
+		t.Fatalf("scraping /healthz: %v", err)
+	}
+	defer hresp.Body.Close()
+	var health struct {
+		Status         string `json:"status"`
+		ActiveSessions int    `json:"active_sessions"`
+	}
+	if err := json.NewDecoder(hresp.Body).Decode(&health); err != nil {
+		t.Fatalf("/healthz is not JSON: %v", err)
+	}
+	if health.Status != "ok" {
+		t.Errorf("/healthz status = %q, want ok", health.Status)
+	}
+
+	select {
+	case <-summarySeen:
+	case <-time.After(10 * time.Second):
+		t.Error("no metrics_summary log line within 10s")
+	}
+
+	// Graceful shutdown on SIGTERM must exit 0.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	waitDone := make(chan error, 1)
+	go func() { waitDone <- cmd.Wait() }()
+	select {
+	case err := <-waitDone:
+		if err != nil {
+			t.Fatalf("server did not exit cleanly after SIGTERM: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("server did not exit within 30s of SIGTERM")
+	}
+	if err := <-scanErr; err != nil {
+		t.Fatalf("reading server log: %v", err)
+	}
+}

@@ -1,0 +1,107 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"deflection/internal/compiler"
+	"deflection/internal/dclib"
+	"deflection/internal/enclave"
+	"deflection/internal/nbench"
+	"deflection/internal/policy"
+	"deflection/internal/runtime"
+)
+
+// StageRow is one binary's load+verify cost broken down by pipeline stage,
+// taken from the bootstrap's stage trace rather than a single outer timer.
+type StageRow struct {
+	Name      string
+	TextBytes int
+	Parse     time.Duration
+	Load      time.Duration
+	Disasm    time.Duration
+	Policies  time.Duration // sum of the per-policy template-matching passes
+	Rewrite   time.Duration
+	Total     time.Duration // sum of all traced spans
+}
+
+// StagesResult breaks the Table-2-style turnaround down per pipeline stage,
+// answering where the ECall-to-accept time actually goes.
+type StagesResult struct {
+	Rows []StageRow
+}
+
+// Stages measures the per-stage cost of the full verification pipeline for
+// every nBench kernel under P1-P6, using the stage trace each ReceiveBinary
+// records.
+func Stages() (*StagesResult, error) {
+	res := &StagesResult{}
+	for _, k := range nbench.Kernels() {
+		o, err := compiler.Compile(dclib.Program(k.Source), compiler.Options{Policies: policy.SetP1P6})
+		if err != nil {
+			return nil, err
+		}
+		objBytes := o.Marshal()
+
+		m := runtime.DefaultManifest()
+		m.Policies = policy.SetP1P6
+		b, err := runtime.New(enclave.DefaultConfig(), m)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := b.ReceiveBinary(objBytes)
+		if err != nil {
+			return nil, fmt.Errorf("bench: stages %s: %w", k.Name, err)
+		}
+		tr := rep.Trace
+		res.Rows = append(res.Rows, StageRow{
+			Name:      k.Name,
+			TextBytes: rep.TextSize,
+			Parse:     tr.Dur("parse"),
+			Load:      tr.Dur("load"),
+			Disasm:    tr.Dur("disasm"),
+			Policies:  tr.DurPrefix("policy/") + tr.Dur("discipline"),
+			Rewrite:   tr.Dur("rewrite"),
+			Total:     tr.Total(),
+		})
+	}
+	return res, nil
+}
+
+// String renders the per-stage breakdown with each stage's share of the
+// total pipeline time.
+func (r *StagesResult) String() string {
+	t := &table{header: []string{"binary", "text", "parse", "load", "disasm", "policies", "rewrite", "total"}}
+	var sums StageRow
+	cell := func(d, total time.Duration) string {
+		share := 0.0
+		if total > 0 {
+			share = float64(d) / float64(total) * 100
+		}
+		return fmt.Sprintf("%v (%.0f%%)", d.Round(time.Microsecond), share)
+	}
+	for _, row := range r.Rows {
+		t.add(row.Name,
+			fmt.Sprintf("%d KiB", row.TextBytes/1024),
+			cell(row.Parse, row.Total),
+			cell(row.Load, row.Total),
+			cell(row.Disasm, row.Total),
+			cell(row.Policies, row.Total),
+			cell(row.Rewrite, row.Total),
+			row.Total.Round(time.Microsecond).String())
+		sums.Parse += row.Parse
+		sums.Load += row.Load
+		sums.Disasm += row.Disasm
+		sums.Policies += row.Policies
+		sums.Rewrite += row.Rewrite
+		sums.Total += row.Total
+	}
+	t.add("TOTAL", "",
+		cell(sums.Parse, sums.Total),
+		cell(sums.Load, sums.Total),
+		cell(sums.Disasm, sums.Total),
+		cell(sums.Policies, sums.Total),
+		cell(sums.Rewrite, sums.Total),
+		sums.Total.Round(time.Microsecond).String())
+	return "Verification pipeline stage breakdown (full P1-P6)\n" + t.String()
+}

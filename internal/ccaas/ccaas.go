@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"time"
 
 	"deflection/attest"
 	"deflection/internal/cpu"
@@ -74,14 +75,32 @@ type RunReply struct {
 // in the session (verifier, loader, emulator) is converted into an error so
 // it kills only this session, never the server.
 func (s *Server) Handle(transport io.ReadWriter) (err error) {
+	m := s.metrics()
+	sid := s.sessionSeq.Add(1)
+	start := time.Now()
+	admitted := false
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("ccaas: session panic: %v", r)
+			m.Counter("ccaas_sessions_panicked_total").Inc()
 		}
+		if err != nil && isTimeoutErr(err) {
+			m.Counter("ccaas_sessions_timed_out_total").Inc()
+		}
+		if admitted {
+			m.Gauge("ccaas_sessions_active").Add(-1)
+			m.Histogram("ccaas_session_seconds").ObserveDuration(time.Since(start))
+		}
+		outcome := "ok"
+		if err != nil {
+			outcome = err.Error()
+		}
+		s.log("session_end", "sid", sid, "dur", time.Since(start), "outcome", outcome)
 	}()
 
-	release, admit, reason := s.acquire(transport)
+	release, admit, reason, draining := s.acquire(transport)
 	defer release()
+	s.log("session_start", "sid", sid, "admit", admit)
 
 	conn := newDeadlineRW(transport, s.cfg.IOTimeout, s.cfg.SessionTimeout)
 
@@ -89,6 +108,7 @@ func (s *Server) Handle(transport io.ReadWriter) (err error) {
 	if err != nil {
 		return err
 	}
+	attestStart := time.Now()
 	sess, err := attest.NewEnclaveSession(s.cfg.Platform, meas)
 	if err != nil {
 		return err
@@ -100,16 +120,24 @@ func (s *Server) Handle(transport io.ReadWriter) (err error) {
 	if err != nil {
 		return err
 	}
+	m.Histogram("ccaas_attest_seconds").ObserveDuration(time.Since(attestStart))
 
 	reply := func(v any) error {
 		payload, err := json.Marshal(v)
 		if err != nil {
 			return fmt.Errorf("ccaas: %w", err)
 		}
-		return attest.WriteFrame(conn, ch.Seal(payload))
+		sealed := ch.Seal(payload)
+		m.Counter("ccaas_bytes_sealed_total").Add(int64(len(sealed)))
+		return attest.WriteFrame(conn, sealed)
 	}
 
 	if !admit {
+		if draining {
+			m.Counter("ccaas_sessions_drained_total").Inc()
+		} else {
+			m.Counter("ccaas_sessions_rejected_busy_total").Inc()
+		}
 		// Reject over the attested channel so the party can tell an
 		// authenticated capacity rejection from an attack. The party may
 		// already be mid-send on a synchronous transport (net.Pipe), so
@@ -121,6 +149,10 @@ func (s *Server) Handle(transport io.ReadWriter) (err error) {
 		}
 		return fmt.Errorf("%w: %s", ErrServerBusy, reason)
 	}
+
+	m.Counter("ccaas_sessions_accepted_total").Inc()
+	m.Gauge("ccaas_sessions_active").Add(1)
+	admitted = true
 
 	// Only admitted sessions pay for an enclave.
 	boot, err := runtime.New(s.cfg.Enclave, s.manifest())
@@ -137,18 +169,26 @@ func (s *Server) Handle(transport io.ReadWriter) (err error) {
 		if err != nil {
 			return err
 		}
+		m.Counter("ccaas_bytes_unsealed_total").Add(int64(len(msg)))
 		if len(msg) == 0 {
 			return errors.New("ccaas: empty message")
 		}
 		switch msg[0] {
 		case tagBinary:
+			loadStart := time.Now()
 			rep, err := boot.ReceiveBinary(msg[1:])
+			m.Histogram("ccaas_load_seconds").ObserveDuration(time.Since(loadStart))
 			if err != nil {
+				m.Counter("ccaas_binaries_rejected_total").Inc()
+				s.log("binary_rejected", "sid", sid, "err", err)
 				if rerr := reply(loadReply{OK: false, Error: err.Error()}); rerr != nil {
 					return rerr
 				}
 				continue
 			}
+			m.Counter("ccaas_binaries_verified_total").Inc()
+			s.log("binary_verified", "sid", sid,
+				"hash", fmt.Sprintf("%x", rep.BinaryHash[:8]), "text_bytes", rep.TextSize)
 			if err := reply(loadReply{
 				OK:         true,
 				BinaryHash: rep.BinaryHash[:],
@@ -174,8 +214,12 @@ func (s *Server) Handle(transport io.ReadWriter) (err error) {
 			if runHook != nil {
 				runHook()
 			}
+			runStart := time.Now()
 			res, err := boot.Run(runtime.RunConfig{Gas: s.cfg.Gas})
+			m.Histogram("ccaas_run_seconds").ObserveDuration(time.Since(runStart))
+			m.Counter("ccaas_runs_total").Inc()
 			if err != nil {
+				m.Counter("ccaas_runs_trapped_total").Inc()
 				if rerr := reply(RunReply{Trapped: true, TrapReason: err.Error()}); rerr != nil {
 					return rerr
 				}
@@ -189,7 +233,9 @@ func (s *Server) Handle(transport io.ReadWriter) (err error) {
 			if res.CPU.Status != cpu.StatusHalt {
 				rr.Trapped = true
 				rr.TrapReason = res.CPU.Trap.String()
+				m.Counter("ccaas_runs_trapped_total").Inc()
 			}
+			s.log("run", "sid", sid, "exit", rr.Exit, "insts", rr.Insts, "trapped", rr.Trapped)
 			if err := reply(rr); err != nil {
 				return err
 			}

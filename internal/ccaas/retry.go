@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"deflection/attest"
+	"deflection/internal/obs"
 )
 
 // Dialer opens a fresh transport to a CCaaS host. Each retry attempt gets
@@ -31,6 +32,9 @@ type RetryConfig struct {
 	Seed int64
 	// Sleep replaces time.Sleep in tests.
 	Sleep func(time.Duration)
+	// Metrics, if set, receives ccaas_client_* attempt/retry/backoff
+	// counters. A nil registry is valid (throwaway metrics).
+	Metrics *obs.Registry
 }
 
 type retrier struct {
@@ -73,6 +77,27 @@ func (r *retrier) delay(failed int) time.Duration {
 	return time.Duration(float64(d) * (1 - r.Jitter*r.rng.Float64()))
 }
 
+// backoff sleeps the computed delay and records retry/backoff metrics.
+func (r *retrier) backoff(failed int) {
+	d := r.delay(failed)
+	r.Metrics.Counter("ccaas_client_retries_total").Inc()
+	r.Metrics.Histogram("ccaas_client_backoff_seconds").ObserveDuration(d)
+	r.Sleep(d)
+}
+
+// classify records the outcome of one attempt.
+func (r *retrier) classify(err error) {
+	switch {
+	case err == nil:
+	case errors.Is(err, ErrServerBusy):
+		r.Metrics.Counter("ccaas_client_busy_total").Inc()
+	case !IsTransient(err):
+		r.Metrics.Counter("ccaas_client_permanent_failures_total").Inc()
+	default:
+		r.Metrics.Counter("ccaas_client_transient_failures_total").Inc()
+	}
+}
+
 // IsTransient reports whether err looks like a transient transport failure
 // worth retrying: connection errors and timeouts, truncated or corrupted
 // frames, or a server-busy rejection. Attestation failures (unknown
@@ -107,8 +132,9 @@ func DialRetry(dial Dialer, as *attest.Service, expected [32]byte, role attest.R
 	var lastErr error
 	for attempt := 1; attempt <= r.Attempts; attempt++ {
 		if attempt > 1 {
-			r.Sleep(r.delay(attempt - 1))
+			r.backoff(attempt - 1)
 		}
+		r.Metrics.Counter("ccaas_client_attempts_total").Inc()
 		conn, err := dial()
 		if err == nil {
 			var c *Client
@@ -117,6 +143,7 @@ func DialRetry(dial Dialer, as *attest.Service, expected [32]byte, role attest.R
 			}
 			_ = conn.Close()
 		}
+		r.classify(err)
 		if !IsTransient(err) {
 			return nil, err
 		}
@@ -134,8 +161,9 @@ func Retry(dial Dialer, as *attest.Service, expected [32]byte, role attest.Role,
 	var lastErr error
 	for attempt := 1; attempt <= r.Attempts; attempt++ {
 		if attempt > 1 {
-			r.Sleep(r.delay(attempt - 1))
+			r.backoff(attempt - 1)
 		}
+		r.Metrics.Counter("ccaas_client_attempts_total").Inc()
 		err := func() error {
 			conn, err := dial()
 			if err != nil {
@@ -151,6 +179,7 @@ func Retry(dial Dialer, as *attest.Service, expected [32]byte, role attest.Role,
 			}
 			return c.Close()
 		}()
+		r.classify(err)
 		if err == nil {
 			return nil
 		}

@@ -6,11 +6,14 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"deflection/attest"
 	"deflection/internal/enclave"
+	"deflection/internal/obs"
 	"deflection/internal/policy"
 	"deflection/internal/runtime"
 )
@@ -40,7 +43,14 @@ type ServerConfig struct {
 	// MaxInputSize caps one tagData upload (0 = DefaultMaxInputSize).
 	MaxInputSize int
 	// Logf, if set, receives accept-retry and per-session error lines.
+	// Deprecated in favour of Log; kept so existing callers keep working.
 	Logf func(format string, args ...any)
+	// Log, if set, receives structured events with alternating key/value
+	// pairs (session IDs, durations, outcomes). Takes precedence over Logf.
+	Log func(event string, kv ...any)
+	// Metrics, if set, receives session/byte/timing metrics. A nil registry
+	// is valid: instrumentation then updates throwaway metrics.
+	Metrics *obs.Registry
 }
 
 // ErrServerBusy is the authenticated rejection a party receives when the
@@ -58,6 +68,8 @@ type Server struct {
 	measOnce sync.Once
 	meas     [32]byte
 	measErr  error
+
+	sessionSeq atomic.Int64 // monotonically increasing session IDs
 
 	mu        sync.Mutex
 	listeners map[net.Listener]struct{}
@@ -118,6 +130,34 @@ func (s *Server) logf(format string, args ...any) {
 	}
 }
 
+// log emits one structured event, preferring the structured sink and
+// falling back to a key=value line through the legacy Logf.
+func (s *Server) log(event string, kv ...any) {
+	switch {
+	case s.cfg.Log != nil:
+		s.cfg.Log(event, kv...)
+	case s.cfg.Logf != nil:
+		if extra := obs.KV(kv...); extra != "" {
+			s.cfg.Logf("%s %s", event, extra)
+		} else {
+			s.cfg.Logf("%s", event)
+		}
+	}
+}
+
+// metrics returns the configured registry (nil is a valid registry that
+// hands out throwaway metrics).
+func (s *Server) metrics() *obs.Registry { return s.cfg.Metrics }
+
+// isTimeoutErr classifies an I/O error as a deadline expiry.
+func isTimeoutErr(err error) bool {
+	if errors.Is(err, os.ErrDeadlineExceeded) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
 func (s *Server) isDraining() bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -131,11 +171,11 @@ func (s *Server) Draining() bool { return s.isDraining() }
 // acquire registers a session. admit=false means the server is at capacity
 // or draining; the caller must still complete attestation and deliver a
 // sealed busy rejection so the party gets an authenticated answer.
-func (s *Server) acquire(conn io.ReadWriter) (release func(), admit bool, reason string) {
+func (s *Server) acquire(conn io.ReadWriter) (release func(), admit bool, reason string, draining bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining {
-		return func() {}, false, "server is shutting down"
+		return func() {}, false, "server is shutting down", true
 	}
 	s.wg.Add(1)
 	var cl io.Closer
@@ -162,7 +202,7 @@ func (s *Server) acquire(conn io.ReadWriter) (release func(), admit bool, reason
 			s.mu.Unlock()
 			s.wg.Done()
 		})
-	}, admit, reason
+	}, admit, reason, false
 }
 
 // isTemporaryAcceptErr reports whether an Accept failure is worth retrying
@@ -208,7 +248,8 @@ func (s *Server) Serve(l net.Listener) error {
 				} else if backoff *= 2; backoff > maxBackoff {
 					backoff = maxBackoff
 				}
-				s.logf("ccaas: accept: %v (retrying in %v)", err, backoff)
+				s.metrics().Counter("ccaas_accept_retries_total").Inc()
+				s.log("accept_retry", "err", err, "backoff", backoff)
 				time.Sleep(backoff)
 				continue
 			}
@@ -218,7 +259,7 @@ func (s *Server) Serve(l net.Listener) error {
 		go func() {
 			defer conn.Close()
 			if err := s.Handle(conn); err != nil {
-				s.logf("ccaas: session %s: %v", conn.RemoteAddr(), err)
+				s.log("session_error", "remote", conn.RemoteAddr(), "err", err)
 			}
 		}()
 	}

@@ -43,6 +43,10 @@ type Result struct {
 	BlockStarts map[int64]bool
 }
 
+// Blocks returns the number of discovered basic blocks (trace/report
+// statistic).
+func (r *Result) Blocks() int { return len(r.BlockStarts) }
+
 // At returns the instruction decoded at off.
 func (r *Result) At(off int64) (Inst, bool) {
 	in, ok := r.Insts[off]

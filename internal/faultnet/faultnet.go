@@ -16,6 +16,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"deflection/internal/obs"
 )
 
 // Config selects which faults to inject. The zero value injects nothing
@@ -53,6 +55,11 @@ type Config struct {
 	// wrapper, readable via Transcript — used to assert that nothing
 	// unsealed ever crosses the wire.
 	RecordTranscript bool
+
+	// Metrics, if set, receives faultnet_* counters for every injected
+	// fault, so chaos runs can report how much adversity they actually
+	// generated. A nil registry is valid (throwaway metrics).
+	Metrics *obs.Registry
 }
 
 // faultErr is a net.Error so retry layers classify injected faults the same
@@ -120,6 +127,7 @@ func (c *Conn) sleep(d time.Duration) {
 
 func (c *Conn) Read(p []byte) (int, error) {
 	if c.cfg.ReadLatency > 0 {
+		c.cfg.Metrics.Counter("faultnet_reads_delayed_total").Inc()
 		c.sleep(c.cfg.ReadLatency)
 	}
 	return c.inner.Read(p)
@@ -127,6 +135,7 @@ func (c *Conn) Read(p []byte) (int, error) {
 
 func (c *Conn) Write(p []byte) (int, error) {
 	if c.cfg.WriteLatency > 0 {
+		c.cfg.Metrics.Counter("faultnet_writes_delayed_total").Inc()
 		c.sleep(c.cfg.WriteLatency)
 	}
 
@@ -137,6 +146,7 @@ func (c *Conn) Write(p []byte) (int, error) {
 	}
 	if c.cfg.StallAfterBytes > 0 && c.written >= c.cfg.StallAfterBytes {
 		c.mu.Unlock()
+		c.cfg.Metrics.Counter("faultnet_stalls_total").Inc()
 		<-c.closed
 		return 0, ErrStalled
 	}
@@ -146,6 +156,7 @@ func (c *Conn) Write(p []byte) (int, error) {
 		if off := c.cfg.CorruptAtByte - c.written; off >= 0 && off < int64(len(buf)) {
 			buf[off] ^= 1 << uint(c.rng.Intn(8))
 			c.corrupted = true
+			c.cfg.Metrics.Counter("faultnet_corruptions_total").Inc()
 		}
 	}
 	limit := len(buf)
@@ -177,6 +188,7 @@ func (c *Conn) Write(p []byte) (int, error) {
 	if drop {
 		c.dropped = true
 		c.mu.Unlock()
+		c.cfg.Metrics.Counter("faultnet_drops_total").Inc()
 		c.closeInner()
 		return n, ErrDropped
 	}

@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Logger writes structured key=value log lines. One Logger instance should
+// own a whole process's log stream so concurrent sessions interleave whole
+// lines, never fragments.
+type Logger struct {
+	mu    sync.Mutex
+	w     io.Writer
+	clock func() time.Time
+}
+
+// NewLogger returns a logger writing to w with the wall clock.
+func NewLogger(w io.Writer) *Logger {
+	return &Logger{w: w, clock: time.Now}
+}
+
+// SetClock replaces the timestamp source (tests).
+func (l *Logger) SetClock(clock func() time.Time) { l.clock = clock }
+
+// Log writes one line: ts=<RFC3339> event=<event> k=v k=v ...
+func (l *Logger) Log(event string, kv ...any) {
+	line := fmt.Sprintf("ts=%s event=%s", l.clock().UTC().Format(time.RFC3339Nano), event)
+	if extra := KV(kv...); extra != "" {
+		line += " " + extra
+	}
+	l.mu.Lock()
+	fmt.Fprintln(l.w, line)
+	l.mu.Unlock()
+}
+
+// KV formats alternating key/value pairs as "k1=v1 k2=v2". Values that
+// contain whitespace, quotes or '=' are quoted so lines stay parseable.
+func KV(kv ...any) string {
+	var sb strings.Builder
+	for i := 0; i+1 < len(kv); i += 2 {
+		if sb.Len() > 0 {
+			sb.WriteByte(' ')
+		}
+		sb.WriteString(fmt.Sprint(kv[i]))
+		sb.WriteByte('=')
+		sb.WriteString(kvValue(kv[i+1]))
+	}
+	if len(kv)%2 != 0 {
+		if sb.Len() > 0 {
+			sb.WriteByte(' ')
+		}
+		sb.WriteString(fmt.Sprint(kv[len(kv)-1]))
+		sb.WriteString("=(missing)")
+	}
+	return sb.String()
+}
+
+func kvValue(v any) string {
+	s := fmt.Sprint(v)
+	if s == "" || strings.ContainsAny(s, " \t\n\"=") {
+		return fmt.Sprintf("%q", s)
+	}
+	return s
+}

@@ -1,0 +1,187 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"math/rand"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// refQuantile is the reference implementation: sort and index.
+func refQuantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// TestHistogramQuantiles compares bucket-estimated quantiles against a
+// reference sort across several distributions. The bucket geometry bounds
+// the relative error at 2^(1/8)-1 (~9%); assert a 15% envelope.
+func TestHistogramQuantiles(t *testing.T) {
+	distributions := map[string]func(r *rand.Rand) float64{
+		"uniform":   func(r *rand.Rand) float64 { return r.Float64() },
+		"exp":       func(r *rand.Rand) float64 { return r.ExpFloat64() / 1000 },
+		"lognormal": func(r *rand.Rand) float64 { return math.Exp(r.NormFloat64()) * 1e-6 },
+		"bimodal": func(r *rand.Rand) float64 {
+			if r.Intn(2) == 0 {
+				return 1e-5 + r.Float64()*1e-6
+			}
+			return 1e-2 + r.Float64()*1e-3
+		},
+	}
+	for name, gen := range distributions {
+		t.Run(name, func(t *testing.T) {
+			r := rand.New(rand.NewSource(42))
+			h := &Histogram{}
+			samples := make([]float64, 20000)
+			for i := range samples {
+				samples[i] = gen(r)
+				h.Observe(samples[i])
+			}
+			sort.Float64s(samples)
+			snap := h.Snapshot()
+			if snap.Count != int64(len(samples)) {
+				t.Fatalf("count = %d, want %d", snap.Count, len(samples))
+			}
+			var sum float64
+			for _, v := range samples {
+				sum += v
+			}
+			if math.Abs(snap.Sum-sum) > math.Abs(sum)*1e-9 {
+				t.Errorf("sum = %g, want %g", snap.Sum, sum)
+			}
+			if snap.Min != samples[0] || snap.Max != samples[len(samples)-1] {
+				t.Errorf("min/max = %g/%g, want %g/%g", snap.Min, snap.Max, samples[0], samples[len(samples)-1])
+			}
+			for _, q := range []struct {
+				q    float64
+				got  float64
+				name string
+			}{
+				{0.50, snap.P50, "p50"},
+				{0.95, snap.P95, "p95"},
+				{0.99, snap.P99, "p99"},
+			} {
+				want := refQuantile(samples, q.q)
+				if rel := math.Abs(q.got-want) / want; rel > 0.15 {
+					t.Errorf("%s = %g, reference %g (rel err %.1f%%)", q.name, q.got, want, rel*100)
+				}
+			}
+		})
+	}
+}
+
+func TestHistogramZeroAndEmpty(t *testing.T) {
+	h := &Histogram{}
+	if snap := h.Snapshot(); snap.Count != 0 || snap.P50 != 0 {
+		t.Fatalf("empty snapshot = %+v", snap)
+	}
+	h.Observe(0)
+	snap := h.Snapshot()
+	if snap.Count != 1 || snap.P50 != 0 || snap.Min != 0 || snap.Max != 0 {
+		t.Fatalf("all-zero snapshot = %+v", snap)
+	}
+}
+
+// TestConcurrentCounters hammers one counter, one gauge and one histogram
+// from many goroutines; run under -race this doubles as the data-race
+// check for the whole hot path.
+func TestConcurrentCounters(t *testing.T) {
+	reg := NewRegistry()
+	const goroutines = 16
+	const perG = 5000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c := reg.Counter("hits_total")
+			ga := reg.Gauge("active")
+			h := reg.Histogram("latency_seconds")
+			for i := 0; i < perG; i++ {
+				c.Inc()
+				ga.Add(1)
+				ga.Add(-1)
+				h.Observe(float64(i%100+1) * 1e-6)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := reg.Counter("hits_total").Value(); got != goroutines*perG {
+		t.Fatalf("counter = %d, want %d", got, goroutines*perG)
+	}
+	if got := reg.Gauge("active").Value(); got != 0 {
+		t.Fatalf("gauge = %d, want 0", got)
+	}
+	if got := reg.Histogram("latency_seconds").Snapshot().Count; got != goroutines*perG {
+		t.Fatalf("histogram count = %d, want %d", got, goroutines*perG)
+	}
+}
+
+// TestNilRegistry: a nil registry must hand out working throwaway metrics.
+func TestNilRegistry(t *testing.T) {
+	var r *Registry
+	r.Counter("x").Inc()
+	r.Gauge("y").Set(3)
+	r.Histogram("z").ObserveDuration(time.Millisecond)
+	snap := r.Snapshot()
+	if len(snap.Counters) != 0 {
+		t.Fatalf("nil registry snapshot not empty: %+v", snap)
+	}
+}
+
+func TestRegistryJSONAndHandler(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("ccaas_sessions_accepted_total").Add(3)
+	reg.Gauge("ccaas_sessions_active").Set(1)
+	reg.Histogram("ccaas_run_seconds").Observe(0.25)
+
+	var buf bytes.Buffer
+	if err := reg.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatalf("JSON does not round-trip: %v\n%s", err, buf.String())
+	}
+	if snap.Counters["ccaas_sessions_accepted_total"] != 3 {
+		t.Fatalf("counter lost in JSON: %+v", snap)
+	}
+	if snap.Histograms["ccaas_run_seconds"].Count != 1 {
+		t.Fatalf("histogram lost in JSON: %+v", snap)
+	}
+
+	rec := httptest.NewRecorder()
+	reg.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 || rec.Header().Get("Content-Type") != "application/json" {
+		t.Fatalf("handler: code %d, content-type %q", rec.Code, rec.Header().Get("Content-Type"))
+	}
+	var snap2 Snapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap2); err != nil {
+		t.Fatalf("handler body not JSON: %v", err)
+	}
+}
+
+func TestSummaryDeterministic(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("b_total").Add(2)
+	reg.Counter("a_total").Add(1)
+	reg.Gauge("c_active").Set(5)
+	want := "a_total=1 b_total=2 c_active=5"
+	if got := reg.Summary(); got != want {
+		t.Fatalf("summary = %q, want %q", got, want)
+	}
+}

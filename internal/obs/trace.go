@@ -1,0 +1,188 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"text/tabwriter"
+	"time"
+)
+
+// Attr is one key/value annotation on a span. Attrs keep insertion order
+// so renderings are deterministic.
+type Attr struct {
+	Key string
+	Val any
+}
+
+// Span is one timed stage of a pipeline trace. Start is the offset from
+// the trace's first instant, so spans are self-contained and serialisable.
+type Span struct {
+	Name  string
+	Start time.Duration
+	Dur   time.Duration
+	Attrs []Attr
+}
+
+// Trace is a structured record of one pipeline run (e.g. the bootstrap
+// enclave's parse → load → disasm → verify → rewrite path). It is built
+// incrementally by the instrumented code and rendered as human-readable
+// text or JSON afterwards.
+type Trace struct {
+	Name string
+
+	mu    sync.Mutex
+	begin time.Time
+	spans []Span
+	clock func() time.Time
+}
+
+// NewTrace starts a trace using the wall clock.
+func NewTrace(name string) *Trace { return NewTraceWithClock(name, time.Now) }
+
+// NewTraceWithClock starts a trace with an explicit clock — tests inject a
+// deterministic one so rendered durations are reproducible.
+func NewTraceWithClock(name string, clock func() time.Time) *Trace {
+	if clock == nil {
+		clock = time.Now
+	}
+	return &Trace{Name: name, begin: clock(), clock: clock}
+}
+
+// Timer is an in-flight span started by Trace.Start.
+type Timer struct {
+	t     *Trace
+	name  string
+	start time.Time
+}
+
+// Start opens a span; call End on the returned timer to record it.
+func (t *Trace) Start(name string) *Timer {
+	return &Timer{t: t, name: name, start: t.clock()}
+}
+
+// End records the span with optional alternating key/value attributes.
+func (tm *Timer) End(kv ...any) {
+	now := tm.t.clock()
+	tm.t.append(Span{
+		Name:  tm.name,
+		Start: tm.start.Sub(tm.t.begin),
+		Dur:   now.Sub(tm.start),
+		Attrs: attrs(kv),
+	})
+}
+
+// Add records a span whose duration was measured elsewhere (aggregated
+// per-policy verifier phases); its start offset is the current trace time.
+func (t *Trace) Add(name string, d time.Duration, kv ...any) {
+	t.append(Span{
+		Name:  name,
+		Start: t.clock().Sub(t.begin),
+		Dur:   d,
+		Attrs: attrs(kv),
+	})
+}
+
+func (t *Trace) append(sp Span) {
+	t.mu.Lock()
+	t.spans = append(t.spans, sp)
+	t.mu.Unlock()
+}
+
+func attrs(kv []any) []Attr {
+	if len(kv) == 0 {
+		return nil
+	}
+	out := make([]Attr, 0, (len(kv)+1)/2)
+	for i := 0; i+1 < len(kv); i += 2 {
+		out = append(out, Attr{Key: fmt.Sprint(kv[i]), Val: kv[i+1]})
+	}
+	if len(kv)%2 != 0 {
+		out = append(out, Attr{Key: fmt.Sprint(kv[len(kv)-1]), Val: "(missing)"})
+	}
+	return out
+}
+
+// Spans returns a copy of the recorded spans in record order.
+func (t *Trace) Spans() []Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Span(nil), t.spans...)
+}
+
+// Dur sums the durations of spans with exactly the given name.
+func (t *Trace) Dur(name string) time.Duration {
+	var d time.Duration
+	for _, sp := range t.Spans() {
+		if sp.Name == name {
+			d += sp.Dur
+		}
+	}
+	return d
+}
+
+// DurPrefix sums the durations of spans whose name starts with prefix.
+func (t *Trace) DurPrefix(prefix string) time.Duration {
+	var d time.Duration
+	for _, sp := range t.Spans() {
+		if strings.HasPrefix(sp.Name, prefix) {
+			d += sp.Dur
+		}
+	}
+	return d
+}
+
+// Total sums every span's duration.
+func (t *Trace) Total() time.Duration {
+	var d time.Duration
+	for _, sp := range t.Spans() {
+		d += sp.Dur
+	}
+	return d
+}
+
+// Text renders the trace as an aligned human-readable table.
+func (t *Trace) Text() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "trace %s (total %v)\n", t.Name, t.Total())
+	tw := tabwriter.NewWriter(&sb, 2, 0, 2, ' ', 0)
+	for _, sp := range t.Spans() {
+		parts := make([]string, 0, len(sp.Attrs))
+		for _, a := range sp.Attrs {
+			parts = append(parts, fmt.Sprintf("%s=%v", a.Key, a.Val))
+		}
+		fmt.Fprintf(tw, "  %s\t%v\t%s\n", sp.Name, sp.Dur, strings.Join(parts, " "))
+	}
+	tw.Flush()
+	return sb.String()
+}
+
+// jsonSpan mirrors Span with stable JSON field names.
+type jsonSpan struct {
+	Name    string         `json:"name"`
+	StartNs int64          `json:"start_ns"`
+	DurNs   int64          `json:"dur_ns"`
+	Attrs   map[string]any `json:"attrs,omitempty"`
+}
+
+// JSON renders the trace as a machine-readable document.
+func (t *Trace) JSON() ([]byte, error) {
+	spans := t.Spans()
+	doc := struct {
+		Name    string     `json:"name"`
+		TotalNs int64      `json:"total_ns"`
+		Spans   []jsonSpan `json:"spans"`
+	}{Name: t.Name, TotalNs: t.Total().Nanoseconds()}
+	for _, sp := range spans {
+		js := jsonSpan{Name: sp.Name, StartNs: sp.Start.Nanoseconds(), DurNs: sp.Dur.Nanoseconds()}
+		if len(sp.Attrs) > 0 {
+			js.Attrs = make(map[string]any, len(sp.Attrs))
+			for _, a := range sp.Attrs {
+				js.Attrs[a.Key] = a.Val
+			}
+		}
+		doc.Spans = append(doc.Spans, js)
+	}
+	return json.MarshalIndent(doc, "", "  ")
+}

@@ -60,6 +60,16 @@ const (
 	SetAll  Set = SetP1P6 | 1<<P0
 )
 
+// All lists every policy ID in ascending order (P0 through P6), for code
+// that iterates the policy space (audit trails, trace rendering).
+func All() []ID {
+	out := make([]ID, 0, numIDs)
+	for id := P0; id < numIDs; id++ {
+		out = append(out, id)
+	}
+	return out
+}
+
 // Has reports whether the set contains id.
 func (s Set) Has(id ID) bool { return s&Bit(id) != 0 }
 

@@ -14,12 +14,14 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"deflection/internal/cpu"
 	"deflection/internal/enclave"
 	"deflection/internal/isa"
 	"deflection/internal/loader"
 	"deflection/internal/obj"
+	"deflection/internal/obs"
 	"deflection/internal/policy"
 	"deflection/internal/verifier"
 )
@@ -75,6 +77,12 @@ type LoadReport struct {
 	Stats      verifier.Stats
 	Rewrites   loader.RewriteStats
 	TextSize   int
+	// Trace is the stage trace of this load: parse, P0 interface audit,
+	// load, disasm, per-policy verification, discipline closure, rewrite.
+	Trace *obs.Trace
+	// Audit is the per-policy verdict trail, P0 first then the verifier's
+	// P1-P6 entries.
+	Audit []verifier.PolicyAudit
 }
 
 // RunResult is the outcome of executing the loaded service.
@@ -110,7 +118,20 @@ type Bootstrap struct {
 	allowed map[int64]bool
 	// tids maps CPUs to thread indices during a RunThreads execution.
 	tids map[*cpu.CPU]int
+
+	// traceClock, when set, replaces the wall clock for trace spans
+	// (deterministic traces in tests); verifier/loader self-timed phases
+	// still use the wall clock.
+	traceClock func() time.Time
+	lastTrace  *obs.Trace
 }
+
+// SetTraceClock installs a deterministic clock for stage traces (tests).
+func (b *Bootstrap) SetTraceClock(clock func() time.Time) { b.traceClock = clock }
+
+// LastTrace returns the stage trace of the most recent ReceiveBinary call
+// (including a failed one), or nil before the first call.
+func (b *Bootstrap) LastTrace() *obs.Trace { return b.lastTrace }
 
 // ErrNotLoaded is returned when Run is called before a successful load.
 var ErrNotLoaded = errors.New("runtime: no verified binary loaded")
@@ -165,24 +186,52 @@ func (b *Bootstrap) SetSessionKey(key []byte) error {
 // and rewrite the target binary. The code provider never exposes source;
 // only this object and its proof cross the boundary.
 func (b *Bootstrap) ReceiveBinary(objBytes []byte) (*LoadReport, error) {
+	tr := obs.NewTraceWithClock("receive_binary", b.traceClock)
+	b.lastTrace = tr // kept even on rejection, so failures can be examined
+
+	tm := tr.Start("parse")
 	o, err := obj.Unmarshal(objBytes)
 	if err != nil {
+		tm.End("error", err.Error())
 		return nil, err
 	}
+	tm.End("obj_bytes", len(objBytes), "policy_mask", policy.Set(o.PolicyMask).String())
+
+	// P0 is enforced by the bootstrap enclave itself — interface
+	// restriction, output sealing and entropy budget — so its audit entry
+	// is produced here, not by the verifier.
+	p0Start := time.Now()
+	tm = tr.Start("policy/P0")
 	instrumented := b.manifest.Policies &^ policy.Bit(policy.P0) // P0 is enclave config, not code
-	if policy.Set(o.PolicyMask)&instrumented != instrumented {
+	maskOK := policy.Set(o.PolicyMask)&instrumented == instrumented
+	p0 := verifier.PolicyAudit{
+		Policy:   policy.P0,
+		Required: b.manifest.Policies.Has(policy.P0),
+		Passed:   maskOK,
+		Checks:   1 + len(b.manifest.AllowedOcalls),
+		Detail: fmt.Sprintf("interface restricted to %d whitelisted ocalls, outputs padded to %d-byte blocks, entropy budget %d bits",
+			len(b.manifest.AllowedOcalls), b.manifest.OutputPadBlock, b.manifest.OutputBudgetBits),
+	}
+	p0.Duration = time.Since(p0Start)
+	tm.End("ocalls", len(b.manifest.AllowedOcalls), "passed", maskOK)
+	if !maskOK {
 		return nil, fmt.Errorf("%w: binary claims %s, manifest requires %s",
 			ErrPolicyMismatch, policy.Set(o.PolicyMask), instrumented)
 	}
 
+	tm = tr.Start("load")
 	ld, err := loader.Load(b.encl, o)
 	if err != nil {
+		tm.End("error", err.Error())
 		return nil, err
 	}
 	text, err := ld.TextBytes()
 	if err != nil {
+		tm.End("error", err.Error())
 		return nil, err
 	}
+	tm.End("text_bytes", len(text), "branch_targets", len(ld.BranchTargets))
+
 	offsets := make([]int64, 0, len(ld.BranchTargets))
 	for _, t := range ld.BranchTargets {
 		offsets = append(offsets, int64(t-ld.TextBase))
@@ -194,19 +243,36 @@ func (b *Bootstrap) ReceiveBinary(objBytes []byte) (*LoadReport, error) {
 		BranchTargetOffsets: offsets,
 	})
 	if err != nil {
+		tr.Add("verify", 0, "error", err.Error())
 		return nil, err
 	}
+	// The verifier self-times its phases (the TCB stays free of obs);
+	// convert its measurements into trace spans here.
+	tr.Add("disasm", vr.DisasmDuration,
+		"instructions", vr.Stats.Instructions, "blocks", vr.Dis.Blocks())
+	for _, a := range vr.Audit {
+		tr.Add("policy/"+a.Policy.String(), a.Duration,
+			"required", a.Required, "checks", a.Checks)
+	}
+	tr.Add("discipline", vr.DisciplineDuration, "annotations", len(vr.AnnotRanges))
+
 	rw, err := loader.RewriteImmediates(ld, vr.Dis)
 	if err != nil {
+		tr.Add("rewrite", rw.Duration, "error", err.Error())
 		return nil, err
 	}
+	tr.Add("rewrite", rw.Duration,
+		"store_bounds", rw.StoreBounds, "stack_bounds", rw.StackBounds, "ssa_sites", rw.SSASites)
 	if b.encl.Layout.SGXv2 {
 		// EDMM: with verification and rewriting complete, drop write
 		// permission from the code pages — hardware DEP instead of relying
 		// on P4's software check alone.
+		tm = tr.Start("edmm_seal")
 		if err := b.encl.Mem.SetPerm(b.encl.Layout.CodeBase, b.encl.Layout.CodeEnd, enclave.PermRX); err != nil {
+			tm.End("error", err.Error())
 			return nil, err
 		}
+		tm.End()
 	}
 	b.loaded = ld
 	b.verify = vr
@@ -215,6 +281,8 @@ func (b *Bootstrap) ReceiveBinary(objBytes []byte) (*LoadReport, error) {
 		Stats:      vr.Stats,
 		Rewrites:   rw,
 		TextSize:   len(text),
+		Trace:      tr,
+		Audit:      append([]verifier.PolicyAudit{p0}, vr.Audit...),
 	}, nil
 }
 

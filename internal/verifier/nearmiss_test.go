@@ -210,6 +210,24 @@ trapstore:
 			if !errors.Is(err, verifier.ErrViolation) {
 				t.Fatalf("near-miss accepted (err = %v)", err)
 			}
+			// Rejections must carry structured evidence: the policy that
+			// fired, the anchor offset and the disassembled instruction.
+			var vio *verifier.Violation
+			if !errors.As(err, &vio) {
+				t.Fatalf("rejection is not a structured *Violation: %v", err)
+			}
+			if vio.Policy != policy.P1 {
+				t.Errorf("violation policy = %v, want %v (err = %v)", vio.Policy, policy.P1, err)
+			}
+			if vio.Offset == 0 {
+				t.Errorf("violation has no anchor offset: %v", err)
+			}
+			if vio.Instr == "" {
+				t.Errorf("violation has no disassembled instruction: %v", err)
+			}
+			if vio.Msg == "" {
+				t.Errorf("violation has no message: %v", err)
+			}
 		})
 	}
 }
@@ -244,8 +262,13 @@ trapstack:
 trapstack:
   trap 2
 `
-	if err := verifyAsm(t, bad, policy.SetP1P2); !errors.Is(err, verifier.ErrViolation) {
+	err := verifyAsm(t, bad, policy.SetP1P2)
+	if !errors.Is(err, verifier.ErrViolation) {
 		t.Fatalf("one-sided RSP guard accepted (err = %v)", err)
+	}
+	var vio *verifier.Violation
+	if !errors.As(err, &vio) || vio.Policy != policy.P2 {
+		t.Fatalf("RSP rejection not attributed to P2: %v", err)
 	}
 }
 

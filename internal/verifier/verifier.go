@@ -9,12 +9,19 @@
 // the generator emits fixed instruction shapes (Fig. 5 of the paper), so the
 // verifier only needs byte-precise pattern matching plus control-flow
 // closure arguments — which is what keeps the in-enclave TCB small.
+//
+// Every acceptance produces a per-policy audit trail (PolicyAudit) with
+// measured per-policy check durations, and every rejection is a structured
+// Violation naming the policy, the text offset and the disassembled
+// instruction at the anchor — the evidence a data owner needs to decide
+// *why* a proof was (not) accepted, not just whether.
 package verifier
 
 import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"time"
 
 	"deflection/internal/disasm"
 	"deflection/internal/isa"
@@ -23,6 +30,32 @@ import (
 
 // ErrViolation is wrapped by every policy rejection.
 var ErrViolation = errors.New("verifier: policy violation")
+
+// Violation is a structured policy rejection: which policy fired, where in
+// the text, and what instruction anchors the failure. It wraps
+// ErrViolation, so errors.Is(err, ErrViolation) keeps working.
+type Violation struct {
+	// Policy is the policy whose check rejected the binary.
+	Policy policy.ID
+	// Offset is the text offset of the failure anchor.
+	Offset int64
+	// Instr is the disassembled instruction at Offset, when the offset
+	// decodes to an instruction start ("" otherwise, e.g. for a stray
+	// beacon byte pattern).
+	Instr string
+	// Msg describes the failed check.
+	Msg string
+}
+
+func (e *Violation) Error() string {
+	s := fmt.Sprintf("%v of %v at %#x", ErrViolation, e.Policy, e.Offset)
+	if e.Instr != "" {
+		s += fmt.Sprintf(" [%s]", e.Instr)
+	}
+	return s + ": " + e.Msg
+}
+
+func (e *Violation) Unwrap() error { return ErrViolation }
 
 // Range is a half-open [Lo, Hi) span of text offsets.
 type Range struct{ Lo, Hi int64 }
@@ -52,7 +85,20 @@ type Stats struct {
 	ShadowPushes int
 	ShadowChecks int
 	AEXChecks    int
+	Beacons      int
 	Instructions int
+}
+
+// PolicyAudit is one policy's verdict in the audit trail of an accepted
+// binary: whether the manifest required it, how many annotations satisfied
+// it, and how long its checks took.
+type PolicyAudit struct {
+	Policy   policy.ID
+	Required bool
+	Passed   bool
+	Checks   int
+	Detail   string
+	Duration time.Duration
 }
 
 // Result is the verifier's accepted-binary report.
@@ -63,6 +109,13 @@ type Result struct {
 	// annotations (including their trap stubs), used by the CPU timing
 	// model and excluded from user-code policy anchors.
 	AnnotRanges []Range
+	// Audit holds one verdict per policy P1-P6 in ascending order.
+	Audit []PolicyAudit
+	// DisasmDuration and DisciplineDuration time the shared stages that
+	// are not attributable to a single policy: the recursive-descent
+	// disassembly and the branch-discipline closure check.
+	DisasmDuration     time.Duration
+	DisciplineDuration time.Duration
 }
 
 type verifier struct {
@@ -75,17 +128,36 @@ type verifier struct {
 	prev map[int64]int64
 
 	ranges     []Range
-	annotated  map[int64]bool // instruction offsets inside annotation ranges
-	rangeStart map[int64]bool // first offsets of annotation ranges
+	annotated  map[int64]policy.ID // annotation offsets → owning policy
+	rangeStart map[int64]bool      // first offsets of annotation ranges
 	stats      Stats
 	guarded    map[int64]bool // anchors with verified guards
 	checks     map[int64]bool // offsets where a verified P6 check starts
 
 	targetSet map[int64]bool
+
+	durs [8]time.Duration // per-policy check time, indexed by policy.ID
 }
 
-func violation(off int64, format string, args ...any) error {
-	return fmt.Errorf("%w at %#x: %s", ErrViolation, off, fmt.Sprintf(format, args...))
+// violation builds a structured rejection, resolving the instruction text
+// at the anchor offset when one exists.
+func (v *verifier) violation(id policy.ID, off int64, format string, args ...any) error {
+	e := &Violation{Policy: id, Offset: off, Msg: fmt.Sprintf(format, args...)}
+	if v.dis != nil {
+		if in, ok := v.dis.At(off); ok {
+			e.Instr = in.Inst.String()
+		}
+	}
+	return e
+}
+
+// timed runs one policy's check phase and accrues its wall time to that
+// policy's audit entry.
+func (v *verifier) timed(id policy.ID, f func() error) error {
+	start := time.Now()
+	err := f()
+	v.durs[id] += time.Since(start)
+	return err
 }
 
 // Verify statically checks the relocated text against the required policy
@@ -96,16 +168,20 @@ func Verify(text []byte, opts Options) (*Result, error) {
 		opts.AEXCheckMaxGap = policy.DefaultAEXCheckInterval*2 + 64
 	}
 	entries := append([]int64{opts.EntryOffset}, opts.BranchTargetOffsets...)
+	disStart := time.Now()
 	dis, err := disasm.Disassemble(text, entries)
+	disDur := time.Since(disStart)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %s", ErrViolation, err)
+		// Undecodable or overlapping control flow defeats the CFI trust
+		// argument, so rejection is attributed to P5.
+		return nil, &Violation{Policy: policy.P5, Msg: err.Error()}
 	}
 	v := &verifier{
 		text:       text,
 		opts:       opts,
 		dis:        dis,
 		prev:       make(map[int64]int64, len(dis.Insts)),
-		annotated:  make(map[int64]bool),
+		annotated:  make(map[int64]policy.ID),
 		rangeStart: make(map[int64]bool),
 		guarded:    make(map[int64]bool),
 		checks:     make(map[int64]bool),
@@ -121,67 +197,150 @@ func Verify(text []byte, opts Options) (*Result, error) {
 
 	req := opts.Required
 	if req.Has(policy.P5) {
-		if err := v.checkBranchTargetBeacons(); err != nil {
+		if err := v.timed(policy.P5, v.checkBranchTargetBeacons); err != nil {
 			return nil, err
 		}
-		if err := v.scanBeaconPattern(); err != nil {
+		if err := v.timed(policy.P5, v.scanBeaconPattern); err != nil {
 			return nil, err
 		}
 	}
 	if req.Has(policy.P6) {
-		if err := v.matchP6Arming(); err != nil {
+		if err := v.timed(policy.P6, v.matchP6Arming); err != nil {
 			return nil, err
 		}
-		if err := v.matchAEXChecks(); err != nil {
+		if err := v.timed(policy.P6, v.matchAEXChecks); err != nil {
 			return nil, err
 		}
 	}
 	if req.Has(policy.P5) {
-		if err := v.matchShadowPushes(); err != nil {
+		if err := v.timed(policy.P5, v.matchShadowPushes); err != nil {
 			return nil, err
 		}
-		if err := v.matchReturnChecks(); err != nil {
+		if err := v.timed(policy.P5, v.matchReturnChecks); err != nil {
 			return nil, err
 		}
-		if err := v.matchCFIGuards(); err != nil {
+		if err := v.timed(policy.P5, v.matchCFIGuards); err != nil {
 			return nil, err
 		}
-		if err := v.checkReservedRegisters(); err != nil {
+		if err := v.timed(policy.P5, v.checkReservedRegisters); err != nil {
 			return nil, err
 		}
 	}
 	if req.Has(policy.P2) {
-		if err := v.matchRSPGuards(); err != nil {
+		if err := v.timed(policy.P2, v.matchRSPGuards); err != nil {
 			return nil, err
 		}
 	}
 	if req.Has(policy.P1) || req.Has(policy.P3) || req.Has(policy.P4) {
-		if err := v.matchStoreGuards(); err != nil {
+		id := storeGuardOwner(req)
+		if err := v.timed(id, func() error { return v.matchStoreGuards(id) }); err != nil {
 			return nil, err
 		}
 	}
-	if err := v.checkBranchDiscipline(); err != nil {
-		return nil, err
+	discStart := time.Now()
+	discErr := v.checkBranchDiscipline()
+	discDur := time.Since(discStart)
+	if discErr != nil {
+		return nil, discErr
 	}
 	if req.Has(policy.P6) {
-		if err := v.checkAEXCoverage(); err != nil {
+		if err := v.timed(policy.P6, v.checkAEXCoverage); err != nil {
+			return nil, err
+		}
+	}
+	// Policies P3 and P4 are enforced by the same store-bound range as P1
+	// (the range excludes the SSA, shadow stack, branch table and code
+	// pages); their audit re-walks the text to confirm the coverage claim
+	// they inherit.
+	if req.Has(policy.P3) {
+		if err := v.timed(policy.P3, func() error { return v.auditStoreCoverage(policy.P3) }); err != nil {
+			return nil, err
+		}
+	}
+	if req.Has(policy.P4) {
+		if err := v.timed(policy.P4, func() error { return v.auditStoreCoverage(policy.P4) }); err != nil {
 			return nil, err
 		}
 	}
 
-	return &Result{Dis: dis, Stats: v.stats, AnnotRanges: v.ranges}, nil
+	return &Result{
+		Dis:                dis,
+		Stats:              v.stats,
+		AnnotRanges:        v.ranges,
+		Audit:              v.buildAudit(req),
+		DisasmDuration:     disDur,
+		DisciplineDuration: discDur,
+	}, nil
 }
 
-func (v *verifier) inRange(off int64) bool { return v.annotated[off] }
+// storeGuardOwner picks the policy the shared store-guard pass is billed
+// to: P1 when required, else the first of P3/P4 that demands it.
+func storeGuardOwner(req policy.Set) policy.ID {
+	switch {
+	case req.Has(policy.P1):
+		return policy.P1
+	case req.Has(policy.P3):
+		return policy.P3
+	default:
+		return policy.P4
+	}
+}
+
+// auditStoreCoverage re-confirms, for a policy that inherits the store
+// bounds (P3: critical data, P4: code pages), that every store anchor is
+// either guarded or inside a verified annotation.
+func (v *verifier) auditStoreCoverage(id policy.ID) error {
+	for _, off := range v.dis.Offsets {
+		in := v.dis.Insts[off]
+		if !in.Op.IsStore() {
+			continue
+		}
+		if !v.guarded[off] && !v.inRange(off) {
+			return v.violation(id, off, "store escaped the shared bounds guard (%v)", id)
+		}
+	}
+	return nil
+}
+
+// buildAudit assembles the per-policy verdict trail for an accepted binary.
+func (v *verifier) buildAudit(req policy.Set) []PolicyAudit {
+	details := map[policy.ID]struct {
+		checks int
+		detail string
+	}{
+		policy.P1: {v.stats.StoreGuards, fmt.Sprintf("%d stores confined to the enclave data range by verified bounds guards", v.stats.StoreGuards)},
+		policy.P2: {v.stats.RSPGuards, fmt.Sprintf("%d explicit RSP writes followed by verified stack-bounds checks", v.stats.RSPGuards)},
+		policy.P3: {v.stats.StoreGuards, fmt.Sprintf("store bounds exclude SSA, shadow stack and branch table; %d stores audited", v.stats.StoreGuards)},
+		policy.P4: {v.stats.StoreGuards, fmt.Sprintf("store bounds exclude code pages (software DEP); %d stores audited", v.stats.StoreGuards)},
+		policy.P5: {v.stats.CFIGuards + v.stats.ShadowChecks + v.stats.ShadowPushes, fmt.Sprintf("%d indirect branches CFI-guarded, %d returns shadow-checked, %d shadow pushes, %d listed-target beacons",
+			v.stats.CFIGuards, v.stats.ShadowChecks, v.stats.ShadowPushes, v.stats.Beacons)},
+		policy.P6: {v.stats.AEXChecks, fmt.Sprintf("entry arming verified, %d SSA-marker checks, max straight-line gap %d", v.stats.AEXChecks, v.opts.AEXCheckMaxGap)},
+	}
+	var audit []PolicyAudit
+	for id := policy.P1; id <= policy.P6; id++ {
+		a := PolicyAudit{Policy: id, Required: req.Has(id), Passed: true, Duration: v.durs[id]}
+		if !a.Required {
+			a.Detail = "not required by manifest; skipped"
+		} else {
+			d := details[id]
+			a.Checks = d.checks
+			a.Detail = d.detail
+		}
+		audit = append(audit, a)
+	}
+	return audit
+}
+
+func (v *verifier) inRange(off int64) bool { _, ok := v.annotated[off]; return ok }
 
 func (v *verifier) strictlyInRange(off int64) bool {
-	return v.annotated[off] && !v.rangeStart[off]
+	return v.inRange(off) && !v.rangeStart[off]
 }
 
-// addRange records [lo, hi) as verified annotation code, marking every
-// decoded instruction offset inside it (ranges are short, so this stays
-// linear in total annotation size).
-func (v *verifier) addRange(lo, hi int64) {
+// addRange records [lo, hi) as verified annotation code owned by policy id,
+// marking every decoded instruction offset inside it (ranges are short, so
+// this stays linear in total annotation size).
+func (v *verifier) addRange(lo, hi int64, id policy.ID) {
 	v.ranges = append(v.ranges, Range{Lo: lo, Hi: hi})
 	v.rangeStart[lo] = true
 	for cur := lo; cur < hi; {
@@ -189,7 +348,7 @@ func (v *verifier) addRange(lo, hi int64) {
 		if !ok {
 			break
 		}
-		v.annotated[cur] = true
+		v.annotated[cur] = id
 		cur = in.End()
 	}
 }
@@ -214,13 +373,13 @@ func (v *verifier) next(in disasm.Inst) (disasm.Inst, bool) {
 }
 
 // trapTargetIs checks that a conditional branch lands on a TRAP with the
-// expected code, and marks the trap as annotation.
-func (v *verifier) trapTargetIs(j disasm.Inst, code isa.TrapCode) bool {
+// expected code, and marks the trap as annotation code owned by id.
+func (v *verifier) trapTargetIs(j disasm.Inst, code isa.TrapCode, id policy.ID) bool {
 	t, ok := v.dis.At(disasm.DirectTarget(j))
 	if !ok || t.Op != isa.OpTrap || t.Imm != int64(code) {
 		return false
 	}
-	v.addRange(t.Off, t.End())
+	v.addRange(t.Off, t.End(), id)
 	return true
 }
 
@@ -232,11 +391,12 @@ func (v *verifier) checkBranchTargetBeacons() error {
 	for _, t := range v.opts.BranchTargetOffsets {
 		in, ok := v.dis.At(t)
 		if !ok {
-			return violation(t, "branch-target list entry is not an instruction")
+			return v.violation(policy.P5, t, "branch-target list entry is not an instruction")
 		}
 		if in.Op != isa.OpBrMark || in.Imm != isa.BrMarkMagic56 {
-			return violation(t, "branch-target list entry lacks a BRMARK beacon")
+			return v.violation(policy.P5, t, "branch-target list entry lacks a BRMARK beacon")
 		}
+		v.stats.Beacons++
 	}
 	return nil
 }
@@ -251,7 +411,7 @@ func (v *verifier) scanBeaconPattern() error {
 			continue
 		}
 		if !v.targetSet[int64(off)] {
-			return violation(int64(off), "BRMARK pattern outside the branch-target list")
+			return v.violation(policy.P5, int64(off), "BRMARK pattern outside the branch-target list")
 		}
 	}
 	return nil
@@ -302,7 +462,7 @@ func (v *verifier) aexCheckShape(off int64) (int64, bool) {
 	if !ok || ja.Op != isa.OpJcc || ja.Cond != isa.CondA {
 		return 0, false
 	}
-	if !v.trapTargetIs(ja, isa.TrapAEXBudget) {
+	if !v.trapTargetIs(ja, isa.TrapAEXBudget, policy.P6) {
 		return 0, false
 	}
 	pop, ok := v.next(ja)
@@ -327,13 +487,13 @@ func (v *verifier) matchP6Arming() error {
 	arm, ok := v.dis.At(v.opts.EntryOffset)
 	if !ok || arm.Op != isa.OpMovMI || !isAbs(arm.Mem, policy.MagicSSAMarkerDisp) ||
 		arm.Imm != int64(uint64(policy.SSAMarkerMagic)) {
-		return violation(v.opts.EntryOffset, "entry does not arm the SSA marker (P6)")
+		return v.violation(policy.P6, v.opts.EntryOffset, "entry does not arm the SSA marker (P6)")
 	}
 	clr, ok := v.next(arm)
 	if !ok || clr.Op != isa.OpMovMI || !isAbs(clr.Mem, policy.MagicAEXCountDisp) || clr.Imm != 0 {
-		return violation(arm.End(), "entry does not zero the AEX counter (P6)")
+		return v.violation(policy.P6, arm.End(), "entry does not zero the AEX counter (P6)")
 	}
-	v.addRange(arm.Off, clr.End())
+	v.addRange(arm.Off, clr.End(), policy.P6)
 	return nil
 }
 
@@ -341,12 +501,12 @@ func (v *verifier) matchAEXChecks() error {
 	for _, off := range v.dis.Offsets {
 		if end, ok := v.aexCheckShape(off); ok {
 			v.checks[off] = true
-			v.addRange(off, end)
+			v.addRange(off, end, policy.P6)
 			v.stats.AEXChecks++
 		}
 	}
 	if v.stats.AEXChecks == 0 {
-		return violation(0, "P6 required but no AEX checks found")
+		return v.violation(policy.P6, 0, "P6 required but no AEX checks found")
 	}
 	return nil
 }
@@ -405,9 +565,9 @@ func (v *verifier) matchShadowPushes() error {
 		}
 		end, ok := v.shadowPushShape(start)
 		if !ok {
-			return violation(t, "call target lacks shadow-stack entry push (P5)")
+			return v.violation(policy.P5, t, "call target lacks shadow-stack entry push (P5)")
 		}
-		v.addRange(start, end)
+		v.addRange(start, end, policy.P5)
 		v.stats.ShadowPushes++
 	}
 	// Listed targets beginning with beacon+push are functions; record
@@ -418,7 +578,7 @@ func (v *verifier) matchShadowPushes() error {
 		}
 		if bm, ok := v.dis.At(t); ok && bm.Op == isa.OpBrMark {
 			if end, ok := v.shadowPushShape(bm.End()); ok {
-				v.addRange(bm.End(), end)
+				v.addRange(bm.End(), end, policy.P5)
 				v.stats.ShadowPushes++
 			}
 		}
@@ -456,7 +616,7 @@ func (v *verifier) returnCheckShape(retOff int64) (int64, bool) {
 		return 0, false
 	}
 	jne, ok := v.next(cmp)
-	if !ok || jne.Op != isa.OpJcc || jne.Cond != isa.CondNE || !v.trapTargetIs(jne, isa.TrapShadowStack) {
+	if !ok || jne.Op != isa.OpJcc || jne.Cond != isa.CondNE || !v.trapTargetIs(jne, isa.TrapShadowStack, policy.P5) {
 		return 0, false
 	}
 	popB, ok := v.next(jne)
@@ -477,9 +637,9 @@ func (v *verifier) matchReturnChecks() error {
 		}
 		lo, ok := v.returnCheckShape(off)
 		if !ok {
-			return violation(off, "return without shadow-stack check (P5)")
+			return v.violation(policy.P5, off, "return without shadow-stack check (P5)")
 		}
-		v.addRange(lo, off)
+		v.addRange(lo, off, policy.P5)
 		v.guarded[off] = true
 		v.stats.ShadowChecks++
 	}
@@ -515,7 +675,7 @@ func (v *verifier) cfiGuardShape(brOff int64, target isa.Reg) (int64, bool) {
 		return 0, false
 	}
 	jne, ok := v.next(cmp)
-	if !ok || jne.Op != isa.OpJcc || jne.Cond != isa.CondNE || !v.trapTargetIs(jne, isa.TrapCFI) {
+	if !ok || jne.Op != isa.OpJcc || jne.Cond != isa.CondNE || !v.trapTargetIs(jne, isa.TrapCFI, policy.P5) {
 		return 0, false
 	}
 	popC, ok := v.next(jne)
@@ -536,13 +696,13 @@ func (v *verifier) matchCFIGuards() error {
 			continue
 		}
 		if in.Dst == isa.RSP || in.Dst == isa.RegShadow {
-			return violation(off, "indirect branch through reserved register %v", in.Dst)
+			return v.violation(policy.P5, off, "indirect branch through reserved register %v", in.Dst)
 		}
 		lo, ok := v.cfiGuardShape(off, in.Dst)
 		if !ok {
-			return violation(off, "indirect branch without CFI guard (P5)")
+			return v.violation(policy.P5, off, "indirect branch without CFI guard (P5)")
 		}
-		v.addRange(lo, off)
+		v.addRange(lo, off, policy.P5)
 		v.guarded[off] = true
 		v.stats.CFIGuards++
 	}
@@ -558,7 +718,7 @@ func (v *verifier) checkReservedRegisters() error {
 		}
 		in := v.dis.Insts[off]
 		if in.WritesReg(isa.RegShadow) {
-			return violation(off, "user instruction writes reserved shadow-stack register")
+			return v.violation(policy.P5, off, "user instruction writes reserved shadow-stack register")
 		}
 	}
 	return nil
@@ -572,7 +732,7 @@ func (v *verifier) rspGuardShape(afterOff int64) (int64, bool) {
 		return 0, false
 	}
 	jb, ok := v.next(cmpLo)
-	if !ok || jb.Op != isa.OpJcc || jb.Cond != isa.CondB || !v.trapTargetIs(jb, isa.TrapStackBounds) {
+	if !ok || jb.Op != isa.OpJcc || jb.Cond != isa.CondB || !v.trapTargetIs(jb, isa.TrapStackBounds, policy.P2) {
 		return 0, false
 	}
 	cmpHi, ok := v.next(jb)
@@ -580,7 +740,7 @@ func (v *verifier) rspGuardShape(afterOff int64) (int64, bool) {
 		return 0, false
 	}
 	ja, ok := v.next(cmpHi)
-	if !ok || ja.Op != isa.OpJcc || ja.Cond != isa.CondA || !v.trapTargetIs(ja, isa.TrapStackBounds) {
+	if !ok || ja.Op != isa.OpJcc || ja.Cond != isa.CondA || !v.trapTargetIs(ja, isa.TrapStackBounds, policy.P2) {
 		return 0, false
 	}
 	return ja.End(), true
@@ -597,9 +757,9 @@ func (v *verifier) matchRSPGuards() error {
 		}
 		end, ok := v.rspGuardShape(in.End())
 		if !ok {
-			return violation(off, "explicit RSP write without stack-bounds check (P2)")
+			return v.violation(policy.P2, off, "explicit RSP write without stack-bounds check (P2)")
 		}
-		v.addRange(in.End(), end)
+		v.addRange(in.End(), end, policy.P2)
 		v.guarded[off] = true
 		v.stats.RSPGuards++
 	}
@@ -608,7 +768,7 @@ func (v *verifier) matchRSPGuards() error {
 
 // ---- P1/P3/P4: store guards ----
 
-func (v *verifier) storeGuardShape(stOff int64, mem isa.MemRef) (int64, bool) {
+func (v *verifier) storeGuardShape(stOff int64, mem isa.MemRef, id policy.ID) (int64, bool) {
 	expect := mem
 	if expect.HasBase && expect.Base == isa.RSP {
 		expect.Disp += 16
@@ -637,7 +797,7 @@ func (v *verifier) storeGuardShape(stOff int64, mem isa.MemRef) (int64, bool) {
 		return 0, false
 	}
 	jb, ok := v.next(cmpLo)
-	if !ok || jb.Op != isa.OpJcc || jb.Cond != isa.CondB || !v.trapTargetIs(jb, isa.TrapStoreBounds) {
+	if !ok || jb.Op != isa.OpJcc || jb.Cond != isa.CondB || !v.trapTargetIs(jb, isa.TrapStoreBounds, id) {
 		return 0, false
 	}
 	mvHi, ok := v.next(jb)
@@ -649,7 +809,7 @@ func (v *verifier) storeGuardShape(stOff int64, mem isa.MemRef) (int64, bool) {
 		return 0, false
 	}
 	jae, ok := v.next(cmpHi)
-	if !ok || jae.Op != isa.OpJcc || jae.Cond != isa.CondAE || !v.trapTargetIs(jae, isa.TrapStoreBounds) {
+	if !ok || jae.Op != isa.OpJcc || jae.Cond != isa.CondAE || !v.trapTargetIs(jae, isa.TrapStoreBounds, id) {
 		return 0, false
 	}
 	popA, ok := v.next(jae)
@@ -663,7 +823,7 @@ func (v *verifier) storeGuardShape(stOff int64, mem isa.MemRef) (int64, bool) {
 	return first.Off, popB.End() == stOff
 }
 
-func (v *verifier) matchStoreGuards() error {
+func (v *verifier) matchStoreGuards(id policy.ID) error {
 	for _, off := range v.dis.Offsets {
 		if v.inRange(off) {
 			continue // stores inside verified annotations are trusted
@@ -672,11 +832,11 @@ func (v *verifier) matchStoreGuards() error {
 		if !in.Op.IsStore() {
 			continue
 		}
-		lo, ok := v.storeGuardShape(off, in.Mem)
+		lo, ok := v.storeGuardShape(off, in.Mem, id)
 		if !ok {
-			return violation(off, "store without bounds check (P1)")
+			return v.violation(id, off, "store without bounds check (P1)")
 		}
-		v.addRange(lo, off)
+		v.addRange(lo, off, id)
 		v.guarded[off] = true
 		v.stats.StoreGuards++
 	}
@@ -699,14 +859,14 @@ func (v *verifier) checkBranchDiscipline() error {
 		case isa.OpJmp, isa.OpJcc, isa.OpCall:
 			t := disasm.DirectTarget(in)
 			if v.strictlyInRange(t) {
-				return violation(off, "branch into the middle of a security annotation")
+				return v.violation(v.annotated[t], off, "branch into the middle of a %v security annotation", v.annotated[t])
 			}
 		}
 	}
 	// Listed indirect targets must not point into annotations either.
 	for _, t := range v.opts.BranchTargetOffsets {
 		if v.strictlyInRange(t) {
-			return violation(t, "branch-target list entry inside a security annotation")
+			return v.violation(v.annotated[t], t, "branch-target list entry inside a %v security annotation", v.annotated[t])
 		}
 	}
 	return nil
@@ -731,7 +891,7 @@ func (v *verifier) checkAEXCoverage() error {
 		}
 		gap++
 		if gap > v.opts.AEXCheckMaxGap {
-			return violation(off, "more than %d instructions without an AEX check (P6)", v.opts.AEXCheckMaxGap)
+			return v.violation(policy.P6, off, "more than %d instructions without an AEX check (P6)", v.opts.AEXCheckMaxGap)
 		}
 	}
 
@@ -748,7 +908,7 @@ func (v *verifier) checkAEXCoverage() error {
 			continue
 		}
 		if !v.checkNearTarget(t) {
-			return violation(off, "branch target lacks a nearby AEX check (P6)")
+			return v.violation(policy.P6, off, "branch target lacks a nearby AEX check (P6)")
 		}
 	}
 	return nil
