@@ -1,9 +1,10 @@
 GO ?= go
 
-.PHONY: check build fmt vet test race chaos bench metrics-smoke
+.PHONY: check build fmt vet test race race-vplane chaos bench metrics-smoke
 
-# Tier-1 gate: what CI must keep green.
-check: build fmt vet race
+# Tier-1 gate: what CI must keep green. race is the full -race sweep and
+# subsumes race-vplane; the focused target exists for fast iteration.
+check: build fmt vet race race-vplane
 
 build:
 	$(GO) build ./...
@@ -20,6 +21,12 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Focused race gate for the concurrency-heavy verification-plane layers
+# (single-flight, worker pool, session wiring); runs twice to shake out
+# scheduling-dependent interleavings faster than the full -race sweep.
+race-vplane:
+	$(GO) test -race -count=2 ./internal/vplane/ ./internal/ccaas/
 
 # The fault-injection suite on its own (always runs under -race: the point
 # is that injected faults surface as clean errors, not data races).

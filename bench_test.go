@@ -120,6 +120,16 @@ func BenchmarkMicroLoadVerify(b *testing.B) {
 	}
 }
 
+func BenchmarkCachePlane(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.CacheBench(false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printResult(b, "cache", res)
+	}
+}
+
 // ---- component micro-benchmarks ----
 
 func benchSource() string {

@@ -38,6 +38,7 @@ import (
 	"deflection/internal/ccaas"
 	"deflection/internal/obs"
 	"deflection/internal/runtime"
+	"deflection/internal/vplane"
 )
 
 const demoService = `
@@ -65,6 +66,13 @@ func run() int {
 		drain           = flag.Duration("drain", 15*time.Second, "graceful-shutdown drain budget before force-closing sessions")
 		metricsAddr     = flag.String("metrics-addr", "", "serve JSON metrics on this address (/metrics, /healthz; empty = off)")
 		metricsInterval = flag.Duration("metrics-interval", time.Minute, "period of the metrics summary log line")
+
+		verifyCacheBytes = flag.Int64("verify-cache-bytes", vplane.DefaultCacheBytes,
+			"verification-plane verdict/image cache budget in bytes (0 = disable the plane, verify per session)")
+		verifyWorkers = flag.Int("verify-workers", 0,
+			"verification worker pool size (0 = half the CPUs, min 1)")
+		verifyQueue = flag.Int("verify-queue", vplane.DefaultQueueDepth,
+			"verification admission queue depth; submissions beyond it get an authenticated busy rejection")
 	)
 	flag.Parse()
 
@@ -85,6 +93,18 @@ func run() int {
 	as := attest.NewService()
 	as.Register(platform)
 
+	var plane *vplane.Plane
+	if *verifyCacheBytes > 0 {
+		plane = vplane.New(vplane.Config{
+			CacheBytes: *verifyCacheBytes,
+			Workers:    *verifyWorkers,
+			QueueDepth: *verifyQueue,
+			Metrics:    reg,
+			Log:        logger.Log,
+		})
+		defer plane.Close()
+	}
+
 	srv, err := ccaas.NewServer(ccaas.ServerConfig{
 		Platform:       platform,
 		Policies:       pols,
@@ -93,6 +113,7 @@ func run() int {
 		SessionTimeout: *sessionTimeout,
 		Log:            logger.Log,
 		Metrics:        reg,
+		Verify:         plane,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -114,7 +135,10 @@ func run() int {
 		"policies", pols,
 		"max_sessions", *maxSessions,
 		"io_timeout", *ioTimeout,
-		"session_timeout", *sessionTimeout)
+		"session_timeout", *sessionTimeout,
+		"verify_cache_bytes", *verifyCacheBytes,
+		"verify_workers", *verifyWorkers,
+		"verify_queue", *verifyQueue)
 
 	if *metricsAddr != "" {
 		ml, err := net.Listen("tcp", *metricsAddr)

@@ -84,26 +84,44 @@ func TestMetricsSmoke(t *testing.T) {
 	}
 
 	// Scrape the metrics endpoint and check the demo session registered.
-	resp, err := http.Get(fmt.Sprintf("http://%s/metrics", metricsAddr))
-	if err != nil {
-		t.Fatalf("scraping /metrics: %v", err)
-	}
-	defer resp.Body.Close()
-	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
-		t.Errorf("/metrics content-type = %q", ct)
-	}
+	// The demo_complete log races the server-side session teardown (which
+	// observes ccaas_session_seconds), so poll until the session has fully
+	// closed rather than trusting a single scrape.
 	var snap struct {
 		Counters   map[string]int64          `json:"counters"`
 		Gauges     map[string]int64          `json:"gauges"`
 		Histograms map[string]map[string]any `json:"histograms"`
 	}
-	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
-		t.Fatalf("/metrics is not JSON: %v", err)
+	scrapeDeadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(fmt.Sprintf("http://%s/metrics", metricsAddr))
+		if err != nil {
+			t.Fatalf("scraping /metrics: %v", err)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+			t.Errorf("/metrics content-type = %q", ct)
+		}
+		err = json.NewDecoder(resp.Body).Decode(&snap)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("/metrics is not JSON: %v", err)
+		}
+		if _, ok := snap.Histograms["ccaas_session_seconds"]; ok {
+			break
+		}
+		if time.Now().After(scrapeDeadline) {
+			t.Fatal("demo session never finished tearing down (ccaas_session_seconds absent)")
+		}
+		time.Sleep(20 * time.Millisecond)
 	}
 	for _, name := range []string{
 		"ccaas_sessions_accepted_total",
 		"ccaas_binaries_verified_total",
 		"ccaas_runs_total",
+		// The verification plane is on by default: the demo binary is one
+		// cold miss that runs the pipeline exactly once.
+		"vplane_cache_misses_total",
+		"vplane_verify_runs_total",
 	} {
 		if got := snap.Counters[name]; got < 1 {
 			t.Errorf("%s = %d after the demo session, want >= 1", name, got)
@@ -112,7 +130,13 @@ func TestMetricsSmoke(t *testing.T) {
 	if _, ok := snap.Gauges["ccaas_sessions_active"]; !ok {
 		t.Error("ccaas_sessions_active gauge missing")
 	}
-	for _, name := range []string{"ccaas_session_seconds", "ccaas_attest_seconds", "ccaas_load_seconds", "ccaas_run_seconds"} {
+	if got := snap.Gauges["vplane_cache_bytes"]; got < 1 {
+		t.Errorf("vplane_cache_bytes gauge = %d, want > 0 (verdict cached)", got)
+	}
+	for _, name := range []string{
+		"ccaas_session_seconds", "ccaas_attest_seconds", "ccaas_load_seconds", "ccaas_run_seconds",
+		"vplane_verify_cold_seconds", "ccaas_load_cold_seconds",
+	} {
 		if _, ok := snap.Histograms[name]; !ok {
 			t.Errorf("histogram %s missing from /metrics", name)
 		}
@@ -140,9 +164,18 @@ func TestMetricsSmoke(t *testing.T) {
 		t.Error("no metrics_summary log line within 10s")
 	}
 
-	// Graceful shutdown on SIGTERM must exit 0.
+	// Graceful shutdown on SIGTERM must exit 0. Drain the log to EOF first:
+	// cmd.Wait closes the stderr pipe, which would race the scanner.
 	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
 		t.Fatal(err)
+	}
+	select {
+	case err := <-scanErr:
+		if err != nil {
+			t.Fatalf("reading server log: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("server log did not reach EOF within 30s of SIGTERM")
 	}
 	waitDone := make(chan error, 1)
 	go func() { waitDone <- cmd.Wait() }()
@@ -153,8 +186,5 @@ func TestMetricsSmoke(t *testing.T) {
 		}
 	case <-time.After(30 * time.Second):
 		t.Fatal("server did not exit within 30s of SIGTERM")
-	}
-	if err := <-scanErr; err != nil {
-		t.Fatalf("reading server log: %v", err)
 	}
 }

@@ -206,3 +206,35 @@ func TestQSweep(t *testing.T) {
 		t.Error("empty render")
 	}
 }
+
+func TestCacheBenchQuick(t *testing.T) {
+	res, err := CacheBench(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3 in quick mode", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.Cold <= 0 || row.WarmP50 <= 0 {
+			t.Errorf("%s: non-positive latency (cold %v, warm %v)", row.Name, row.Cold, row.WarmP50)
+		}
+		if row.WarmP50 >= row.Cold {
+			t.Errorf("%s: cache hit (%v) not faster than cold pipeline (%v)", row.Name, row.WarmP50, row.Cold)
+		}
+	}
+	// 3 cold misses + 1 re-verification after the purge; every warm session
+	// and the deduplicated burst sessions must avoid the pipeline.
+	if res.Runs != 4 {
+		t.Errorf("pipeline runs = %d, want 4", res.Runs)
+	}
+	if res.DedupRuns != 1 {
+		t.Errorf("burst pipeline runs = %d, want 1", res.DedupRuns)
+	}
+	if res.HitRatio <= 0.5 {
+		t.Errorf("hit ratio = %.2f, want > 0.5", res.HitRatio)
+	}
+	if res.String() == "" {
+		t.Error("empty render")
+	}
+}

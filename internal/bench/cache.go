@@ -1,0 +1,210 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"deflection/internal/compiler"
+	"deflection/internal/dclib"
+	"deflection/internal/enclave"
+	"deflection/internal/nbench"
+	"deflection/internal/obs"
+	"deflection/internal/policy"
+	"deflection/internal/runtime"
+	"deflection/internal/vplane"
+)
+
+// CacheRow is one kernel's cold-vs-warm verification cost through the
+// verification service plane.
+type CacheRow struct {
+	Name      string
+	TextBytes int
+	// Cold is the first session's load latency (full pipeline + snapshot).
+	Cold time.Duration
+	// WarmP50/WarmP95 are quantiles of the cache-hit sessions' load latency
+	// (verdict lookup + private image install).
+	WarmP50, WarmP95 time.Duration
+	// Speedup is Cold / WarmP50.
+	Speedup float64
+}
+
+// CacheResult is the warm-vs-cold verification-plane experiment: how much
+// repeat-binary traffic the verdict cache absorbs, and what the hit path
+// costs relative to the full pipeline.
+type CacheResult struct {
+	Rows []CacheRow
+	// WarmSessions is the number of cache-hit sessions measured per kernel.
+	WarmSessions int
+	// Hits/Misses/Runs are the plane's own counters over the whole
+	// experiment; HitRatio = Hits / (Hits + Misses).
+	Hits, Misses, Runs int64
+	HitRatio           float64
+	// DedupSessions concurrent sessions submitted one binary simultaneously;
+	// DedupRuns pipelines actually ran and DedupJoins submissions attached
+	// to an in-flight verification.
+	DedupSessions int
+	DedupRuns     int64
+	DedupJoins    int64
+}
+
+// CacheBench measures the verification plane over the nBench kernels under
+// full P1-P6: one cold verification per kernel, then warm sessions served
+// from the verdict cache (each installing into a fresh private enclave), and
+// finally a burst of concurrent sessions submitting the same binary to
+// exercise single-flight dedup.
+func CacheBench(quick bool) (*CacheResult, error) {
+	kernels := nbench.Kernels()
+	warm := 20
+	burst := 8
+	if quick {
+		if len(kernels) > 3 {
+			kernels = kernels[:3]
+		}
+		warm = 5
+	}
+
+	reg := obs.NewRegistry()
+	plane := vplane.New(vplane.Config{Metrics: reg})
+	defer plane.Close()
+
+	m := runtime.DefaultManifest()
+	m.Policies = policy.SetP1P6
+	newBoot := func() (*runtime.Bootstrap, error) {
+		return runtime.New(enclave.DefaultConfig(), m)
+	}
+	load := func(objBytes []byte) (time.Duration, vplane.Source, error) {
+		boot, err := newBoot()
+		if err != nil {
+			return 0, vplane.SourceCold, err
+		}
+		start := time.Now()
+		_, src, err := plane.Load(context.Background(), boot, objBytes)
+		return time.Since(start), src, err
+	}
+
+	res := &CacheResult{WarmSessions: warm}
+	var firstObj []byte
+	for _, k := range kernels {
+		o, err := compiler.Compile(dclib.Program(k.Source), compiler.Options{Policies: policy.SetP1P6})
+		if err != nil {
+			return nil, err
+		}
+		objBytes := o.Marshal()
+		if firstObj == nil {
+			firstObj = objBytes
+		}
+
+		cold, src, err := load(objBytes)
+		if err != nil {
+			return nil, fmt.Errorf("bench: cache %s (cold): %w", k.Name, err)
+		}
+		if src != vplane.SourceCold {
+			return nil, fmt.Errorf("bench: cache %s: first load source = %v", k.Name, src)
+		}
+
+		warmLat := make([]time.Duration, 0, warm)
+		for i := 0; i < warm; i++ {
+			d, src, err := load(objBytes)
+			if err != nil {
+				return nil, fmt.Errorf("bench: cache %s (warm %d): %w", k.Name, i, err)
+			}
+			if src != vplane.SourceCache {
+				return nil, fmt.Errorf("bench: cache %s: warm load source = %v", k.Name, src)
+			}
+			warmLat = append(warmLat, d)
+		}
+		sort.Slice(warmLat, func(i, j int) bool { return warmLat[i] < warmLat[j] })
+		p50 := quantDur(warmLat, 0.50)
+		row := CacheRow{
+			Name:      k.Name,
+			TextBytes: len(objBytes),
+			Cold:      cold,
+			WarmP50:   p50,
+			WarmP95:   quantDur(warmLat, 0.95),
+		}
+		if p50 > 0 {
+			row.Speedup = float64(cold) / float64(p50)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+
+	// Single-flight burst: drop the verdicts and submit the first kernel
+	// from `burst` sessions at once. Exactly one pipeline run should serve
+	// them all; the rest join the flight or (if they arrive after it
+	// completes) hit the fresh cache entry.
+	plane.Cache().Purge()
+	runsBefore := reg.Counter("vplane_verify_runs_total").Value()
+	joinsBefore := reg.Counter("vplane_dedup_joins_total").Value()
+	boots := make([]*runtime.Bootstrap, burst)
+	for i := range boots {
+		boot, err := newBoot()
+		if err != nil {
+			return nil, err
+		}
+		boots[i] = boot
+	}
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	errs := make([]error, burst)
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start // submit all sessions as simultaneously as possible
+			_, _, errs[i] = plane.Load(context.Background(), boots[i], firstObj)
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("bench: cache dedup session %d: %w", i, err)
+		}
+	}
+	res.DedupSessions = burst
+	res.DedupRuns = reg.Counter("vplane_verify_runs_total").Value() - runsBefore
+	res.DedupJoins = reg.Counter("vplane_dedup_joins_total").Value() - joinsBefore
+
+	res.Hits = reg.Counter("vplane_cache_hits_total").Value()
+	res.Misses = reg.Counter("vplane_cache_misses_total").Value()
+	res.Runs = reg.Counter("vplane_verify_runs_total").Value()
+	if total := res.Hits + res.Misses; total > 0 {
+		res.HitRatio = float64(res.Hits) / float64(total)
+	}
+	return res, nil
+}
+
+// quantDur returns the q-quantile of an ascending duration slice.
+func quantDur(ds []time.Duration, q float64) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(ds)-1))
+	return ds[i]
+}
+
+// String renders the cold/warm comparison and the plane's aggregate
+// behaviour over the experiment.
+func (r *CacheResult) String() string {
+	t := &table{header: []string{"binary", "object", "cold", "warm p50", "warm p95", "speedup"}}
+	for _, row := range r.Rows {
+		t.add(row.Name,
+			fmt.Sprintf("%d KiB", row.TextBytes/1024),
+			row.Cold.Round(time.Microsecond).String(),
+			row.WarmP50.Round(time.Microsecond).String(),
+			row.WarmP95.Round(time.Microsecond).String(),
+			fmt.Sprintf("%.1fx", row.Speedup))
+	}
+	shared := int64(r.DedupSessions) - r.DedupRuns
+	return fmt.Sprintf(
+		"Verification plane: cold pipeline vs verdict-cache hit (%d warm sessions per binary, full P1-P6)\n%s"+
+			"hit ratio %.1f%% (%d hits / %d misses, %d pipeline runs)\n"+
+			"single-flight burst: %d concurrent sessions -> %d pipeline run(s); "+
+			"%d deduplicated (%d joined the in-flight run, %d took the fresh verdict)\n",
+		r.WarmSessions, t.String(),
+		r.HitRatio*100, r.Hits, r.Misses, r.Runs,
+		r.DedupSessions, r.DedupRuns, shared, r.DedupJoins, shared-r.DedupJoins)
+}

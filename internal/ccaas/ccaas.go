@@ -14,6 +14,7 @@
 package ccaas
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -23,6 +24,7 @@ import (
 	"deflection/attest"
 	"deflection/internal/cpu"
 	"deflection/internal/runtime"
+	"deflection/internal/vplane"
 )
 
 // Message tags of the post-handshake protocol. Every message travels
@@ -53,6 +55,9 @@ type loadReply struct {
 	BinaryHash []byte `json:"binary_hash,omitempty"`
 	TextSize   int    `json:"text_size,omitempty"`
 	Guards     int    `json:"guards,omitempty"`
+	// Cached reports that the verdict was served from the verification
+	// plane's content-addressed cache (the pipeline was skipped).
+	Cached bool `json:"cached,omitempty"`
 }
 
 // dataReply acknowledges a data upload (or rejects an oversized one).
@@ -176,24 +181,55 @@ func (s *Server) Handle(transport io.ReadWriter) (err error) {
 		switch msg[0] {
 		case tagBinary:
 			loadStart := time.Now()
-			rep, err := boot.ReceiveBinary(msg[1:])
-			m.Histogram("ccaas_load_seconds").ObserveDuration(time.Since(loadStart))
+			var (
+				rep *runtime.LoadReport
+				err error
+				src = vplane.SourceCold
+			)
+			if s.cfg.Verify != nil {
+				rep, src, err = s.cfg.Verify.Load(context.Background(), boot, msg[1:])
+			} else {
+				rep, err = boot.ReceiveBinary(msg[1:])
+			}
+			loadDur := time.Since(loadStart)
+			m.Histogram("ccaas_load_seconds").Observe(loadDur.Seconds())
+			if s.cfg.Verify != nil {
+				// Split latency by verdict source so the cached-vs-cold
+				// speedup is visible in /metrics.
+				if src == vplane.SourceCache {
+					m.Histogram("ccaas_load_cached_seconds").Observe(loadDur.Seconds())
+				} else {
+					m.Histogram("ccaas_load_cold_seconds").Observe(loadDur.Seconds())
+				}
+			}
+			if errors.Is(err, vplane.ErrOverloaded) || errors.Is(err, vplane.ErrClosed) {
+				// The verify plane shed the request: answer with an
+				// authenticated busy envelope (transient, retryable) and
+				// keep the session alive.
+				m.Counter("ccaas_verify_overloaded_total").Inc()
+				s.log("binary_shed", "sid", sid, "err", err)
+				if rerr := reply(statusReply{Busy: true, Error: err.Error()}); rerr != nil {
+					return rerr
+				}
+				continue
+			}
 			if err != nil {
 				m.Counter("ccaas_binaries_rejected_total").Inc()
-				s.log("binary_rejected", "sid", sid, "err", err)
-				if rerr := reply(loadReply{OK: false, Error: err.Error()}); rerr != nil {
+				s.log("binary_rejected", "sid", sid, "source", src, "err", err)
+				if rerr := reply(loadReply{OK: false, Error: err.Error(), Cached: src == vplane.SourceCache}); rerr != nil {
 					return rerr
 				}
 				continue
 			}
 			m.Counter("ccaas_binaries_verified_total").Inc()
-			s.log("binary_verified", "sid", sid,
+			s.log("binary_verified", "sid", sid, "source", src,
 				"hash", fmt.Sprintf("%x", rep.BinaryHash[:8]), "text_bytes", rep.TextSize)
 			if err := reply(loadReply{
 				OK:         true,
 				BinaryHash: rep.BinaryHash[:],
 				TextSize:   rep.TextSize,
 				Guards:     rep.Stats.StoreGuards + rep.Stats.CFIGuards + rep.Stats.AEXChecks,
+				Cached:     src == vplane.SourceCache,
 			}); err != nil {
 				return err
 			}

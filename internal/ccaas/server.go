@@ -16,6 +16,7 @@ import (
 	"deflection/internal/obs"
 	"deflection/internal/policy"
 	"deflection/internal/runtime"
+	"deflection/internal/vplane"
 )
 
 // DefaultMaxInputSize caps one data upload when ServerConfig.MaxInputSize
@@ -51,6 +52,14 @@ type ServerConfig struct {
 	// Metrics, if set, receives session/byte/timing metrics. A nil registry
 	// is valid: instrumentation then updates throwaway metrics.
 	Metrics *obs.Registry
+	// Verify, if set, routes binary deliveries through the verification
+	// service plane: verdicts are cached content-addressed, concurrent
+	// submissions of the same binary collapse to one pipeline run, and
+	// verification CPU is capped by the plane's worker pool. Sessions on
+	// the cache-hit path install a private copy of the verified image and
+	// skip parse/disasm/verify entirely. Nil keeps the per-session cold
+	// pipeline.
+	Verify *vplane.Plane
 }
 
 // ErrServerBusy is the authenticated rejection a party receives when the

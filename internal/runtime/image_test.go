@@ -1,0 +1,197 @@
+package runtime_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"deflection/internal/cpu"
+	"deflection/internal/enclave"
+	"deflection/internal/policy"
+	"deflection/internal/runtime"
+)
+
+// imageSrc exercises every region an Image carries: initialised data
+// (counter), an address-taken function (branch table + shadow-stack use),
+// and a computed exit value.
+const imageSrc = `
+int counter = 5;
+int bump() { counter = counter + 1; return counter; }
+int main() { fnptr f = bump; return f(); }
+`
+
+// buildImage verifies imageSrc cold in a fresh bootstrap and snapshots it.
+func buildImage(t *testing.T, pols policy.Set) (*runtime.Image, *runtime.LoadReport) {
+	t.Helper()
+	b := newBootstrap(t, pols)
+	rep := compileAndLoad(t, b, imageSrc, pols)
+	img, err := b.SnapshotImage(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img, rep
+}
+
+// TestInstallImageEquivalence: a session installed from a snapshot must be
+// observationally identical to the cold pipeline — same verdict evidence,
+// same execution.
+func TestInstallImageEquivalence(t *testing.T) {
+	pols := policy.SetP1P6
+
+	cold := newBootstrap(t, pols)
+	coldRep := compileAndLoad(t, cold, imageSrc, pols)
+	img, err := cold.SnapshotImage(coldRep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldRes, err := cold.Run(runtime.RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	warm := newBootstrap(t, pols)
+	warmRep, err := warm.InstallImage(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmRes, err := warm.Run(runtime.RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if warmRes.CPU.Status != cpu.StatusHalt || warmRes.CPU.ExitValue != coldRes.CPU.ExitValue {
+		t.Fatalf("warm run diverged: %+v vs cold %+v", warmRes.CPU, coldRes.CPU)
+	}
+	if warmRes.CPU.Insts != coldRes.CPU.Insts {
+		t.Errorf("instruction counts differ: warm %d, cold %d", warmRes.CPU.Insts, coldRes.CPU.Insts)
+	}
+	if warmRep.BinaryHash != coldRep.BinaryHash {
+		t.Error("binary hash not replayed into the warm report")
+	}
+	if warmRep.Stats != coldRep.Stats {
+		t.Errorf("verdict stats differ: %+v vs %+v", warmRep.Stats, coldRep.Stats)
+	}
+	if len(warmRep.Audit) != len(coldRep.Audit) {
+		t.Errorf("audit trail length %d, want %d", len(warmRep.Audit), len(coldRep.Audit))
+	}
+	if warmRep.Trace == nil || warmRep.Trace.Name != "install_image" {
+		t.Errorf("warm load trace = %+v, want install_image stage trace", warmRep.Trace)
+	}
+	if len(img.BranchTargets) == 0 || len(img.BranchTable) == 0 {
+		t.Fatalf("test image has no branch table (targets=%d, table=%d bytes)",
+			len(img.BranchTargets), len(img.BranchTable))
+	}
+}
+
+func TestInstallImageLayoutMismatch(t *testing.T) {
+	pols := policy.SetP1P2
+	img, _ := buildImage(t, pols)
+
+	cfg := enclave.DefaultConfig()
+	cfg.HeapCap *= 2
+	m := runtime.DefaultManifest()
+	m.Policies = pols
+	other, err := runtime.New(cfg, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := other.InstallImage(img); !errors.Is(err, runtime.ErrLayoutMismatch) {
+		t.Fatalf("install into mismatched layout: err = %v, want ErrLayoutMismatch", err)
+	}
+}
+
+func TestSnapshotAndInstallRequireLoadedState(t *testing.T) {
+	b := newBootstrap(t, policy.SetP1)
+	if _, err := b.SnapshotImage(nil); !errors.Is(err, runtime.ErrNoLoadedImage) {
+		t.Errorf("snapshot before load: err = %v, want ErrNoLoadedImage", err)
+	}
+	if _, err := b.InstallImage(nil); !errors.Is(err, runtime.ErrNoLoadedImage) {
+		t.Errorf("install of nil image: err = %v, want ErrNoLoadedImage", err)
+	}
+}
+
+// TestImageIsolationBetweenSessions is the isolation regression test: two
+// sessions installed from the same cached image must not share writable
+// state. One session's memory is deliberately corrupted — data section,
+// shadow-stack region, branch-target table — and the sibling must observe
+// none of it.
+func TestImageIsolationBetweenSessions(t *testing.T) {
+	pols := policy.SetP1P6
+	img, _ := buildImage(t, pols)
+	l := img.Layout
+
+	victim := newBootstrap(t, pols)
+	if _, err := victim.InstallImage(img); err != nil {
+		t.Fatal(err)
+	}
+	sibling := newBootstrap(t, pols)
+	if _, err := sibling.InstallImage(img); err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt the victim's writable regions the way a hostile tenant with
+	// an in-enclave write primitive would.
+	vm := victim.Enclave().Mem
+	garbage := bytes.Repeat([]byte{0xFF}, 8)
+	if f := vm.Write(img.DataBase, garbage); f != nil {
+		t.Fatalf("poking victim data: %v", f)
+	}
+	if f := vm.Write(l.ShadowBase, garbage); f != nil {
+		t.Fatalf("poking victim shadow stack: %v", f)
+	}
+	if err := vm.SetPerm(l.BrTableBase, l.BrTableEnd, enclave.PermRW); err != nil {
+		t.Fatal(err)
+	}
+	if f := vm.Write(l.BrTableBase, garbage); f != nil {
+		t.Fatalf("poking victim branch table: %v", f)
+	}
+	if err := vm.SetPerm(l.BrTableBase, l.BrTableEnd, enclave.PermR); err != nil {
+		t.Fatal(err)
+	}
+
+	// The sibling's regions must be byte-identical to the pristine image.
+	sm := sibling.Enclave().Mem
+	data, f := sm.Read(img.DataBase, len(img.Data))
+	if f != nil {
+		t.Fatal(f)
+	}
+	if !bytes.Equal(data, img.Data) {
+		t.Error("sibling data section changed by victim's writes")
+	}
+	table, f := sm.Read(l.BrTableBase, len(img.BranchTable))
+	if f != nil {
+		t.Fatal(f)
+	}
+	if !bytes.Equal(table, img.BranchTable) {
+		t.Error("sibling branch table changed by victim's writes")
+	}
+	shadow, f := sm.Read(l.ShadowBase, len(garbage))
+	if f != nil {
+		t.Fatal(f)
+	}
+	if !bytes.Equal(shadow, make([]byte, len(garbage))) {
+		t.Error("sibling shadow stack changed by victim's writes")
+	}
+
+	// And the shared Image itself must still be pristine: a third session
+	// installed after the corruption behaves exactly like the first.
+	res, err := sibling.Run(runtime.RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CPU.Status != cpu.StatusHalt || res.CPU.ExitValue != 6 {
+		t.Fatalf("sibling run: %+v, want clean exit 6", res.CPU)
+	}
+	third := newBootstrap(t, pols)
+	if _, err := third.InstallImage(img); err != nil {
+		t.Fatal(err)
+	}
+	res3, err := third.Run(runtime.RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res3.CPU.ExitValue != 6 {
+		t.Fatalf("third session exit = %d, want 6 — counter state leaked through the image",
+			res3.CPU.ExitValue)
+	}
+}

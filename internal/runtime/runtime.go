@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 	"time"
 
 	"deflection/internal/cpu"
@@ -60,6 +61,19 @@ func DefaultManifest() Manifest {
 		Policies:      policy.SetAll,
 		AllowedOcalls: []int64{policy.OcallSend, policy.OcallRecv, policy.OcallPrint, policy.OcallThreadID},
 	}
+}
+
+// Fingerprint returns the canonical serialisation of the manifest — the
+// same bytes that enter the measured identity. The verification plane keys
+// its verdict cache on it: two manifests with equal fingerprints demand
+// identical verification of any given binary. Zero-value defaults are
+// normalised first (New applies the same normalisation before measuring),
+// so a manifest compares equal to its launched form.
+func (m Manifest) Fingerprint() []byte {
+	if m.OutputPadBlock == 0 {
+		m.OutputPadBlock = defaultOutputPadBlock
+	}
+	return m.identity()
 }
 
 // identity serialises the manifest into the measured identity.
@@ -123,15 +137,32 @@ type Bootstrap struct {
 	// (deterministic traces in tests); verifier/loader self-timed phases
 	// still use the wall clock.
 	traceClock func() time.Time
-	lastTrace  *obs.Trace
+
+	// traceMu guards lastTrace: loads run one at a time per Bootstrap, but
+	// the verification plane's worker pool inspects traces from other
+	// goroutines, so the handoff must be race-clean.
+	traceMu   sync.Mutex
+	lastTrace *obs.Trace
 }
 
 // SetTraceClock installs a deterministic clock for stage traces (tests).
 func (b *Bootstrap) SetTraceClock(clock func() time.Time) { b.traceClock = clock }
 
-// LastTrace returns the stage trace of the most recent ReceiveBinary call
-// (including a failed one), or nil before the first call.
-func (b *Bootstrap) LastTrace() *obs.Trace { return b.lastTrace }
+// LastTrace returns the stage trace of the most recent ReceiveBinary or
+// InstallImage call (including a failed one), or nil before the first call.
+// Safe to call from a goroutine other than the one loading.
+func (b *Bootstrap) LastTrace() *obs.Trace {
+	b.traceMu.Lock()
+	defer b.traceMu.Unlock()
+	return b.lastTrace
+}
+
+// setLastTrace records the trace of an in-progress load.
+func (b *Bootstrap) setLastTrace(tr *obs.Trace) {
+	b.traceMu.Lock()
+	b.lastTrace = tr
+	b.traceMu.Unlock()
+}
 
 // ErrNotLoaded is returned when Run is called before a successful load.
 var ErrNotLoaded = errors.New("runtime: no verified binary loaded")
@@ -140,11 +171,15 @@ var ErrNotLoaded = errors.New("runtime: no verified binary loaded")
 // the manifest requires.
 var ErrPolicyMismatch = errors.New("runtime: binary policy mask does not cover manifest")
 
+// defaultOutputPadBlock is the output padding applied when the manifest
+// leaves OutputPadBlock zero.
+const defaultOutputPadBlock = 256
+
 // New launches a bootstrap enclave with the given memory configuration and
 // manifest.
 func New(cfg enclave.Config, m Manifest) (*Bootstrap, error) {
 	if m.OutputPadBlock == 0 {
-		m.OutputPadBlock = 256
+		m.OutputPadBlock = defaultOutputPadBlock
 	}
 	e, err := enclave.New(cfg, m.identity())
 	if err != nil {
@@ -187,7 +222,7 @@ func (b *Bootstrap) SetSessionKey(key []byte) error {
 // only this object and its proof cross the boundary.
 func (b *Bootstrap) ReceiveBinary(objBytes []byte) (*LoadReport, error) {
 	tr := obs.NewTraceWithClock("receive_binary", b.traceClock)
-	b.lastTrace = tr // kept even on rejection, so failures can be examined
+	b.setLastTrace(tr) // kept even on rejection, so failures can be examined
 
 	tm := tr.Start("parse")
 	o, err := obj.Unmarshal(objBytes)

@@ -1,0 +1,139 @@
+package vplane
+
+import (
+	"container/list"
+	"sync"
+
+	"deflection/internal/obs"
+)
+
+// Cache is the content-addressed verdict cache: an LRU bounded by a byte
+// budget rather than an entry count, since entries (rewritten images) vary
+// from a few KiB to tens of MiB. All methods are safe for concurrent use.
+type Cache struct {
+	m      *obs.Registry
+	budget int64
+
+	mu    sync.Mutex
+	used  int64
+	ll    *list.List // front = most recently used
+	items map[Key]*list.Element
+}
+
+type cacheEntry struct {
+	key  Key
+	v    *Verdict
+	size int64
+}
+
+// NewCache returns a cache holding at most budgetBytes of verdicts. A nil
+// registry is valid (metrics become throwaways).
+func NewCache(budgetBytes int64, m *obs.Registry) *Cache {
+	return &Cache{
+		m:      m,
+		budget: budgetBytes,
+		ll:     list.New(),
+		items:  make(map[Key]*list.Element),
+	}
+}
+
+// Get returns the cached verdict for k, promoting it to most recently used.
+func (c *Cache) Get(k Key) (*Verdict, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[k]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).v, true
+}
+
+// Put inserts (or refreshes) a verdict, evicting least-recently-used
+// entries until the byte budget holds. A verdict larger than the whole
+// budget is not cached at all.
+func (c *Cache) Put(v *Verdict) {
+	size := v.SizeBytes()
+	if size > c.budget {
+		c.m.Counter("vplane_cache_uncacheable_total").Inc()
+		return
+	}
+	c.mu.Lock()
+	if el, ok := c.items[v.Key]; ok {
+		e := el.Value.(*cacheEntry)
+		c.used += size - e.size
+		e.v, e.size = v, size
+		c.ll.MoveToFront(el)
+	} else {
+		c.items[v.Key] = c.ll.PushFront(&cacheEntry{key: v.Key, v: v, size: size})
+		c.used += size
+	}
+	evicted := 0
+	for c.used > c.budget && c.ll.Len() > 1 {
+		back := c.ll.Back()
+		c.removeLocked(back)
+		evicted++
+	}
+	c.publishLocked()
+	c.mu.Unlock()
+	if evicted > 0 {
+		c.m.Counter("vplane_cache_evictions_total").Add(int64(evicted))
+	}
+}
+
+// Invalidate removes one verdict (e.g. after a policy update makes an old
+// verdict suspect) and reports whether it was present.
+func (c *Cache) Invalidate(k Key) bool {
+	c.mu.Lock()
+	el, ok := c.items[k]
+	if ok {
+		c.removeLocked(el)
+		c.publishLocked()
+	}
+	c.mu.Unlock()
+	if ok {
+		c.m.Counter("vplane_cache_invalidations_total").Inc()
+	}
+	return ok
+}
+
+// Purge empties the cache and returns the number of entries dropped.
+func (c *Cache) Purge() int {
+	c.mu.Lock()
+	n := c.ll.Len()
+	c.ll.Init()
+	c.items = make(map[Key]*list.Element)
+	c.used = 0
+	c.publishLocked()
+	c.mu.Unlock()
+	if n > 0 {
+		c.m.Counter("vplane_cache_invalidations_total").Add(int64(n))
+	}
+	return n
+}
+
+// Len returns the number of cached verdicts.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Bytes returns the accounted size of all cached verdicts.
+func (c *Cache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.used
+}
+
+func (c *Cache) removeLocked(el *list.Element) {
+	e := el.Value.(*cacheEntry)
+	c.ll.Remove(el)
+	delete(c.items, e.key)
+	c.used -= e.size
+}
+
+func (c *Cache) publishLocked() {
+	c.m.Gauge("vplane_cache_bytes").Set(c.used)
+	c.m.Gauge("vplane_cache_entries").Set(int64(c.ll.Len()))
+}

@@ -1,0 +1,124 @@
+package vplane
+
+import (
+	"errors"
+	"testing"
+
+	"deflection/internal/obs"
+	"deflection/internal/runtime"
+)
+
+// verdictOfSize builds a positive verdict whose SizeBytes is exactly
+// 256 (verdict overhead) + 512 (image overhead) + textBytes.
+func verdictOfSize(id byte, textBytes int) *Verdict {
+	var k Key
+	k[0] = id
+	return &Verdict{Key: k, Image: &runtime.Image{Text: make([]byte, textBytes)}}
+}
+
+func keyOf(id byte) Key {
+	var k Key
+	k[0] = id
+	return k
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	reg := obs.NewRegistry()
+	// Each 1 KiB-text verdict accounts 256+512+1024 = 1792 bytes; budget
+	// fits two of them but not three.
+	c := NewCache(2*1792, reg)
+	c.Put(verdictOfSize(1, 1024))
+	c.Put(verdictOfSize(2, 1024))
+	if got := c.Len(); got != 2 {
+		t.Fatalf("Len = %d, want 2", got)
+	}
+
+	// Touch 1 so 2 becomes least recently used, then overflow.
+	if _, ok := c.Get(keyOf(1)); !ok {
+		t.Fatal("entry 1 missing before eviction")
+	}
+	c.Put(verdictOfSize(3, 1024))
+
+	if _, ok := c.Get(keyOf(2)); ok {
+		t.Error("LRU entry 2 survived eviction")
+	}
+	if _, ok := c.Get(keyOf(1)); !ok {
+		t.Error("recently used entry 1 was evicted")
+	}
+	if _, ok := c.Get(keyOf(3)); !ok {
+		t.Error("fresh entry 3 missing")
+	}
+	if got := reg.Counter("vplane_cache_evictions_total").Value(); got != 1 {
+		t.Errorf("evictions = %d, want 1", got)
+	}
+	if got, want := c.Bytes(), int64(2*1792); got != want {
+		t.Errorf("Bytes = %d, want %d", got, want)
+	}
+	if got := reg.Gauge("vplane_cache_bytes").Value(); got != c.Bytes() {
+		t.Errorf("gauge vplane_cache_bytes = %d, want %d", got, c.Bytes())
+	}
+}
+
+func TestCacheOversizedEntryNotCached(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := NewCache(1024, reg)
+	c.Put(verdictOfSize(1, 4096))
+	if c.Len() != 0 {
+		t.Fatal("oversized verdict was cached")
+	}
+	if got := reg.Counter("vplane_cache_uncacheable_total").Value(); got != 1 {
+		t.Errorf("uncacheable = %d, want 1", got)
+	}
+}
+
+func TestCacheNegativeVerdictAccounting(t *testing.T) {
+	c := NewCache(1<<20, obs.NewRegistry())
+	v := &Verdict{Key: keyOf(9), Reject: errors.New("verifier: policy violation of P1 at 0x10")}
+	c.Put(v)
+	got, ok := c.Get(keyOf(9))
+	if !ok || got.Reject == nil || got.Image != nil {
+		t.Fatalf("negative verdict round trip: got %+v ok=%v", got, ok)
+	}
+	if c.Bytes() != v.SizeBytes() {
+		t.Errorf("Bytes = %d, want %d", c.Bytes(), v.SizeBytes())
+	}
+}
+
+func TestCacheInvalidateAndPurge(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := NewCache(1<<20, reg)
+	c.Put(verdictOfSize(1, 64))
+	c.Put(verdictOfSize(2, 64))
+
+	if !c.Invalidate(keyOf(1)) {
+		t.Fatal("Invalidate of present key returned false")
+	}
+	if c.Invalidate(keyOf(1)) {
+		t.Fatal("Invalidate of absent key returned true")
+	}
+	if _, ok := c.Get(keyOf(1)); ok {
+		t.Fatal("invalidated entry still served")
+	}
+
+	if n := c.Purge(); n != 1 {
+		t.Fatalf("Purge dropped %d entries, want 1", n)
+	}
+	if c.Len() != 0 || c.Bytes() != 0 {
+		t.Fatalf("after Purge: len=%d bytes=%d", c.Len(), c.Bytes())
+	}
+	if got := reg.Counter("vplane_cache_invalidations_total").Value(); got != 2 {
+		t.Errorf("invalidations = %d, want 2", got)
+	}
+}
+
+func TestCachePutRefreshesExisting(t *testing.T) {
+	c := NewCache(1<<20, nil)
+	c.Put(verdictOfSize(1, 64))
+	c.Put(verdictOfSize(1, 128)) // same key, new size
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+	if want := int64(256 + 512 + 128); c.Bytes() != want {
+		t.Errorf("Bytes = %d, want %d", c.Bytes(), want)
+	}
+}

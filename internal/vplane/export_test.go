@@ -1,0 +1,6 @@
+package vplane
+
+// SetVerifyHook installs a function run at the top of every cold pipeline
+// run. Tests use it to hold a verification open while concurrent waiters
+// pile up; it must be set before the plane is shared between goroutines.
+func (p *Plane) SetVerifyHook(fn func()) { p.verifyHook = fn }

@@ -1,0 +1,268 @@
+package vplane
+
+import (
+	"context"
+	"errors"
+	goruntime "runtime"
+	"sync"
+	"time"
+
+	"deflection/internal/enclave"
+	"deflection/internal/obs"
+	"deflection/internal/runtime"
+	"deflection/internal/verifier"
+)
+
+// Defaults for Config zero values.
+const (
+	DefaultCacheBytes = 256 << 20
+	DefaultQueueDepth = 64
+)
+
+// DefaultWorkers is the worker count used when Config.Workers is zero:
+// half the CPUs, at least one — verification is CPU-bound, and the other
+// half is left for session service.
+func DefaultWorkers() int {
+	n := goruntime.NumCPU() / 2
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Config parameterises a Plane.
+type Config struct {
+	// CacheBytes bounds the verdict cache (0 = DefaultCacheBytes).
+	CacheBytes int64
+	// Workers bounds concurrent verifications (0 = DefaultWorkers()).
+	Workers int
+	// QueueDepth bounds queued verifications beyond the running ones;
+	// submissions past it are rejected with ErrOverloaded
+	// (0 = DefaultQueueDepth).
+	QueueDepth int
+	// Metrics receives hit/miss/dedup/eviction counters, the queue-depth
+	// gauge and latency histograms. A nil registry is valid.
+	Metrics *obs.Registry
+	// Log, if set, receives structured events (cold runs, negative
+	// verdicts, overloads) with alternating key/value pairs.
+	Log func(event string, kv ...any)
+}
+
+// flight is one in-progress verification that concurrent submitters of the
+// same key attach to.
+type flight struct {
+	done    chan struct{} // closed after verdict/err are set
+	verdict *Verdict
+	err     error
+	waiters int // guarded by Plane.mu; 0 ⇒ cancel the job
+	ctx     context.Context
+	cancel  context.CancelFunc
+}
+
+// Plane is the verification service plane: cache + single-flight admission
+// + bounded worker pool. Safe for concurrent use by any number of sessions.
+type Plane struct {
+	cfg   Config
+	m     *obs.Registry
+	cache *Cache
+	pool  *Pool
+
+	mu      sync.Mutex
+	flights map[Key]*flight
+
+	// verifyHook, when set, runs at the top of every cold pipeline run —
+	// tests use it to hold a verification open while waiters pile up.
+	verifyHook func()
+}
+
+// New builds a Plane; call Close to stop its workers.
+func New(cfg Config) *Plane {
+	if cfg.CacheBytes <= 0 {
+		cfg.CacheBytes = DefaultCacheBytes
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = DefaultWorkers()
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = DefaultQueueDepth
+	}
+	return &Plane{
+		cfg:     cfg,
+		m:       cfg.Metrics,
+		cache:   NewCache(cfg.CacheBytes, cfg.Metrics),
+		pool:    NewPool(cfg.Workers, cfg.QueueDepth, cfg.Metrics),
+		flights: make(map[Key]*flight),
+	}
+}
+
+// Cache exposes the verdict cache (for invalidation and introspection).
+func (p *Plane) Cache() *Cache { return p.cache }
+
+// Close stops the worker pool. In-flight verifications finish; queued ones
+// are abandoned with ErrClosed.
+func (p *Plane) Close() { p.pool.Close() }
+
+func (p *Plane) log(event string, kv ...any) {
+	if p.cfg.Log != nil {
+		p.cfg.Log(event, kv...)
+	}
+}
+
+// Verify returns the verification verdict for objBytes under manifest m and
+// layout l: from the cache when possible, by joining an in-flight run of
+// the same key otherwise, and by admitting one cold pipeline run through
+// the worker pool only when neither exists. The returned error is a
+// transport-level failure (overload, cancellation, closed plane) — a
+// *rejected binary* is a successful Verify whose Verdict.Reject is set.
+func (p *Plane) Verify(ctx context.Context, objBytes []byte, m runtime.Manifest, l enclave.Layout) (*Verdict, Source, error) {
+	start := time.Now()
+	key := ComputeKey(objBytes, m, l)
+	if v, ok := p.cache.Get(key); ok {
+		if v.Reject != nil {
+			p.m.Counter("vplane_cache_negative_hits_total").Inc()
+		} else {
+			p.m.Counter("vplane_cache_hits_total").Inc()
+		}
+		p.m.Histogram("vplane_verify_cached_seconds").ObserveDuration(time.Since(start))
+		return v, SourceCache, nil
+	}
+
+	p.mu.Lock()
+	if f, ok := p.flights[key]; ok {
+		f.waiters++
+		p.mu.Unlock()
+		p.m.Counter("vplane_dedup_joins_total").Inc()
+		return p.wait(ctx, f, SourceJoined)
+	}
+	fctx, cancel := context.WithCancel(context.Background())
+	f := &flight{done: make(chan struct{}), waiters: 1, ctx: fctx, cancel: cancel}
+	p.flights[key] = f
+	p.mu.Unlock()
+
+	p.m.Counter("vplane_cache_misses_total").Inc()
+	// The flight runs detached from the leader's context: its lifetime is
+	// governed by the waiter refcount, so a leader that gives up does not
+	// kill a job other sessions are still waiting on.
+	go p.runFlight(f, key, append([]byte(nil), objBytes...), m, l)
+	return p.wait(ctx, f, SourceCold)
+}
+
+// wait blocks on a flight until it completes or ctx expires. An expired
+// waiter decrements the flight's refcount; the last one to leave cancels
+// the job (a queued job is then dropped before it ever runs).
+func (p *Plane) wait(ctx context.Context, f *flight, src Source) (*Verdict, Source, error) {
+	select {
+	case <-f.done:
+		return f.verdict, src, f.err
+	case <-ctx.Done():
+		p.mu.Lock()
+		f.waiters--
+		if f.waiters == 0 {
+			f.cancel()
+		}
+		p.mu.Unlock()
+		p.m.Counter("vplane_waits_abandoned_total").Inc()
+		return nil, src, ctx.Err()
+	}
+}
+
+// runFlight admits the cold verification through the pool, caches the
+// verdict, and publishes the result to every waiter.
+func (p *Plane) runFlight(f *flight, key Key, objBytes []byte, m runtime.Manifest, l enclave.Layout) {
+	var (
+		v    *Verdict
+		verr error
+	)
+	err := p.pool.Do(f.ctx, func() { v, verr = p.runVerify(key, objBytes, m, l) })
+	if err != nil {
+		v, verr = nil, err
+	}
+	if v != nil {
+		p.cache.Put(v)
+	}
+	p.mu.Lock()
+	delete(p.flights, key)
+	f.verdict, f.err = v, verr
+	p.mu.Unlock()
+	close(f.done)
+	f.cancel()
+}
+
+// runVerify executes the full parse→load→disasm→verify→rewrite pipeline in
+// a scratch bootstrap enclave and converts the outcome into a cacheable
+// verdict. Deterministic rejections (structured verifier violations and
+// policy-mask mismatches) become negative verdicts; anything else (corrupt
+// objects, undersized enclaves mid-reconfiguration) is reported as an error
+// and left uncached.
+func (p *Plane) runVerify(key Key, objBytes []byte, m runtime.Manifest, l enclave.Layout) (*Verdict, error) {
+	if hook := p.verifyHook; hook != nil {
+		hook()
+	}
+	start := time.Now()
+	boot, err := runtime.New(configFromLayout(l), m)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := boot.ReceiveBinary(objBytes)
+	p.m.Histogram("vplane_verify_cold_seconds").ObserveDuration(time.Since(start))
+	p.m.Counter("vplane_verify_runs_total").Inc()
+	if err != nil {
+		if errors.Is(err, verifier.ErrViolation) || errors.Is(err, runtime.ErrPolicyMismatch) {
+			p.m.Counter("vplane_negative_verdicts_total").Inc()
+			p.log("vplane_negative_verdict", "key", keyPrefix(key), "err", err)
+			return &Verdict{Key: key, Reject: err}, nil
+		}
+		return nil, err
+	}
+	img, err := boot.SnapshotImage(rep)
+	if err != nil {
+		return nil, err
+	}
+	p.log("vplane_cold_verify", "key", keyPrefix(key),
+		"text_bytes", len(img.Text), "dur", time.Since(start))
+	return &Verdict{Key: key, Image: img, Report: rep}, nil
+}
+
+// Load is the session-facing fast path: verify objBytes through the plane
+// (cache → single-flight → pool) under boot's own manifest and layout, then
+// install the verified image into boot's private enclave memory. On a cache
+// hit the parse/disasm/verify/rewrite pipeline is skipped entirely.
+func (p *Plane) Load(ctx context.Context, boot *runtime.Bootstrap, objBytes []byte) (*runtime.LoadReport, Source, error) {
+	v, src, err := p.Verify(ctx, objBytes, boot.Manifest(), boot.Enclave().Layout)
+	if err != nil {
+		return nil, src, err
+	}
+	if v.Reject != nil {
+		return nil, src, v.Reject
+	}
+	rep, err := boot.InstallImage(v.Image)
+	return rep, src, err
+}
+
+// configFromLayout reconstructs the enclave sizing that produces exactly
+// this layout (enclave.New is deterministic and all caps in a resolved
+// layout are already page-rounded), so a scratch verification enclave is
+// guaranteed address-compatible with every session enclave of the key.
+func configFromLayout(l enclave.Layout) enclave.Config {
+	return enclave.Config{
+		CodeCap:      l.CodeEnd - l.CodeBase,
+		BrTableCap:   l.BrTableEnd - l.BrTableBase,
+		ShadowCap:    l.ShadowEnd - l.ShadowBase,
+		StackCap:     l.StackHi - l.StackLo,
+		HeapCap:      l.HeapEnd - l.HeapBase,
+		UntrustedCap: l.UntrustedEnd - l.UntrustedBase,
+		Threads:      l.Threads,
+		SGXv2:        l.SGXv2,
+	}
+}
+
+// keyPrefix renders the first bytes of a key for log lines.
+func keyPrefix(k Key) string {
+	const hexdigits = "0123456789abcdef"
+	out := make([]byte, 16)
+	for i := 0; i < 8; i++ {
+		out[2*i] = hexdigits[k[i]>>4]
+		out[2*i+1] = hexdigits[k[i]&0xf]
+	}
+	return string(out)
+}

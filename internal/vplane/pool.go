@@ -1,0 +1,135 @@
+package vplane
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"deflection/internal/obs"
+)
+
+// task states: a queued task is claimed exactly once, either by a worker
+// (running) or by its submitter giving up (skipped). The CAS is what keeps
+// abandoned jobs from racing their submitter.
+const (
+	taskQueued int32 = iota
+	taskRunning
+	taskSkipped
+)
+
+type task struct {
+	ctx   context.Context
+	fn    func()
+	state atomic.Int32
+	done  chan struct{} // closed by the worker that pops the task
+}
+
+// Pool is a bounded verification worker pool with a FIFO admission queue:
+// at most `workers` pipelines run concurrently, at most `depth` more wait
+// in line, and anything beyond that is rejected immediately with
+// ErrOverloaded — verification CPU is capped independently of how many
+// sessions the server admits.
+type Pool struct {
+	m     *obs.Registry
+	queue chan *task
+	quit  chan struct{}
+	wg    sync.WaitGroup
+	once  sync.Once
+}
+
+// NewPool starts a pool of workers with a FIFO queue of the given depth
+// (minimums of 1 worker and depth 1 are enforced).
+func NewPool(workers, depth int, m *obs.Registry) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	if depth < 1 {
+		depth = 1
+	}
+	p := &Pool{
+		m:     m,
+		queue: make(chan *task, depth),
+		quit:  make(chan struct{}),
+	}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for {
+		select {
+		case <-p.quit:
+			return
+		case t := <-p.queue:
+			p.m.Gauge("vplane_queue_depth").Add(-1)
+			if t.ctx.Err() != nil && t.state.CompareAndSwap(taskQueued, taskSkipped) {
+				// Every waiter abandoned this job while it was queued.
+				p.m.Counter("vplane_jobs_cancelled_total").Inc()
+				close(t.done)
+				continue
+			}
+			if !t.state.CompareAndSwap(taskQueued, taskRunning) {
+				close(t.done) // submitter already skipped it
+				continue
+			}
+			p.m.Counter("vplane_jobs_total").Inc()
+			t.fn()
+			close(t.done)
+		}
+	}
+}
+
+// Do submits fn and blocks until it has run. It returns ErrOverloaded
+// without blocking when the queue is full, ctx.Err() if ctx is cancelled
+// while the job is still queued (the job will never run), and ErrClosed if
+// the pool shuts down first. Once fn has started, Do always waits for it to
+// finish — fn's writes are visible to the caller when Do returns nil.
+func (p *Pool) Do(ctx context.Context, fn func()) error {
+	select {
+	case <-p.quit:
+		return ErrClosed
+	default:
+	}
+	t := &task{ctx: ctx, fn: fn, done: make(chan struct{})}
+	select {
+	case p.queue <- t:
+		p.m.Gauge("vplane_queue_depth").Add(1)
+	default:
+		p.m.Counter("vplane_overload_rejections_total").Inc()
+		return ErrOverloaded
+	}
+	select {
+	case <-t.done:
+		if t.state.Load() == taskSkipped {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			return ErrClosed
+		}
+		return nil
+	case <-ctx.Done():
+		if t.state.CompareAndSwap(taskQueued, taskSkipped) {
+			p.m.Counter("vplane_jobs_cancelled_total").Inc()
+			return ctx.Err()
+		}
+		<-t.done // already running: wait so fn's writes are safe to read
+		return nil
+	case <-p.quit:
+		if t.state.CompareAndSwap(taskQueued, taskSkipped) {
+			return ErrClosed
+		}
+		<-t.done
+		return nil
+	}
+}
+
+// Close stops the workers. Jobs still queued are abandoned (their
+// submitters receive ErrClosed); jobs already running finish.
+func (p *Pool) Close() {
+	p.once.Do(func() { close(p.quit) })
+	p.wg.Wait()
+}

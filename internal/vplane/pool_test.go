@@ -1,0 +1,157 @@
+package vplane
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"deflection/internal/obs"
+)
+
+// waitFor polls cond until it holds or the deadline expires.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestPoolRunsAllJobs(t *testing.T) {
+	reg := obs.NewRegistry()
+	p := NewPool(2, 8, reg)
+	defer p.Close()
+
+	var ran atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := p.Do(context.Background(), func() { ran.Add(1) }); err != nil {
+				t.Errorf("Do: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if ran.Load() != 8 {
+		t.Fatalf("ran %d jobs, want 8", ran.Load())
+	}
+	if got := reg.Counter("vplane_jobs_total").Value(); got != 8 {
+		t.Errorf("jobs_total = %d, want 8", got)
+	}
+	if got := reg.Gauge("vplane_queue_depth").Value(); got != 0 {
+		t.Errorf("queue_depth = %d after drain, want 0", got)
+	}
+}
+
+func TestPoolOverloadRejection(t *testing.T) {
+	reg := obs.NewRegistry()
+	p := NewPool(1, 1, reg)
+	defer p.Close()
+
+	entered := make(chan struct{})
+	hold := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = p.Do(context.Background(), func() { close(entered); <-hold })
+	}()
+	<-entered // worker busy
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = p.Do(context.Background(), func() {}) // fills the queue
+	}()
+	waitFor(t, "job to queue", func() bool { return reg.Gauge("vplane_queue_depth").Value() == 1 })
+
+	if err := p.Do(context.Background(), func() {}); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("Do on a full queue: err = %v, want ErrOverloaded", err)
+	}
+	if got := reg.Counter("vplane_overload_rejections_total").Value(); got != 1 {
+		t.Errorf("overload_rejections = %d, want 1", got)
+	}
+	close(hold)
+	wg.Wait()
+}
+
+func TestPoolCancelWhileQueued(t *testing.T) {
+	reg := obs.NewRegistry()
+	p := NewPool(1, 4, reg)
+	defer p.Close()
+
+	entered := make(chan struct{})
+	hold := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = p.Do(context.Background(), func() { close(entered); <-hold })
+	}()
+	<-entered
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Bool
+	errc := make(chan error, 1)
+	go func() { errc <- p.Do(ctx, func() { ran.Store(true) }) }()
+	waitFor(t, "job to queue", func() bool { return reg.Gauge("vplane_queue_depth").Value() == 1 })
+
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled Do: err = %v, want context.Canceled", err)
+	}
+	close(hold)
+	wg.Wait()
+	p.Close() // drain the worker so a late run would have happened by now
+	if ran.Load() {
+		t.Fatal("cancelled job ran anyway")
+	}
+	if got := reg.Counter("vplane_jobs_cancelled_total").Value(); got != 1 {
+		t.Errorf("jobs_cancelled = %d, want 1", got)
+	}
+}
+
+func TestPoolCloseAbandonsQueued(t *testing.T) {
+	reg := obs.NewRegistry()
+	p := NewPool(1, 4, reg)
+
+	entered := make(chan struct{})
+	hold := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = p.Do(context.Background(), func() { close(entered); <-hold })
+	}()
+	<-entered
+
+	var ran atomic.Bool
+	errc := make(chan error, 1)
+	go func() { errc <- p.Do(context.Background(), func() { ran.Store(true) }) }()
+	waitFor(t, "job to queue", func() bool { return reg.Gauge("vplane_queue_depth").Value() == 1 })
+
+	closed := make(chan struct{})
+	go func() { p.Close(); close(closed) }()
+	if err := <-errc; !errors.Is(err, ErrClosed) {
+		t.Fatalf("queued Do after Close: err = %v, want ErrClosed", err)
+	}
+	close(hold)
+	<-closed
+	wg.Wait()
+	if ran.Load() {
+		t.Fatal("abandoned job ran after Close")
+	}
+
+	// Submissions to a closed pool are rejected outright.
+	if err := p.Do(context.Background(), func() {}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Do on closed pool: err = %v, want ErrClosed", err)
+	}
+}
