@@ -1,10 +1,10 @@
 GO ?= go
 
-.PHONY: check build fmt vet test race race-vplane chaos bench metrics-smoke
+.PHONY: check build fmt vet lint fuzz-disasm test race race-vplane chaos bench metrics-smoke
 
 # Tier-1 gate: what CI must keep green. race is the full -race sweep and
 # subsumes race-vplane; the focused target exists for fast iteration.
-check: build fmt vet race race-vplane
+check: build fmt vet lint race race-vplane fuzz-disasm
 
 build:
 	$(GO) build ./...
@@ -15,6 +15,18 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# TCB import hygiene: the verification packages (verifier, cfa, disasm,
+# loader, isa, policy) must not import the observability or service planes,
+# nor anything under net/ or os/. Fails with the offending import chain.
+lint:
+	$(GO) run ./cmd/deflection-lint -root .
+
+# Short coverage-guided smoke of the instruction decoder; FUZZTIME can be
+# raised for a real fuzzing session (e.g. make fuzz-disasm FUZZTIME=10m).
+FUZZTIME ?= 5s
+fuzz-disasm:
+	$(GO) test -fuzz=FuzzDisassemble -fuzztime=$(FUZZTIME) -run '^$$' ./internal/disasm/
 
 test:
 	$(GO) test ./...

@@ -1,10 +1,15 @@
 // Command deflection-disasm inspects a target binary: its header, symbol
-// table, relocation entries, branch-target list ("the proof") and a full
-// disassembly, optionally annotated with the verifier's findings.
+// table, relocation entries, branch-target list ("the proof"), a full
+// disassembly optionally annotated with the verifier's findings, and the
+// recovered control-flow graph.
 //
 // Usage:
 //
 //	deflection-disasm -verify p1-p6 service.dfo
+//	deflection-disasm -cfg dot service.dfo | dot -Tsvg > cfg.svg
+//
+// Exit status: 0 clean, 1 on decode errors or a verifier rejection, 2 on
+// usage errors.
 package main
 
 import (
@@ -12,8 +17,10 @@ import (
 	"fmt"
 	"os"
 
+	"deflection/internal/cfa"
 	"deflection/internal/disasm"
 	"deflection/internal/enclave"
+	"deflection/internal/isa"
 	"deflection/internal/loader"
 	"deflection/internal/obj"
 	"deflection/internal/policy"
@@ -27,12 +34,17 @@ func main() {
 func run() int {
 	var (
 		verify = flag.String("verify", "", "also run the verifier with this policy set (p1|p1+p2|p1-p5|p1-p6)")
+		cfg    = flag.String("cfg", "", "print the recovered control-flow graph instead of a listing (dot|text)")
 		dump   = flag.Bool("d", true, "print disassembly")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: deflection-disasm [flags] service.dfo")
 		flag.PrintDefaults()
+		return 2
+	}
+	if *cfg != "" && *cfg != "dot" && *cfg != "text" {
+		fmt.Fprintf(os.Stderr, "deflection-disasm: -cfg must be dot or text, got %q\n", *cfg)
 		return 2
 	}
 	raw, err := os.ReadFile(flag.Arg(0))
@@ -45,6 +57,11 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "deflection-disasm: %v\n", err)
 		return 1
 	}
+
+	if *cfg != "" {
+		return dumpCFG(o, *cfg)
+	}
+
 	fmt.Printf("entry: %s   claimed policies: %s\n", o.Entry, policy.Set(o.PolicyMask))
 	fmt.Printf("text: %d bytes   data: %d bytes   bss: %d bytes\n", len(o.Text), len(o.Data), o.BSSSize)
 	fmt.Printf("symbols: %d   relocs: %d   branch targets: %d\n\n", len(o.Symbols), len(o.Relocs), len(o.BranchTargets))
@@ -56,6 +73,7 @@ func run() int {
 	}
 	fmt.Println()
 
+	rejected := false
 	var annot map[int64]bool
 	if *verify != "" {
 		pols, perr := parsePolicies(*verify)
@@ -89,9 +107,11 @@ func run() int {
 		})
 		if verr != nil {
 			fmt.Printf("verifier: REJECTED: %v\n\n", verr)
+			rejected = true
 		} else {
-			fmt.Printf("verifier: ACCEPTED (%d instructions, %d store guards, %d cfi guards, %d AEX checks)\n\n",
-				res.Stats.Instructions, res.Stats.StoreGuards, res.Stats.CFIGuards, res.Stats.AEXChecks)
+			fmt.Printf("verifier: ACCEPTED (%d instructions, %d store guards, %d cfi guards, %d AEX checks; cfg %d blocks/%d edges, %d anchors re-proved)\n\n",
+				res.Stats.Instructions, res.Stats.StoreGuards, res.Stats.CFIGuards, res.Stats.AEXChecks,
+				res.CFA.Blocks, res.CFA.Edges, res.CFA.Anchors)
 			annot = make(map[int64]bool)
 			for _, r := range res.AnnotRanges {
 				for off := r.Lo; off < r.Hi; off++ {
@@ -101,29 +121,90 @@ func run() int {
 		}
 	}
 
-	if !*dump {
-		return 0
+	badBytes := 0
+	if *dump {
+		badBytes = dumpListing(o, annot)
 	}
-	// Label map for pretty printing.
+	if rejected || badBytes > 0 {
+		return 1
+	}
+	return 0
+}
+
+// dumpListing prints a structured (offset, mnemonic) listing of the whole
+// text section. Undecodable bytes do not abort the listing: each is
+// printed as a .byte line and decoding resynchronises at the next offset.
+// Returns the number of undecodable bytes.
+func dumpListing(o *obj.Object, annot map[int64]bool) int {
 	labels := make(map[int64]string)
 	for _, s := range o.Symbols {
 		if s.Section == obj.SecText {
 			labels[s.Offset] = s.Name
 		}
 	}
-	insts, err := disasm.Linear(o.Text)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "linear disassembly stopped: %v\n", err)
-	}
-	for _, in := range insts {
-		if name, ok := labels[in.Off]; ok {
+	bad := 0
+	for off := int64(0); off < int64(len(o.Text)); {
+		if name, ok := labels[off]; ok {
 			fmt.Printf("\n%s:\n", name)
 		}
 		mark := "  "
-		if annot[in.Off] {
+		if annot[off] {
 			mark = "@ " // annotation code
 		}
-		fmt.Printf("%s%#06x  %s\n", mark, in.Off, in.String())
+		in, n, err := isa.Decode(o.Text[off:])
+		if err != nil {
+			fmt.Printf("%s%#06x  .byte %#02x ; undecodable: %v\n", mark, off, o.Text[off], err)
+			bad++
+			off++
+			continue
+		}
+		fmt.Printf("%s%#06x  %s\n", mark, off, in.String())
+		off += int64(n)
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "deflection-disasm: %d undecodable byte(s) in text\n", bad)
+	}
+	return bad
+}
+
+// dumpCFG recovers the control-flow graph the verifier would reason over
+// and renders it as graphviz dot or a plain-text block listing.
+func dumpCFG(o *obj.Object, format string) int {
+	entry, ok := o.Symbol(o.Entry)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "deflection-disasm: entry symbol %q not found\n", o.Entry)
+		return 1
+	}
+	entries := []int64{entry.Offset}
+	var targets []int64
+	for _, bt := range o.BranchTargets {
+		s, ok := o.Symbol(bt.Symbol)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "deflection-disasm: branch target %q not found\n", bt.Symbol)
+			return 1
+		}
+		targets = append(targets, s.Offset)
+		entries = append(entries, s.Offset)
+	}
+	dis, err := disasm.Disassemble(o.Text, entries)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "deflection-disasm: %v\n", err)
+		return 1
+	}
+	g := cfa.Build(dis, entry.Offset, targets)
+	switch format {
+	case "dot":
+		if err := g.Dot(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	case "text":
+		fmt.Print(g.Text())
+		if dead := g.DeadRanges(len(o.Text)); len(dead) > 0 {
+			for _, r := range dead {
+				fmt.Printf("dead [%#06x, %#06x): %d bytes unreachable\n", r.Lo, r.Hi, r.Hi-r.Lo)
+			}
+		}
 	}
 	return 0
 }

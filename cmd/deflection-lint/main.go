@@ -1,0 +1,33 @@
+// Command deflection-lint gates the build on TCB import hygiene: the
+// in-enclave verification packages (verifier, cfa, disasm, loader, isa,
+// policy) must not reach the observability plane, the service plane, or
+// the net/os standard-library trees. Exit status 1 means the TCB grew a
+// forbidden dependency; the offending import chains are printed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"deflection/internal/lint"
+)
+
+func main() {
+	root := flag.String("root", ".", "module root directory to lint")
+	flag.Parse()
+
+	rep, err := lint.Check(lint.DefaultConfig(*root))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "deflection-lint:", err)
+		os.Exit(2)
+	}
+	if len(rep.Findings) > 0 {
+		for _, f := range rep.Findings {
+			fmt.Fprintln(os.Stderr, f)
+		}
+		fmt.Fprintf(os.Stderr, "deflection-lint: %d forbidden import(s) in the TCB\n", len(rep.Findings))
+		os.Exit(1)
+	}
+	fmt.Printf("deflection-lint: TCB import hygiene OK (%d first-party packages)\n", len(rep.Packages))
+}

@@ -48,6 +48,7 @@ var trustedPackages = []struct {
 	{"loader", "Dynamic loader + imm rewriter"},
 	{"verifier", "Policy verifier"},
 	{"disasm", "Clipped disassembler"},
+	{"cfa", "CFG recovery + dominators"},
 	{"isa", "Instruction decoder"},
 	{"enclave", "Enclave memory model"},
 	{"policy", "Policy/annotation ABI"},

@@ -63,6 +63,13 @@ func chaosBinary(t *testing.T) []byte {
 	return chaosBin.obj
 }
 
+// midBinaryOffset returns a client-stream byte offset that lands inside the
+// sealed binary-delivery frame whatever size the compiled service binary
+// has: past the ~190-byte handshake, well before the frame ends.
+func midBinaryOffset(t *testing.T) int64 {
+	return int64(256 + len(chaosBinary(t))/2)
+}
+
 // runSessionBody drives SendBinary→SendData→Run over an attested session,
 // leaving the Close to the caller (Retry sends its own Bye).
 func runSessionBody(t *testing.T, conn *ccaas.Client) error {
@@ -154,14 +161,14 @@ func TestChaosFaults(t *testing.T) {
 			// A binary-delivery frame lands only partially before the
 			// transport dies: a short write the frame layer must surface.
 			name:    "partial-write-mid-binary",
-			cfg:     faultnet.Config{DropAfterBytes: 2500},
+			cfg:     faultnet.Config{DropAfterBytes: midBinaryOffset(t)},
 			wantErr: []string{"EOF", "closed"},
 		},
 		{
 			// One flipped bit inside a sealed frame must fail AEAD
 			// authentication, never decode to garbage.
 			name:    "bitflip-corrupts-sealed-frame",
-			cfg:     faultnet.Config{CorruptAtByte: 2000, Seed: 11},
+			cfg:     faultnet.Config{CorruptAtByte: midBinaryOffset(t), Seed: 11},
 			wantErr: []string{"authentication failed"},
 		},
 		{

@@ -301,7 +301,7 @@ func TestNoGoroutineLeaks(t *testing.T) {
 	// A session killed mid-frame.
 	func() {
 		serverConn, clientConn := net.Pipe()
-		fc := faultnet.Wrap(clientConn, faultnet.Config{DropAfterBytes: 2500})
+		fc := faultnet.Wrap(clientConn, faultnet.Config{DropAfterBytes: midBinaryOffset(t)})
 		defer fc.Close()
 		done := make(chan error, 1)
 		go func() {

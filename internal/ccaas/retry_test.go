@@ -113,7 +113,7 @@ func TestRetryRerunsFullSession(t *testing.T) {
 	// First attempt dies mid-binary-upload; second runs clean.
 	dial, attempts := pipeDialer(t, srv, func(attempt int, c net.Conn) io.ReadWriteCloser {
 		if attempt == 1 {
-			return faultnet.Wrap(c, faultnet.Config{DropAfterBytes: 2500})
+			return faultnet.Wrap(c, faultnet.Config{DropAfterBytes: midBinaryOffset(t)})
 		}
 		return c
 	})

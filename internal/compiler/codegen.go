@@ -63,9 +63,18 @@ func Generate(prog *lang.Program, opts Options) (*obj.Object, error) {
 		return nil, err
 	}
 	g.asm.RewriteFuncs(func(_ string, body []obj.Item) []obj.Item {
-		return peephole(body)
+		return pruneDeadTail(peephole(body))
 	})
+	// Drop dclib functions the program never reaches: the verifier's
+	// dead-byte pass treats uncovered text bytes as side-loaded code, so the
+	// generator must not emit any. Runs before instrument so dead functions
+	// are not annotated either.
+	g.asm.PruneUnreachable()
 	instrument(g.asm, opts)
+	// Instrumentation inserts annotations by linear position and may plant
+	// one behind an unreferenced label (e.g. a P6 check after the end label
+	// of a switch whose arms all return), where it is unreachable.
+	g.asm.PruneDeadCode()
 	return g.asm.Assemble(uint8(opts.Policies))
 }
 

@@ -1,0 +1,60 @@
+package compiler_test
+
+import (
+	"testing"
+
+	"deflection/internal/apps"
+	"deflection/internal/cfa"
+	"deflection/internal/compiler"
+	"deflection/internal/dclib"
+	"deflection/internal/disasm"
+	"deflection/internal/nbench"
+	"deflection/internal/policy"
+)
+
+// TestNoDeadBytes proves the generator's dead-function elimination leaves no
+// unreachable text: every byte of every shipped program must be covered by
+// the recursive-descent disassembly from the entry and the branch-target
+// list. This is the generator-side obligation of the verifier's dead-byte
+// pass — if this test fails, every binary the compiler emits is rejected.
+func TestNoDeadBytes(t *testing.T) {
+	programs := map[string]string{
+		"nw":     apps.NWSource,
+		"seqgen": apps.SeqGenSource,
+		"credit": apps.CreditSource,
+		"https":  apps.HTTPSHandlerSource,
+	}
+	for _, k := range nbench.Kernels() {
+		programs[k.Name] = k.Source
+	}
+
+	for name, src := range programs {
+		for _, pols := range []policy.Set{0, policy.SetAll} {
+			o, err := compiler.Compile(dclib.Program(src), compiler.Options{Policies: pols})
+			if err != nil {
+				t.Fatalf("%s (policies %v): compile: %v", name, pols, err)
+			}
+			entry, ok := o.Symbol(o.Entry)
+			if !ok {
+				t.Fatalf("%s: no entry symbol", name)
+			}
+			var targets []int64
+			for _, bt := range o.BranchTargets {
+				s, ok := o.Symbol(bt.Symbol)
+				if !ok {
+					t.Fatalf("%s: unresolved branch target %q", name, bt.Symbol)
+				}
+				targets = append(targets, s.Offset)
+			}
+			dis, err := disasm.Disassemble(o.Text, append([]int64{entry.Offset}, targets...))
+			if err != nil {
+				t.Fatalf("%s (policies %v): disassemble: %v", name, pols, err)
+			}
+			g := cfa.Build(dis, entry.Offset, targets)
+			if dead := g.DeadRanges(len(o.Text)); len(dead) != 0 {
+				t.Errorf("%s (policies %v): %d dead ranges after GC, first %#x..%#x",
+					name, pols, len(dead), dead[0].Lo, dead[0].Hi)
+			}
+		}
+	}
+}

@@ -66,3 +66,25 @@ func peepholeOnce(body []obj.Item) ([]obj.Item, bool) {
 	}
 	return out, changed
 }
+
+// pruneDeadTail drops instructions that follow an unconditional control
+// transfer with no intervening label: nothing can reach them, and the
+// verifier's dead-byte pass would flag their encoded bytes as side-loaded
+// code. Branch-ending statement lowerings (abort paths, if/else arms) leave
+// such tails behind.
+func pruneDeadTail(body []obj.Item) []obj.Item {
+	out := body[:0]
+	dead := false
+	for _, it := range body {
+		if it.IsLabel {
+			dead = false
+		} else if dead {
+			continue
+		}
+		out = append(out, it)
+		if !it.IsLabel && it.Inst.Op.Terminates() {
+			dead = true
+		}
+	}
+	return out
+}

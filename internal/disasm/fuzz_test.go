@@ -1,0 +1,87 @@
+package disasm
+
+import (
+	"sort"
+	"testing"
+
+	"deflection/internal/isa"
+)
+
+// FuzzDisassemble feeds arbitrary bytes to both disassembly modes. The
+// verifier runs Disassemble on attacker-controlled text before anything
+// else, so the decoder must never panic, never decode past the buffer and
+// never report overlapping instructions — whatever the input. Errors are
+// fine; inconsistency is not.
+func FuzzDisassemble(f *testing.F) {
+	f.Add(encode(
+		isa.Inst{Op: isa.OpMovRI, Dst: isa.RAX, Imm: 1},
+		isa.Inst{Op: isa.OpAddRR, Dst: isa.RAX, Src: isa.RBX},
+		isa.Inst{Op: isa.OpHlt},
+	), int64(0))
+
+	// Control flow over dead bytes, both jcc edges, a call.
+	dead := []byte{0xFF, 0xFF, 0xFF}
+	jmp := isa.Inst{Op: isa.OpJmp, Imm: int64(len(dead))}
+	text := isa.AppendEncode(nil, &jmp)
+	text = append(text, dead...)
+	hlt := isa.Inst{Op: isa.OpHlt}
+	text = isa.AppendEncode(text, &hlt)
+	f.Add(text, int64(0))
+
+	f.Add(encode(
+		isa.Inst{Op: isa.OpCmpRR, Dst: isa.RAX, Src: isa.RBX},
+		isa.Inst{Op: isa.OpJcc, Cond: isa.CondE, Imm: 2},
+		isa.Inst{Op: isa.OpHlt},
+		isa.Inst{Op: isa.OpTrap, Imm: 1},
+	), int64(0))
+	f.Add([]byte{0x00}, int64(0))
+	f.Add([]byte{}, int64(5))
+
+	f.Fuzz(func(t *testing.T, data []byte, entry int64) {
+		r, err := Disassemble(data, []int64{entry})
+		if err == nil {
+			checkResult(t, r, data)
+		}
+		lin, _ := Linear(data)
+		// Linear decodes a contiguous prefix: each instruction starts where
+		// the previous one ended.
+		var off int64
+		for _, in := range lin {
+			if in.Off != off {
+				t.Fatalf("linear decode not contiguous: inst at %#x, want %#x", in.Off, off)
+			}
+			if in.End() > int64(len(data)) {
+				t.Fatalf("linear decode past end: [%#x,%#x) text len %d", in.Off, in.End(), len(data))
+			}
+			off = in.End()
+		}
+	})
+}
+
+// checkResult asserts the structural invariants of a successful decode.
+func checkResult(t *testing.T, r *Result, data []byte) {
+	t.Helper()
+	if !sort.SliceIsSorted(r.Offsets, func(i, j int) bool { return r.Offsets[i] < r.Offsets[j] }) {
+		t.Fatal("Offsets not sorted")
+	}
+	var prevEnd int64
+	for i, off := range r.Offsets {
+		in, ok := r.At(off)
+		if !ok {
+			t.Fatalf("Offsets[%d]=%#x has no instruction", i, off)
+		}
+		if in.Off != off {
+			t.Fatalf("instruction at %#x reports Off=%#x", off, in.Off)
+		}
+		if off < 0 || in.End() > int64(len(data)) {
+			t.Fatalf("instruction [%#x,%#x) outside text len %d", off, in.End(), len(data))
+		}
+		if off < prevEnd {
+			t.Fatalf("instruction at %#x overlaps previous ending at %#x", off, prevEnd)
+		}
+		prevEnd = in.End()
+	}
+	if len(r.Insts) != len(r.Offsets) {
+		t.Fatalf("len(Insts)=%d != len(Offsets)=%d", len(r.Insts), len(r.Offsets))
+	}
+}

@@ -1,0 +1,137 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRepoTCBHygiene lints the real repository: the verification TCB must
+// be free of service-plane, net and os imports. This is the same check
+// `make lint` gates the build on.
+func TestRepoTCBHygiene(t *testing.T) {
+	rep, err := Check(DefaultConfig("../.."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range rep.Findings {
+		t.Errorf("%s", f)
+	}
+	// The six TCB roots plus their first-party closure (enclave, obj).
+	if len(rep.Packages) < 6 {
+		t.Fatalf("lint visited only %d packages: %v", len(rep.Packages), rep.Packages)
+	}
+}
+
+// write lays out a synthetic module for violation tests.
+func write(t *testing.T, root, rel, content string) {
+	t.Helper()
+	path := filepath.Join(root, filepath.FromSlash(rel))
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDetectsForbiddenImports(t *testing.T) {
+	root := t.TempDir()
+	write(t, root, "go.mod", "module example.test\n\ngo 1.22\n")
+	write(t, root, "internal/verifier/v.go", `package verifier
+
+import (
+	"fmt"
+	"net"
+
+	"example.test/internal/util"
+)
+
+var _ = fmt.Sprint
+var _ = net.IPv4len
+var _ = util.X
+`)
+	write(t, root, "internal/util/u.go", `package util
+
+import "example.test/internal/obs"
+
+var X = obs.Y
+`)
+	write(t, root, "internal/obs/o.go", "package obs\n\nvar Y = 1\n")
+
+	cfg := DefaultConfig(root)
+	cfg.TCB = []string{"internal/verifier"}
+	rep, err := Check(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Findings) != 2 {
+		t.Fatalf("findings = %d, want 2: %v", len(rep.Findings), rep.Findings)
+	}
+	var sawNet, sawObs bool
+	for _, f := range rep.Findings {
+		switch f.Import {
+		case "net":
+			sawNet = true
+			if len(f.Chain) != 1 || f.Chain[0] != "example.test/internal/verifier" {
+				t.Errorf("net chain = %v", f.Chain)
+			}
+		case "example.test/internal/obs":
+			sawObs = true
+			// The chain must expose the indirection through util.
+			want := "example.test/internal/verifier -> example.test/internal/util"
+			if got := strings.Join(f.Chain, " -> "); got != want {
+				t.Errorf("obs chain = %q, want %q", got, want)
+			}
+		default:
+			t.Errorf("unexpected finding: %s", f)
+		}
+		if !strings.Contains(f.Pos, ".go:") {
+			t.Errorf("finding lacks file:line position: %s", f.Pos)
+		}
+	}
+	if !sawNet || !sawObs {
+		t.Fatalf("missing findings (net=%v obs=%v): %v", sawNet, sawObs, rep.Findings)
+	}
+}
+
+// TestSubtreeMatch: "os" must also reject "os/exec" but not "osquery"-style
+// prefixes of unrelated packages.
+func TestSubtreeMatch(t *testing.T) {
+	root := t.TempDir()
+	write(t, root, "go.mod", "module example.test\n")
+	write(t, root, "internal/verifier/v.go", `package verifier
+
+import _ "os/exec"
+`)
+	cfg := DefaultConfig(root)
+	cfg.TCB = []string{"internal/verifier"}
+	rep, err := Check(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Findings) != 1 || rep.Findings[0].Import != "os/exec" {
+		t.Fatalf("findings = %v, want one os/exec", rep.Findings)
+	}
+}
+
+// TestIgnoresTestFiles: _test.go files may import anything.
+func TestIgnoresTestFiles(t *testing.T) {
+	root := t.TempDir()
+	write(t, root, "go.mod", "module example.test\n")
+	write(t, root, "internal/verifier/v.go", "package verifier\n")
+	write(t, root, "internal/verifier/v_test.go", `package verifier
+
+import _ "net/http"
+`)
+	cfg := DefaultConfig(root)
+	cfg.TCB = []string{"internal/verifier"}
+	rep, err := Check(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Findings) != 0 {
+		t.Fatalf("test-file imports flagged: %v", rep.Findings)
+	}
+}

@@ -290,6 +290,10 @@ func (b *Bootstrap) ReceiveBinary(objBytes []byte) (*LoadReport, error) {
 			"required", a.Required, "checks", a.Checks)
 	}
 	tr.Add("discipline", vr.DisciplineDuration, "annotations", len(vr.AnnotRanges))
+	tr.Add("cfa/build", vr.CFADur.Build, "blocks", vr.CFA.Blocks, "edges", vr.CFA.Edges)
+	tr.Add("cfa/targets", vr.CFADur.Targets, "targets", vr.CFA.Targets)
+	tr.Add("cfa/deadbyte", vr.CFADur.DeadByte, "dead_bytes", vr.CFA.DeadBytes)
+	tr.Add("cfa/dominance", vr.CFADur.Dominance, "anchors", vr.CFA.Anchors)
 
 	rw, err := loader.RewriteImmediates(ld, vr.Dis)
 	if err != nil {

@@ -45,12 +45,19 @@ type Violation struct {
 	Instr string
 	// Msg describes the failed check.
 	Msg string
+	// Pass names the control-flow-analysis pass that rejected the binary
+	// ("dominance", "reaching-defs", "dead-byte" or "target-list"); empty
+	// for the template-matching checks.
+	Pass string
 }
 
 func (e *Violation) Error() string {
 	s := fmt.Sprintf("%v of %v at %#x", ErrViolation, e.Policy, e.Offset)
 	if e.Instr != "" {
 		s += fmt.Sprintf(" [%s]", e.Instr)
+	}
+	if e.Pass != "" {
+		s += fmt.Sprintf(" (%s pass)", e.Pass)
 	}
 	return s + ": " + e.Msg
 }
@@ -75,6 +82,10 @@ type Options struct {
 	// BranchTargetOffsets is the proof: the translated indirect-branch
 	// target list.
 	BranchTargetOffsets []int64
+	// DisableCFA skips the control-flow-analysis passes (CFG recovery,
+	// dominance, dead-byte, target-list), leaving only the template
+	// checks — the pre-CFA verifier, kept for ablation benchmarks.
+	DisableCFA bool
 }
 
 // Stats counts verified annotations.
@@ -116,6 +127,12 @@ type Result struct {
 	// disassembly and the branch-discipline closure check.
 	DisasmDuration     time.Duration
 	DisciplineDuration time.Duration
+	// CFA summarises the control-flow-analysis passes; zero when
+	// Options.DisableCFA skipped them.
+	CFA CFAStats
+	// CFADur times the CFA stages (kept out of the per-policy durations so
+	// trace totals do not double-count).
+	CFADur CFADurations
 }
 
 type verifier struct {
@@ -136,7 +153,29 @@ type verifier struct {
 
 	targetSet map[int64]bool
 
+	// storeAnchors/rspAnchors are the annotated P1/P2 instructions the CFA
+	// dominance pass re-verifies, collected by the template matchers.
+	storeAnchors []storeAnchor
+	rspAnchors   []rspAnchor
+
 	durs [8]time.Duration // per-policy check time, indexed by policy.ID
+}
+
+// storeAnchor is one template-verified store guard: the guarded store, the
+// annotation span that checks it, the registers the checked address is
+// computed from, and the policy the guard is billed to.
+type storeAnchor struct {
+	store  int64 // offset of the guarded store instruction
+	lo     int64 // annotation span is [lo, store)
+	regs   uint16
+	policy policy.ID
+}
+
+// rspAnchor is one template-verified RSP guard: the explicit RSP write and
+// the bounds-check annotation span that follows it.
+type rspAnchor struct {
+	write  int64 // offset of the RSP-writing instruction
+	lo, hi int64 // annotation span [lo, hi), lo == the write's end
 }
 
 // violation builds a structured rejection, resolving the instruction text
@@ -166,6 +205,14 @@ func (v *verifier) timed(id policy.ID, f func() error) error {
 func Verify(text []byte, opts Options) (*Result, error) {
 	if opts.AEXCheckMaxGap == 0 {
 		opts.AEXCheckMaxGap = policy.DefaultAEXCheckInterval*2 + 64
+	}
+	// Out-of-range proof targets get a structured rejection before they can
+	// poison the disassembly entry queue.
+	for _, t := range opts.BranchTargetOffsets {
+		if t < 0 || t >= int64(len(text)) {
+			return nil, &Violation{Policy: policy.P5, Offset: t, Pass: "target-list",
+				Msg: fmt.Sprintf("listed indirect target outside text (len %d)", len(text))}
+		}
 	}
 	entries := append([]int64{opts.EntryOffset}, opts.BranchTargetOffsets...)
 	disStart := time.Now()
@@ -263,14 +310,20 @@ func Verify(text []byte, opts Options) (*Result, error) {
 		}
 	}
 
-	return &Result{
+	res := &Result{
 		Dis:                dis,
 		Stats:              v.stats,
 		AnnotRanges:        v.ranges,
-		Audit:              v.buildAudit(req),
 		DisasmDuration:     disDur,
 		DisciplineDuration: discDur,
-	}, nil
+	}
+	if !opts.DisableCFA {
+		if err := v.runCFA(req, res); err != nil {
+			return nil, err
+		}
+	}
+	res.Audit = v.buildAudit(req, &res.CFA)
+	return res, nil
 }
 
 // storeGuardOwner picks the policy the shared store-guard pass is billed
@@ -303,17 +356,33 @@ func (v *verifier) auditStoreCoverage(id policy.ID) error {
 }
 
 // buildAudit assembles the per-policy verdict trail for an accepted binary.
-func (v *verifier) buildAudit(req policy.Set) []PolicyAudit {
+// cfaStats is the CFA pass summary (the zero value when CFA was disabled).
+func (v *verifier) buildAudit(req policy.Set, cfaStats *CFAStats) []PolicyAudit {
+	cfaOn := cfaStats.Blocks > 0
+	annotate := func(base, cfaDetail string) string {
+		if !cfaOn {
+			return base
+		}
+		return base + "; " + cfaDetail
+	}
 	details := map[policy.ID]struct {
 		checks int
 		detail string
 	}{
-		policy.P1: {v.stats.StoreGuards, fmt.Sprintf("%d stores confined to the enclave data range by verified bounds guards", v.stats.StoreGuards)},
-		policy.P2: {v.stats.RSPGuards, fmt.Sprintf("%d explicit RSP writes followed by verified stack-bounds checks", v.stats.RSPGuards)},
+		policy.P1: {v.stats.StoreGuards, annotate(
+			fmt.Sprintf("%d stores confined to the enclave data range by verified bounds guards", v.stats.StoreGuards),
+			fmt.Sprintf("dominance pass proved all %d guards un-bypassable and clobber-free", len(v.storeAnchors)))},
+		policy.P2: {v.stats.RSPGuards, annotate(
+			fmt.Sprintf("%d explicit RSP writes followed by verified stack-bounds checks", v.stats.RSPGuards),
+			fmt.Sprintf("dominance pass proved all %d checks adjacent and un-bypassable", len(v.rspAnchors)))},
 		policy.P3: {v.stats.StoreGuards, fmt.Sprintf("store bounds exclude SSA, shadow stack and branch table; %d stores audited", v.stats.StoreGuards)},
-		policy.P4: {v.stats.StoreGuards, fmt.Sprintf("store bounds exclude code pages (software DEP); %d stores audited", v.stats.StoreGuards)},
-		policy.P5: {v.stats.CFIGuards + v.stats.ShadowChecks + v.stats.ShadowPushes, fmt.Sprintf("%d indirect branches CFI-guarded, %d returns shadow-checked, %d shadow pushes, %d listed-target beacons",
-			v.stats.CFIGuards, v.stats.ShadowChecks, v.stats.ShadowPushes, v.stats.Beacons)},
+		policy.P4: {v.stats.StoreGuards, annotate(
+			fmt.Sprintf("store bounds exclude code pages (software DEP); %d stores audited", v.stats.StoreGuards),
+			"dead-byte pass found no unreachable text bytes")},
+		policy.P5: {v.stats.CFIGuards + v.stats.ShadowChecks + v.stats.ShadowPushes, annotate(
+			fmt.Sprintf("%d indirect branches CFI-guarded, %d returns shadow-checked, %d shadow pushes, %d listed-target beacons",
+				v.stats.CFIGuards, v.stats.ShadowChecks, v.stats.ShadowPushes, v.stats.Beacons),
+			fmt.Sprintf("%d listed targets cross-checked against the %d-block CFG", cfaStats.Targets, cfaStats.Blocks))},
 		policy.P6: {v.stats.AEXChecks, fmt.Sprintf("entry arming verified, %d SSA-marker checks, max straight-line gap %d", v.stats.AEXChecks, v.opts.AEXCheckMaxGap)},
 	}
 	var audit []PolicyAudit
@@ -761,6 +830,7 @@ func (v *verifier) matchRSPGuards() error {
 		}
 		v.addRange(in.End(), end, policy.P2)
 		v.guarded[off] = true
+		v.rspAnchors = append(v.rspAnchors, rspAnchor{write: off, lo: in.End(), hi: end})
 		v.stats.RSPGuards++
 	}
 	return nil
@@ -838,6 +908,14 @@ func (v *verifier) matchStoreGuards(id policy.ID) error {
 		}
 		v.addRange(lo, off, id)
 		v.guarded[off] = true
+		var regs uint16
+		if in.Mem.HasBase {
+			regs |= 1 << in.Mem.Base
+		}
+		if in.Mem.HasIndex {
+			regs |= 1 << in.Mem.Index
+		}
+		v.storeAnchors = append(v.storeAnchors, storeAnchor{store: off, lo: lo, regs: regs, policy: id})
 		v.stats.StoreGuards++
 	}
 	return nil
