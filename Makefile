@@ -1,10 +1,11 @@
 GO ?= go
 
-.PHONY: check build fmt vet lint fuzz-disasm test race race-vplane chaos bench metrics-smoke
+.PHONY: check build fmt vet lint fuzz-disasm test race race-vplane race-gateway chaos bench metrics-smoke
 
 # Tier-1 gate: what CI must keep green. race is the full -race sweep and
-# subsumes race-vplane; the focused target exists for fast iteration.
-check: build fmt vet lint race race-vplane fuzz-disasm
+# subsumes race-vplane/race-gateway; the focused targets exist for fast
+# iteration.
+check: build fmt vet lint race race-vplane race-gateway fuzz-disasm
 
 build:
 	$(GO) build ./...
@@ -40,10 +41,15 @@ race:
 race-vplane:
 	$(GO) test -race -count=2 ./internal/vplane/ ./internal/ccaas/
 
+# Focused race gate for the session gateway (splice goroutines, breaker
+# state machine, probe loops, failover under concurrent bursts).
+race-gateway:
+	$(GO) test -race -count=2 ./internal/gateway/
+
 # The fault-injection suite on its own (always runs under -race: the point
 # is that injected faults surface as clean errors, not data races).
 chaos:
-	$(GO) test -race -run 'TestChaos|TestMalformed|TestNoGoroutineLeaks|TestShutdown|TestMaxSessions|TestDraining|TestServe' ./internal/ccaas/ ./internal/faultnet/
+	$(GO) test -race -run 'TestChaos|TestMalformed|TestNoGoroutineLeaks|TestShutdown|TestMaxSessions|TestDraining|TestServe' ./internal/ccaas/ ./internal/faultnet/ ./internal/gateway/
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...

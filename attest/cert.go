@@ -1,0 +1,114 @@
+package attest
+
+import (
+	"crypto/ecdsa"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// This file implements attested verdict certificates: signed, portable,
+// content-addressed verification results in the spirit of Ding et al.'s
+// verifiable-computation scheme for SGX. A bootstrap enclave that completes
+// a cold verification emits a VerdictCert over the verdict's cache key, the
+// binary hash, the policy-manifest fingerprint and the digest of the
+// verified image, signed with the platform attestation key that also signs
+// the enclave's Quotes. A peer enclave of the *same* bootstrap build (same
+// measurement) accepts the certificate — after checking the platform
+// signature, the measurement, the manifest fingerprint and the image digest
+// — and installs the verified image without re-running the verification
+// pipeline, turning the paper's one-verification-per-binary economics into
+// one verification per fleet instead of one per process.
+
+// CertDomain is the domain-separation prefix of a verdict certificate's
+// signing digest. Changing any certificate field layout must change this
+// string.
+const CertDomain = "DEFLECTION-VERDICT-CERT-v1|"
+
+// VerdictCert is a signed verification verdict, portable between enclaves
+// of the same bootstrap build. All fields except Sig are covered by the
+// signature.
+type VerdictCert struct {
+	// PlatformID names the platform attestation key that signed the
+	// certificate (the issuing backend's platform).
+	PlatformID string
+	// Measurement is the launch measurement of the bootstrap enclave that
+	// ran the verification. Acceptors must require it to equal their own
+	// measurement: the certificate only proves what *that* verifier build
+	// concluded, so the acceptor must be running the same build.
+	Measurement [32]byte
+	// Key is the verification plane's content address of the verdict
+	// (opaque to this package; it binds object bytes, manifest fingerprint
+	// and enclave layout).
+	Key [32]byte
+	// BinaryHash is the SHA-256 of the serialised object that was verified.
+	BinaryHash [32]byte
+	// ManifestFP is the canonical fingerprint of the policy manifest the
+	// binary was verified under.
+	ManifestFP []byte
+	// ImageDigest is the digest of the verified, rewritten image the
+	// certificate vouches for; acceptors recompute it over the image they
+	// fetched before installing anything.
+	ImageDigest [32]byte
+	// Sig is the ASN.1 ECDSA signature by the platform attestation key.
+	Sig []byte
+}
+
+// digest computes the signing digest over every covered field with
+// unambiguous framing (length-prefixed variable fields).
+func (c *VerdictCert) digest() []byte {
+	h := sha256.New()
+	h.Write([]byte(CertDomain))
+	var n [8]byte
+	binary.LittleEndian.PutUint64(n[:], uint64(len(c.PlatformID)))
+	h.Write(n[:])
+	h.Write([]byte(c.PlatformID))
+	h.Write(c.Measurement[:])
+	h.Write(c.Key[:])
+	h.Write(c.BinaryHash[:])
+	binary.LittleEndian.PutUint64(n[:], uint64(len(c.ManifestFP)))
+	h.Write(n[:])
+	h.Write(c.ManifestFP)
+	h.Write(c.ImageDigest[:])
+	return h.Sum(nil)
+}
+
+// SignVerdict signs the certificate with the platform attestation key,
+// setting PlatformID and Sig. The remaining fields must already be filled.
+func (p *Platform) SignVerdict(c *VerdictCert) error {
+	c.PlatformID = p.id
+	sig, err := ecdsa.SignASN1(rand.Reader, p.priv, c.digest())
+	if err != nil {
+		return fmt.Errorf("attest: sign verdict cert: %w", err)
+	}
+	c.Sig = sig
+	return nil
+}
+
+// ErrBadCert is returned when a verdict certificate's signature fails.
+var ErrBadCert = errors.New("attest: verdict certificate signature invalid")
+
+// VerifyVerdictCert checks a certificate's platform signature against the
+// service's registry of genuine platform keys. It proves only *who signed
+// what*; the acceptor must still compare Measurement, Key, ManifestFP and
+// ImageDigest against its own values (the verification plane does this).
+func (s *Service) VerifyVerdictCert(c *VerdictCert) error {
+	pub, ok := s.known[c.PlatformID]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownPlatform, c.PlatformID)
+	}
+	if !ecdsa.VerifyASN1(pub, c.digest(), c.Sig) {
+		return ErrBadCert
+	}
+	return nil
+}
+
+// RegisterKey records a platform attestation public key by ID — the
+// provisioning step for fleet deployments where peer platforms are not in
+// the same process (their keys arrive through the fleet registry instead of
+// a *Platform handle).
+func (s *Service) RegisterKey(id string, pub *ecdsa.PublicKey) {
+	s.known[id] = pub
+}

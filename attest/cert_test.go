@@ -1,0 +1,92 @@
+package attest
+
+import (
+	"errors"
+	"testing"
+)
+
+func testCert(t *testing.T) (*Platform, *Service, *VerdictCert) {
+	t.Helper()
+	p, err := NewPlatform("cert-platform")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewService()
+	s.Register(p)
+	c := &VerdictCert{
+		Measurement: [32]byte{1, 2, 3},
+		Key:         [32]byte{4, 5, 6},
+		BinaryHash:  [32]byte{7, 8, 9},
+		ManifestFP:  []byte("manifest-fp"),
+		ImageDigest: [32]byte{10, 11, 12},
+	}
+	if err := p.SignVerdict(c); err != nil {
+		t.Fatal(err)
+	}
+	return p, s, c
+}
+
+func TestVerdictCertRoundTrip(t *testing.T) {
+	_, s, c := testCert(t)
+	if c.PlatformID != "cert-platform" {
+		t.Fatalf("PlatformID = %q", c.PlatformID)
+	}
+	if err := s.VerifyVerdictCert(c); err != nil {
+		t.Fatalf("genuine certificate rejected: %v", err)
+	}
+}
+
+func TestVerdictCertTamperDetected(t *testing.T) {
+	_, s, c := testCert(t)
+	mutations := map[string]func(*VerdictCert){
+		"measurement": func(c *VerdictCert) { c.Measurement[0] ^= 1 },
+		"key":         func(c *VerdictCert) { c.Key[0] ^= 1 },
+		"binary-hash": func(c *VerdictCert) { c.BinaryHash[0] ^= 1 },
+		"manifest-fp": func(c *VerdictCert) { c.ManifestFP = []byte("other") },
+		"image":       func(c *VerdictCert) { c.ImageDigest[0] ^= 1 },
+		"sig":         func(c *VerdictCert) { c.Sig[len(c.Sig)/2] ^= 1 },
+	}
+	for name, mut := range mutations {
+		cc := *c
+		cc.ManifestFP = append([]byte(nil), c.ManifestFP...)
+		cc.Sig = append([]byte(nil), c.Sig...)
+		mut(&cc)
+		if err := s.VerifyVerdictCert(&cc); !errors.Is(err, ErrBadCert) {
+			t.Errorf("%s tampered: err = %v, want ErrBadCert", name, err)
+		}
+	}
+}
+
+func TestVerdictCertUnknownPlatform(t *testing.T) {
+	_, _, c := testCert(t)
+	if err := NewService().VerifyVerdictCert(c); !errors.Is(err, ErrUnknownPlatform) {
+		t.Fatalf("err = %v, want ErrUnknownPlatform", err)
+	}
+}
+
+// TestVerdictCertForgedByOtherPlatform: a certificate signed by a platform
+// the service does not know must not validate under a registered ID.
+func TestVerdictCertForgedByOtherPlatform(t *testing.T) {
+	_, s, c := testCert(t)
+	rogue, err := NewPlatform("rogue")
+	if err != nil {
+		t.Fatal(err)
+	}
+	forged := *c
+	if err := rogue.SignVerdict(&forged); err != nil {
+		t.Fatal(err)
+	}
+	forged.PlatformID = "cert-platform" // claim the genuine identity
+	if err := s.VerifyVerdictCert(&forged); !errors.Is(err, ErrBadCert) {
+		t.Fatalf("forged cert: err = %v, want ErrBadCert", err)
+	}
+}
+
+func TestRegisterKey(t *testing.T) {
+	p, _, c := testCert(t)
+	s2 := NewService()
+	s2.RegisterKey(p.ID(), p.PublicKey())
+	if err := s2.VerifyVerdictCert(c); err != nil {
+		t.Fatalf("cert rejected after RegisterKey: %v", err)
+	}
+}

@@ -178,6 +178,13 @@ func PartyHandshake(rw io.ReadWriter, as *Service, expected [32]byte, role Role)
 	if err != nil {
 		return nil, nil, err
 	}
+	return PartyHandshakeHello(payload, rw, as, expected, role)
+}
+
+// PartyHandshakeHello is PartyHandshake for a caller that already read the
+// first frame off the wire (a client behind a gateway must inspect it for
+// an unauthenticated busy reply before treating it as the enclave hello).
+func PartyHandshakeHello(payload []byte, rw io.ReadWriter, as *Service, expected [32]byte, role Role) ([]byte, *Channel, error) {
 	var msg helloMsg
 	if err := json.Unmarshal(payload, &msg); err != nil {
 		return nil, nil, fmt.Errorf("attest: %w", err)

@@ -23,8 +23,9 @@ func main() {
 
 func run() int {
 	var (
-		exp   = flag.String("exp", "all", "experiment: table1|table2|fig7|fig8|fig9|fig10|fig11|coloc|micro|stages|cfa|cache|ablation-annot|ablation-q|all")
-		quick = flag.Bool("quick", false, "smaller workloads (smoke run)")
+		exp     = flag.String("exp", "all", "experiment: table1|table2|fig7|fig8|fig9|fig10|fig11|coloc|micro|stages|cfa|cache|ablation-annot|ablation-q|all")
+		quick   = flag.Bool("quick", false, "smaller workloads (smoke run)")
+		jsonDir = flag.String("json-dir", "", "append each experiment's result to <dir>/BENCH_<exp>.json trajectory files (empty = off)")
 	)
 	flag.Parse()
 
@@ -72,6 +73,14 @@ func run() int {
 		}
 		fmt.Println(res)
 		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+		if *jsonDir != "" {
+			path, err := bench.AppendRecord(*jsonDir, bench.NewRecord(name, *quick, time.Since(start), res.String()))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "deflection-bench: recording trajectory: %v\n", err)
+				return 1
+			}
+			fmt.Printf("[trajectory appended to %s]\n\n", path)
+		}
 		return 0
 	}
 

@@ -1,0 +1,345 @@
+// Command deflection-gateway fronts a fleet of deflection-serve backends
+// with the session router from internal/gateway: consistent-hash routing on
+// the session's binary digest (repeat binaries hit the backend whose
+// verification plane is already warm), active attestation-hello health
+// probes, per-backend circuit breakers with probe-driven recovery, failover
+// within a per-session retry budget, and graceful drain of the whole stack.
+//
+// The gateway also hosts the fleet certificate store: backends publish
+// attested verdict certificates to it and resolve peer platform keys
+// through its enrolment registry, so each unique binary is cold-verified
+// once per fleet. The store is served under the metrics address
+// (/certs/..., /platforms/...).
+//
+// Backends come from two sources, freely mixed:
+//
+//   - -backend addr        an externally managed deflection-serve (repeatable)
+//   - -spawn N             N in-process backends, for demos and smoke tests
+//
+// Usage:
+//
+//	deflection-gateway                                  # 3 in-process backends + demo
+//	deflection-gateway -spawn 0 -demo=false \
+//	    -backend 10.0.0.1:7055 -backend 10.0.0.2:7055   # pure router
+//	deflection-gateway -metrics-addr 127.0.0.1:9090
+package main
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"deflection"
+	"deflection/attest"
+	"deflection/internal/ccaas"
+	"deflection/internal/gateway"
+	"deflection/internal/obs"
+	"deflection/internal/vplane"
+)
+
+const demoService = `
+char buf[256];
+int main() {
+	int n = __ocall_recv(buf, 256);
+	int sum = 0;
+	for (int i = 0; i < n; i++) sum += (int)buf[i];
+	send_int(sum);
+	return sum;
+}`
+
+func main() {
+	os.Exit(run())
+}
+
+// spawnedBackend is one in-process fleet member.
+type spawnedBackend struct {
+	srv   *ccaas.Server
+	plane *vplane.Plane
+	ln    net.Listener
+	done  chan error
+}
+
+func run() int {
+	var backendAddrs []string
+	flag.Func("backend", "address of an externally managed backend (repeatable)", func(s string) error {
+		backendAddrs = append(backendAddrs, s)
+		return nil
+	})
+	var (
+		addr        = flag.String("addr", "127.0.0.1:0", "gateway listen address")
+		spawn       = flag.Int("spawn", 3, "number of in-process backends to spawn (0 = none)")
+		policies    = flag.String("policies", "p1-p6", "required policy set for spawned backends and the demo")
+		demo        = flag.Bool("demo", true, "run demo sessions through the gateway (requires spawned backends)")
+		maxSessions = flag.Int("max-sessions", 1024, "concurrent proxied-session cap (0 = unlimited)")
+		retryBudget = flag.Int("retry-budget", 3, "backends tried per session before a busy reply")
+		probeEvery  = flag.Duration("probe-interval", 500*time.Millisecond, "health-probe period (negative = off)")
+		brkFails    = flag.Int("breaker-threshold", 3, "consecutive failures that open a backend's breaker")
+		brkOpenFor  = flag.Duration("breaker-open-for", 2*time.Second, "open-breaker window before a half-open trial")
+		helloWait   = flag.Duration("hello-timeout", 5*time.Second, "wait for a backend's attestation hello")
+		drain       = flag.Duration("drain", 15*time.Second, "graceful-shutdown drain budget")
+		metricsAddr = flag.String("metrics-addr", "", "serve JSON metrics + fleet cert store on this address (empty = off)")
+	)
+	flag.Parse()
+
+	logger := obs.NewLogger(os.Stderr)
+	reg := obs.NewRegistry()
+
+	pols, err := deflection.ParsePolicies(*policies)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	if *spawn == 0 && len(backendAddrs) == 0 {
+		fmt.Fprintln(os.Stderr, "deflection-gateway: no backends (-spawn 0 and no -backend)")
+		return 2
+	}
+	if *demo && *spawn == 0 {
+		fmt.Fprintln(os.Stderr, "deflection-gateway: -demo needs spawned backends (their attestation roots are in-process)")
+		return 2
+	}
+
+	// The certificate exchange: server side lives here on the gateway host;
+	// it is untrusted by the backends, which re-check everything they admit.
+	certSrv := gateway.NewCertServer(reg)
+
+	// Metrics + cert store endpoint. It must be up before backends spawn so
+	// they can enrol their platform keys.
+	var metricsLn net.Listener
+	if *metricsAddr != "" {
+		metricsLn, err = net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer metricsLn.Close()
+	}
+
+	// Trust roots for spawned backends and the demo parties.
+	as := attest.NewService()
+	certCheck := attest.NewService()
+
+	// Spawn the in-process fleet. With a metrics endpoint up, backends use
+	// the HTTP store (the same path external backends exercise via
+	// deflection-serve -cert-store); otherwise they share an in-memory one.
+	var memStore *vplane.MemCertStore
+	if metricsLn == nil {
+		memStore = vplane.NewMemCertStore()
+	}
+	var spawned []*spawnedBackend
+	var meas [32]byte
+	for i := 0; i < *spawn; i++ {
+		platform, err := attest.NewPlatform(fmt.Sprintf("gateway-backend-%d", i))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		as.Register(platform)
+		certCheck.RegisterKey(platform.ID(), platform.PublicKey())
+
+		plane := vplane.New(vplane.Config{Metrics: reg, Log: logger.Log})
+		srv, err := ccaas.NewServer(ccaas.ServerConfig{
+			Platform:    platform,
+			Policies:    pols,
+			MaxSessions: 256,
+			IOTimeout:   30 * time.Second,
+			Log:         logger.Log,
+			Metrics:     reg,
+			Verify:      plane,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		if meas, err = srv.Measurement(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		cc := vplane.CertConfig{Measurement: meas, Sign: platform.SignVerdict}
+		if memStore != nil {
+			cc.Store = memStore
+			cc.Check = certCheck.VerifyVerdictCert
+		} else {
+			hs := gateway.NewHTTPCertStore("http://"+metricsLn.Addr().String(), attest.NewService())
+			cc.Store = hs
+			cc.Check = hs.Check
+			if err := certSrv.RegisterPlatform(platform.ID(), platform.PublicKey()); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 1
+			}
+		}
+		plane.EnableCerts(cc)
+
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		b := &spawnedBackend{srv: srv, plane: plane, ln: ln, done: make(chan error, 1)}
+		go func() { b.done <- srv.Serve(ln) }()
+		spawned = append(spawned, b)
+		backendAddrs = append(backendAddrs, ln.Addr().String())
+		logger.Log("backend_spawned", "addr", ln.Addr(), "platform", platform.ID())
+	}
+	defer func() {
+		for _, b := range spawned {
+			ctx, cancel := context.WithTimeout(context.Background(), *drain)
+			_ = b.srv.Shutdown(ctx)
+			cancel()
+			b.ln.Close()
+			<-b.done
+			b.plane.Close()
+		}
+	}()
+
+	gw, err := gateway.New(gateway.Config{
+		Backends:      backendAddrs,
+		MaxSessions:   *maxSessions,
+		RetryBudget:   *retryBudget,
+		ProbeInterval: *probeEvery,
+		HelloTimeout:  *helloWait,
+		Breaker:       gateway.BreakerConfig{Threshold: *brkFails, OpenFor: *brkOpenFor},
+		Metrics:       reg,
+		Log:           logger.Log,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	defer l.Close()
+	logger.Log("gateway_listening", "addr", l.Addr(),
+		"backends", len(backendAddrs),
+		"retry_budget", *retryBudget,
+		"probe_interval", *probeEvery,
+		"breaker_threshold", *brkFails)
+
+	if metricsLn != nil {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", reg.Handler())
+		mux.Handle("/certs/", certSrv)
+		mux.Handle("/platforms/", certSrv)
+		mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+			status := "ok"
+			if gw.Draining() {
+				status = "draining"
+			}
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(map[string]any{
+				"status":          status,
+				"active_sessions": gw.ActiveSessions(),
+				"backends":        gw.BackendStates(),
+			})
+		})
+		go func() { _ = http.Serve(metricsLn, mux) }()
+		logger.Log("metrics_listening", "addr", metricsLn.Addr())
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- gw.Serve(l) }()
+
+	waitAndDrain := func() int {
+		select {
+		case err := <-serveErr:
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 1
+			}
+			return 0
+		case <-ctx.Done():
+			stop()
+			logger.Log("draining", "budget", *drain)
+			sctx, cancel := context.WithTimeout(context.Background(), *drain)
+			defer cancel()
+			if err := gw.Shutdown(sctx); err != nil {
+				logger.Log("forced_shutdown", "after", *drain, "err", err)
+				<-serveErr
+				return 1
+			}
+			<-serveErr
+			logger.Log("stopped", "drained", true)
+			return 0
+		}
+	}
+
+	if !*demo {
+		return waitAndDrain()
+	}
+
+	// ---- Demo: two sessions with the same private binary through the
+	// gateway. The first pays the fleet's one cold verification; the second
+	// rides the routed backend's warm plane.
+	bin, err := deflection.Generate(demoService, deflection.GeneratorOptions{Policies: pols})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	digest := sha256.Sum256(bin.Bytes())
+	dial := func() (io.ReadWriteCloser, error) {
+		conn, err := net.Dial("tcp", l.Addr().String())
+		if err != nil {
+			return nil, err
+		}
+		if err := gateway.WritePreamble(conn, digest[:]); err != nil {
+			conn.Close()
+			return nil, err
+		}
+		return conn, nil
+	}
+	for i := 0; i < 2; i++ {
+		err := ccaas.Retry(dial, as, meas, attest.RoleCodeProvider,
+			ccaas.RetryConfig{Metrics: reg}, func(c *ccaas.Client) error {
+				if _, _, err := c.SendBinary(bin.Bytes()); err != nil {
+					return err
+				}
+				if err := c.SendData([]byte{1, 2, 3, 4, 5}); err != nil {
+					return err
+				}
+				rr, err := c.Run()
+				if err != nil {
+					return err
+				}
+				if rr.Trapped {
+					return fmt.Errorf("service aborted by policy: %s", rr.TrapReason)
+				}
+				fmt.Printf("[party] session %d: exit %d after %d instructions\n", i+1, rr.Exit, rr.Insts)
+				return nil
+			})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "demo session %d failed: %v\n", i+1, err)
+			return 1
+		}
+	}
+	fmt.Printf("[fleet] cold verifications: %d, cache hits: %d, certificates issued: %d\n",
+		reg.Counter("vplane_verify_runs_total").Value(),
+		reg.Counter("vplane_cache_hits_total").Value(),
+		reg.Counter("vplane_certs_issued_total").Value())
+	logger.Log("demo_complete", "metrics", reg.Summary())
+
+	if metricsLn != nil {
+		return waitAndDrain()
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := gw.Shutdown(sctx); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	<-serveErr
+	return 0
+}

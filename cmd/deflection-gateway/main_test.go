@@ -1,0 +1,181 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"regexp"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestMain re-execs the test binary as the real gateway when the marker env
+// var is set, so the smoke test drives a genuine separate process without a
+// build step.
+func TestMain(m *testing.M) {
+	if os.Getenv("DEFLECTION_GATEWAY_RUN_MAIN") == "1" {
+		os.Exit(run())
+	}
+	os.Exit(m.Run())
+}
+
+var gwMetricsAddrRE = regexp.MustCompile(`event=metrics_listening addr=([0-9.:]+)`)
+
+// TestGatewaySmoke boots the gateway with two spawned backends and the demo
+// enabled, waits for the demo to finish, scrapes metrics/health/cert-store
+// endpoints, and shuts down with SIGTERM expecting a clean exit.
+func TestGatewaySmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns a gateway process")
+	}
+	cmd := exec.Command(os.Args[0],
+		"-addr", "127.0.0.1:0",
+		"-spawn", "2",
+		"-metrics-addr", "127.0.0.1:0",
+		"-probe-interval", "50ms",
+		"-drain", "5s")
+	cmd.Env = append(os.Environ(), "DEFLECTION_GATEWAY_RUN_MAIN=1")
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stdout = io.Discard
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = cmd.Process.Kill() }()
+
+	var metricsAddr string
+	demoDone := make(chan struct{})
+	scanErr := make(chan error, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		var demoClosed bool
+		for sc.Scan() {
+			line := sc.Text()
+			if m := gwMetricsAddrRE.FindStringSubmatch(line); m != nil {
+				metricsAddr = m[1]
+			}
+			if !demoClosed && metricsAddr != "" &&
+				regexp.MustCompile(`event=demo_complete`).MatchString(line) {
+				demoClosed = true
+				close(demoDone)
+			}
+		}
+		scanErr <- sc.Err()
+	}()
+
+	select {
+	case <-demoDone:
+	case <-time.After(60 * time.Second):
+		t.Fatal("demo sessions did not complete within 60s")
+	}
+
+	// The fleet counters: two demo sessions through the gateway, one cold
+	// verification total, a certificate published over the HTTP store.
+	var snap struct {
+		Counters map[string]int64 `json:"counters"`
+		Gauges   map[string]int64 `json:"gauges"`
+	}
+	scrapeDeadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(fmt.Sprintf("http://%s/metrics", metricsAddr))
+		if err != nil {
+			t.Fatalf("scraping /metrics: %v", err)
+		}
+		err = json.NewDecoder(resp.Body).Decode(&snap)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("/metrics is not JSON: %v", err)
+		}
+		if snap.Counters["gateway_sessions_total"] >= 2 {
+			break
+		}
+		if time.Now().After(scrapeDeadline) {
+			t.Fatalf("gateway_sessions_total = %d, want >= 2", snap.Counters["gateway_sessions_total"])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if got := snap.Counters["vplane_verify_runs_total"]; got != 1 {
+		t.Errorf("vplane_verify_runs_total = %d, want 1 (one cold verification per fleet)", got)
+	}
+	if got := snap.Counters["vplane_certs_issued_total"]; got < 1 {
+		t.Errorf("vplane_certs_issued_total = %d, want >= 1", got)
+	}
+	// With a metrics endpoint up, the spawned backends publish through the
+	// HTTP store: the server must have seen the PUT.
+	if got := snap.Counters["certstore_puts_total"]; got < 1 {
+		t.Errorf("certstore_puts_total = %d, want >= 1", got)
+	}
+	if got := snap.Gauges["gateway_backends_healthy"]; got != 2 {
+		t.Errorf("gateway_backends_healthy = %d, want 2", got)
+	}
+
+	// Health endpoint reports the pool.
+	hresp, err := http.Get(fmt.Sprintf("http://%s/healthz", metricsAddr))
+	if err != nil {
+		t.Fatalf("scraping /healthz: %v", err)
+	}
+	var health struct {
+		Status   string `json:"status"`
+		Backends []struct {
+			Addr    string `json:"addr"`
+			Healthy bool   `json:"healthy"`
+			Breaker string `json:"breaker"`
+		} `json:"backends"`
+	}
+	err = json.NewDecoder(hresp.Body).Decode(&health)
+	hresp.Body.Close()
+	if err != nil {
+		t.Fatalf("/healthz is not JSON: %v", err)
+	}
+	if health.Status != "ok" {
+		t.Errorf("/healthz status = %q, want ok", health.Status)
+	}
+	if len(health.Backends) != 2 {
+		t.Fatalf("/healthz backends = %d, want 2", len(health.Backends))
+	}
+	for _, b := range health.Backends {
+		if !b.Healthy || b.Breaker != "closed" {
+			t.Errorf("backend %s: healthy=%v breaker=%s", b.Addr, b.Healthy, b.Breaker)
+		}
+	}
+
+	// The enrolment registry serves the spawned backends' platform keys.
+	presp, err := http.Get(fmt.Sprintf("http://%s/platforms/gateway-backend-0", metricsAddr))
+	if err != nil {
+		t.Fatalf("fetching platform key: %v", err)
+	}
+	presp.Body.Close()
+	if presp.StatusCode != http.StatusOK {
+		t.Errorf("/platforms/gateway-backend-0 = HTTP %d, want 200", presp.StatusCode)
+	}
+
+	// Graceful shutdown on SIGTERM must exit 0.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-scanErr:
+		if err != nil {
+			t.Fatalf("reading gateway log: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("gateway log did not reach EOF within 30s of SIGTERM")
+	}
+	waitDone := make(chan error, 1)
+	go func() { waitDone <- cmd.Wait() }()
+	select {
+	case err := <-waitDone:
+		if err != nil {
+			t.Fatalf("gateway did not exit cleanly after SIGTERM: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("gateway did not exit within 30s of SIGTERM")
+	}
+}

@@ -36,6 +36,7 @@ import (
 	"deflection"
 	"deflection/attest"
 	"deflection/internal/ccaas"
+	"deflection/internal/gateway"
 	"deflection/internal/obs"
 	"deflection/internal/runtime"
 	"deflection/internal/vplane"
@@ -73,6 +74,13 @@ func run() int {
 			"verification worker pool size (0 = half the CPUs, min 1)")
 		verifyQueue = flag.Int("verify-queue", vplane.DefaultQueueDepth,
 			"verification admission queue depth; submissions beyond it get an authenticated busy rejection")
+
+		certStore = flag.String("cert-store", "",
+			"base URL of the fleet certificate store (a deflection-gateway metrics address); "+
+				"verdicts are published as attested certificates and peer certificates are admitted "+
+				"after signature/measurement/digest checks (empty = off)")
+		platformID = flag.String("platform-id", "deflection-serve-platform",
+			"attestation platform identity; must be unique per backend when joining a fleet cert store")
 	)
 	flag.Parse()
 
@@ -85,7 +93,7 @@ func run() int {
 		return 2
 	}
 
-	platform, err := attest.NewPlatform("deflection-serve-platform")
+	platform, err := attest.NewPlatform(*platformID)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
@@ -124,6 +132,31 @@ func run() int {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
+
+	// Join the fleet certificate exchange: enrol this backend's platform
+	// key, publish certificates for verdicts it produces, and admit peer
+	// certificates (after the full signature/measurement/digest chain) so a
+	// binary already verified elsewhere in the fleet installs without a
+	// cold re-verification.
+	if *certStore != "" {
+		if plane == nil {
+			fmt.Fprintln(os.Stderr, "deflection-serve: -cert-store requires the verification plane (-verify-cache-bytes > 0)")
+			return 2
+		}
+		hs := gateway.NewHTTPCertStore(*certStore, attest.NewService())
+		if err := hs.Announce(platform); err != nil {
+			fmt.Fprintf(os.Stderr, "joining cert store %s: %v\n", *certStore, err)
+			return 1
+		}
+		plane.EnableCerts(vplane.CertConfig{
+			Measurement: meas,
+			Sign:        platform.SignVerdict,
+			Check:       hs.Check,
+			Store:       hs,
+		})
+		logger.Log("cert_store_joined", "url", *certStore, "platform", *platformID)
+	}
+
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

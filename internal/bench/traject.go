@@ -1,0 +1,106 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	goruntime "runtime"
+	"time"
+)
+
+// This file records benchmark trajectories: every run of an experiment
+// appends one Record to BENCH_<exp>.json, so performance is tracked as a
+// series across commits instead of a single anecdotal number. The files
+// are plain JSON arrays — easy to diff in review and to plot offline.
+
+// Record is one run of one experiment.
+type Record struct {
+	// Exp is the experiment name (the -exp value).
+	Exp string `json:"exp"`
+	// Timestamp is the run's wall-clock time, RFC3339.
+	Timestamp string `json:"timestamp"`
+	// DurationMS is how long the experiment took end to end.
+	DurationMS int64 `json:"duration_ms"`
+	// Quick marks reduced-workload smoke runs; trajectory consumers should
+	// compare like with like.
+	Quick bool `json:"quick"`
+	// GoVersion and GOARCH pin the toolchain the numbers came from.
+	GoVersion string `json:"go_version"`
+	GOARCH    string `json:"goarch"`
+	// Output is the experiment's rendered table/series, verbatim.
+	Output string `json:"output"`
+}
+
+// NewRecord stamps a trajectory record for one completed experiment.
+func NewRecord(exp string, quick bool, dur time.Duration, output string) Record {
+	return Record{
+		Exp:        exp,
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		DurationMS: dur.Milliseconds(),
+		Quick:      quick,
+		GoVersion:  goruntime.Version(),
+		GOARCH:     goruntime.GOARCH,
+		Output:     output,
+	}
+}
+
+// TrajectoryPath returns dir/BENCH_<exp>.json.
+func TrajectoryPath(dir, exp string) string {
+	return filepath.Join(dir, "BENCH_"+exp+".json")
+}
+
+// ReadTrajectory loads the records of one experiment's trajectory file; a
+// missing file is an empty trajectory.
+func ReadTrajectory(dir, exp string) ([]Record, error) {
+	raw, err := os.ReadFile(TrajectoryPath(dir, exp))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("bench: %w", err)
+	}
+	var recs []Record
+	if err := json.Unmarshal(raw, &recs); err != nil {
+		return nil, fmt.Errorf("bench: %s is not a trajectory file: %w", TrajectoryPath(dir, exp), err)
+	}
+	return recs, nil
+}
+
+// AppendRecord appends rec to its experiment's trajectory file in dir,
+// creating the file (and dir) on first use. The write is atomic
+// (temp file + rename) so a crashed run never truncates history.
+func AppendRecord(dir string, rec Record) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("bench: %w", err)
+	}
+	recs, err := ReadTrajectory(dir, rec.Exp)
+	if err != nil {
+		return "", err
+	}
+	recs = append(recs, rec)
+	out, err := json.MarshalIndent(recs, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("bench: %w", err)
+	}
+	out = append(out, '\n')
+	path := TrajectoryPath(dir, rec.Exp)
+	tmp, err := os.CreateTemp(dir, ".bench-*.tmp")
+	if err != nil {
+		return "", fmt.Errorf("bench: %w", err)
+	}
+	if _, err := tmp.Write(out); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return "", fmt.Errorf("bench: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return "", fmt.Errorf("bench: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return "", fmt.Errorf("bench: %w", err)
+	}
+	return path, nil
+}

@@ -1,0 +1,78 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTrajectoryAppendAndRead(t *testing.T) {
+	dir := t.TempDir()
+	if recs, err := ReadTrajectory(dir, "table2"); err != nil || len(recs) != 0 {
+		t.Fatalf("empty trajectory = %v, %v", recs, err)
+	}
+	r1 := NewRecord("table2", true, 1500*time.Millisecond, "row a\nrow b\n")
+	path, err := AppendRecord(dir, r1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(path, "BENCH_table2.json") {
+		t.Fatalf("path = %s", path)
+	}
+	r2 := NewRecord("table2", false, 2*time.Second, "row c\n")
+	if _, err := AppendRecord(dir, r2); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadTrajectory(dir, "table2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("trajectory has %d records, want 2", len(recs))
+	}
+	if recs[0].Output != "row a\nrow b\n" || !recs[0].Quick {
+		t.Fatalf("first record = %+v", recs[0])
+	}
+	if recs[1].DurationMS != 2000 || recs[1].Quick {
+		t.Fatalf("second record = %+v", recs[1])
+	}
+	if recs[0].GoVersion == "" || recs[0].Timestamp == "" {
+		t.Fatalf("record missing toolchain/timestamp stamps: %+v", recs[0])
+	}
+
+	// The file on disk is a plain JSON array.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var arr []map[string]any
+	if err := json.Unmarshal(raw, &arr); err != nil {
+		t.Fatalf("trajectory file is not a JSON array: %v", err)
+	}
+
+	// Experiments do not share files.
+	if _, err := AppendRecord(dir, NewRecord("micro", true, time.Millisecond, "x")); err != nil {
+		t.Fatal(err)
+	}
+	if recs, _ := ReadTrajectory(dir, "micro"); len(recs) != 1 {
+		t.Fatalf("micro trajectory = %d records, want 1", len(recs))
+	}
+	if recs, _ := ReadTrajectory(dir, "table2"); len(recs) != 2 {
+		t.Fatalf("table2 trajectory disturbed: %d records", len(recs))
+	}
+}
+
+func TestTrajectoryCorruptFileSurfaces(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(TrajectoryPath(dir, "cfa"), []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadTrajectory(dir, "cfa"); err == nil {
+		t.Fatal("corrupt trajectory read succeeded")
+	}
+	if _, err := AppendRecord(dir, NewRecord("cfa", true, time.Second, "y")); err == nil {
+		t.Fatal("append over corrupt trajectory succeeded (would have destroyed evidence)")
+	}
+}

@@ -2,6 +2,7 @@ package ccaas
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 
@@ -14,10 +15,40 @@ type Client struct {
 	ch   *attest.Channel
 }
 
+// GatewayStatus is the unsealed control frame a deflection-gateway sends in
+// place of the enclave hello when it cannot place the session on any
+// backend (pool exhausted, all breakers open, or the gateway is draining).
+// It is necessarily unauthenticated — the gateway holds no session keys —
+// so clients treat it exactly like a transport failure: transient,
+// retryable, and carrying no authority beyond "try again later".
+type GatewayStatus struct {
+	GatewayBusy bool   `json:"gateway_busy"`
+	Error       string `json:"error,omitempty"`
+}
+
+// ErrGatewayBusy is returned by Dial when a fronting gateway answered with
+// an unauthenticated busy/failover reply instead of an enclave hello. It is
+// transient: DialRetry and Retry back off and re-dial, which gives the
+// gateway a chance to route the session to a recovered backend.
+var ErrGatewayBusy = errors.New("ccaas: gateway busy")
+
 // Dial attests the server's enclave (via the attestation service, against
-// the expected bootstrap measurement) and returns a session client.
+// the expected bootstrap measurement) and returns a session client. When
+// the connection runs through a deflection-gateway, a gateway busy reply is
+// detected before the handshake and surfaced as ErrGatewayBusy.
 func Dial(conn io.ReadWriter, as *attest.Service, expected [32]byte, role attest.Role) (*Client, error) {
-	_, ch, err := attest.PartyHandshake(conn, as, expected, role)
+	frame, err := attest.ReadFrame(conn)
+	if err != nil {
+		return nil, err
+	}
+	// A gateway that could not place the session answers with an unsealed
+	// status frame instead of the enclave hello. The hello's required
+	// fields are absent from it, so the two cannot be confused.
+	var gs GatewayStatus
+	if err := json.Unmarshal(frame, &gs); err == nil && gs.GatewayBusy {
+		return nil, fmt.Errorf("%w: %s", ErrGatewayBusy, gs.Error)
+	}
+	_, ch, err := attest.PartyHandshakeHello(frame, conn, as, expected, role)
 	if err != nil {
 		return nil, err
 	}

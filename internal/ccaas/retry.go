@@ -1,6 +1,7 @@
 package ccaas
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -55,9 +56,6 @@ func (rc RetryConfig) norm() *retrier {
 	if rc.Jitter <= 0 || rc.Jitter > 1 {
 		rc.Jitter = 0.5
 	}
-	if rc.Sleep == nil {
-		rc.Sleep = time.Sleep
-	}
 	seed := rc.Seed
 	if seed == 0 {
 		seed = 1
@@ -77,19 +75,43 @@ func (r *retrier) delay(failed int) time.Duration {
 	return time.Duration(float64(d) * (1 - r.Jitter*r.rng.Float64()))
 }
 
-// backoff sleeps the computed delay and records retry/backoff metrics.
-func (r *retrier) backoff(failed int) {
+// backoff sleeps the computed delay, records retry/backoff metrics, and
+// aborts early with the context error when ctx is cancelled mid-wait — a
+// caller with a 100ms budget must not sit out a 2s backoff.
+func (r *retrier) backoff(ctx context.Context, failed int) error {
 	d := r.delay(failed)
 	r.Metrics.Counter("ccaas_client_retries_total").Inc()
 	r.Metrics.Histogram("ccaas_client_backoff_seconds").ObserveDuration(d)
-	r.Sleep(d)
+	if r.Sleep != nil {
+		// A replaced clock (tests) cannot be interrupted; run it aside so
+		// cancellation still returns promptly.
+		slept := make(chan struct{})
+		go func() {
+			r.Sleep(d)
+			close(slept)
+		}()
+		select {
+		case <-slept:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // classify records the outcome of one attempt.
 func (r *retrier) classify(err error) {
 	switch {
 	case err == nil:
-	case errors.Is(err, ErrServerBusy):
+	case errors.Is(err, ErrServerBusy), errors.Is(err, ErrGatewayBusy):
 		r.Metrics.Counter("ccaas_client_busy_total").Inc()
 	case !IsTransient(err):
 		r.Metrics.Counter("ccaas_client_permanent_failures_total").Inc()
@@ -114,6 +136,7 @@ func IsTransient(err error) bool {
 		errors.Is(err, attest.ErrBadConfirmation):
 		return false
 	case errors.Is(err, ErrServerBusy),
+		errors.Is(err, ErrGatewayBusy),
 		errors.Is(err, attest.ErrReplay),
 		errors.Is(err, io.EOF),
 		errors.Is(err, io.ErrUnexpectedEOF),
@@ -125,14 +148,34 @@ func IsTransient(err error) bool {
 	return errors.As(err, &ne)
 }
 
+// ctxAbort wraps a cancellation that interrupted a retry loop, preserving
+// the last attempt's failure for the caller's diagnostics.
+func ctxAbort(what string, ctxErr, lastErr error) error {
+	if lastErr == nil {
+		return fmt.Errorf("ccaas: %s aborted: %w", what, ctxErr)
+	}
+	return fmt.Errorf("ccaas: %s aborted (%w); last attempt: %v", what, ctxErr, lastErr)
+}
+
 // DialRetry dials and attests with exponential backoff + jitter. Transient
 // failures re-dial a fresh transport; permanent failures abort immediately.
 func DialRetry(dial Dialer, as *attest.Service, expected [32]byte, role attest.Role, rc RetryConfig) (*Client, error) {
+	return DialRetryContext(context.Background(), dial, as, expected, role, rc)
+}
+
+// DialRetryContext is DialRetry under a context: cancellation aborts the
+// loop immediately, including mid-backoff — not only at attempt boundaries.
+func DialRetryContext(ctx context.Context, dial Dialer, as *attest.Service, expected [32]byte, role attest.Role, rc RetryConfig) (*Client, error) {
 	r := rc.norm()
 	var lastErr error
 	for attempt := 1; attempt <= r.Attempts; attempt++ {
 		if attempt > 1 {
-			r.backoff(attempt - 1)
+			if err := r.backoff(ctx, attempt-1); err != nil {
+				return nil, ctxAbort("dial", err, lastErr)
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, ctxAbort("dial", err, lastErr)
 		}
 		r.Metrics.Counter("ccaas_client_attempts_total").Inc()
 		conn, err := dial()
@@ -157,11 +200,24 @@ func DialRetry(dial Dialer, as *attest.Service, expected [32]byte, role attest.R
 // transient failure. This is safe to repeat because a session mutates
 // nothing outside its own enclave, and every attempt gets a fresh enclave.
 func Retry(dial Dialer, as *attest.Service, expected [32]byte, role attest.Role, rc RetryConfig, fn func(*Client) error) error {
+	return RetryContext(context.Background(), dial, as, expected, role, rc, fn)
+}
+
+// RetryContext is Retry under a context: cancellation aborts the loop
+// immediately, including mid-backoff. A session attempt already in flight
+// is not interrupted (the transport owns its own timeouts); the context
+// governs the retry schedule.
+func RetryContext(ctx context.Context, dial Dialer, as *attest.Service, expected [32]byte, role attest.Role, rc RetryConfig, fn func(*Client) error) error {
 	r := rc.norm()
 	var lastErr error
 	for attempt := 1; attempt <= r.Attempts; attempt++ {
 		if attempt > 1 {
-			r.backoff(attempt - 1)
+			if err := r.backoff(ctx, attempt-1); err != nil {
+				return ctxAbort("session", err, lastErr)
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			return ctxAbort("session", err, lastErr)
 		}
 		r.Metrics.Counter("ccaas_client_attempts_total").Inc()
 		err := func() error {

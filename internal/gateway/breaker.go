@@ -1,0 +1,147 @@
+package gateway
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerConfig tunes one backend's circuit breaker. The zero value gives a
+// breaker that opens after 3 consecutive failures and re-probes after 2s.
+type BreakerConfig struct {
+	// Threshold is the number of consecutive failures that opens the
+	// breaker (0 = 3).
+	Threshold int
+	// OpenFor is how long an open breaker rejects traffic before allowing
+	// one half-open trial (0 = 2s).
+	OpenFor time.Duration
+}
+
+func (c BreakerConfig) norm() BreakerConfig {
+	if c.Threshold <= 0 {
+		c.Threshold = 3
+	}
+	if c.OpenFor <= 0 {
+		c.OpenFor = 2 * time.Second
+	}
+	return c
+}
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int
+
+// The classic three states.
+const (
+	// BreakerClosed passes traffic and counts consecutive failures.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen rejects traffic until the open window elapses.
+	BreakerOpen
+	// BreakerHalfOpen admits exactly one trial; its outcome decides
+	// between closing and re-opening.
+	BreakerHalfOpen
+)
+
+// String names the state.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// Breaker is a per-backend circuit breaker: closed while the backend
+// behaves, open after Threshold consecutive failures, half-open after the
+// open window elapses — one trial (a health probe or a live session) then
+// decides. Safe for concurrent use.
+type Breaker struct {
+	cfg BreakerConfig
+	now func() time.Time
+
+	mu       sync.Mutex
+	state    BreakerState
+	failures int
+	openedAt time.Time
+	probing  bool // the single half-open trial is outstanding
+}
+
+// NewBreaker builds a breaker; now is the clock (nil = time.Now).
+func NewBreaker(cfg BreakerConfig, now func() time.Time) *Breaker {
+	if now == nil {
+		now = time.Now
+	}
+	return &Breaker{cfg: cfg.norm(), now: now}
+}
+
+// Allow reports whether a request may be sent to the backend right now.
+// On an open breaker whose window has elapsed it transitions to half-open
+// and grants the single trial slot; further Allow calls are rejected until
+// Success or Failure resolves the trial.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) < b.cfg.OpenFor {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return true
+	case BreakerHalfOpen:
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+	return false
+}
+
+// Success records a successful request. It returns true when this success
+// recovered an open or half-open breaker back to closed.
+func (b *Breaker) Success() (recovered bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	recovered = b.state != BreakerClosed
+	b.state = BreakerClosed
+	b.failures = 0
+	b.probing = false
+	return recovered
+}
+
+// Failure records a failed request. It returns true when this failure
+// opened the breaker (either by crossing the threshold or by failing the
+// half-open trial).
+func (b *Breaker) Failure() (opened bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerHalfOpen:
+		b.state = BreakerOpen
+		b.openedAt = b.now()
+		b.probing = false
+		return true
+	case BreakerClosed:
+		b.failures++
+		if b.failures >= b.cfg.Threshold {
+			b.state = BreakerOpen
+			b.openedAt = b.now()
+			return true
+		}
+	}
+	return false
+}
+
+// State returns the current position.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

@@ -1,0 +1,123 @@
+package gateway
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced clock for breaker tests.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestBreaker(threshold int, openFor time.Duration) (*Breaker, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	return NewBreaker(BreakerConfig{Threshold: threshold, OpenFor: openFor}, clk.now), clk
+}
+
+func TestBreakerOpensAfterThreshold(t *testing.T) {
+	b, _ := newTestBreaker(3, time.Second)
+	if b.State() != BreakerClosed {
+		t.Fatalf("initial state %v", b.State())
+	}
+	if b.Failure() {
+		t.Fatal("opened after 1 failure")
+	}
+	if b.Failure() {
+		t.Fatal("opened after 2 failures")
+	}
+	if !b.Failure() {
+		t.Fatal("did not open at threshold")
+	}
+	if b.State() != BreakerOpen {
+		t.Fatalf("state %v, want open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker allowed traffic inside the window")
+	}
+}
+
+func TestBreakerSuccessResetsCount(t *testing.T) {
+	b, _ := newTestBreaker(3, time.Second)
+	b.Failure()
+	b.Failure()
+	if b.Success() {
+		t.Fatal("success on a closed breaker reported recovery")
+	}
+	// The count restarted: two more failures must not open it.
+	b.Failure()
+	b.Failure()
+	if b.State() != BreakerClosed {
+		t.Fatal("failure count was not reset by success")
+	}
+}
+
+func TestBreakerHalfOpenSingleTrial(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Second)
+	b.Failure()
+	if b.Allow() {
+		t.Fatal("allowed during open window")
+	}
+	clk.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("half-open trial not granted after window")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state %v, want half-open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("second concurrent trial granted while one is outstanding")
+	}
+}
+
+func TestBreakerHalfOpenRecovery(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Second)
+	b.Failure()
+	clk.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("trial not granted")
+	}
+	if !b.Success() {
+		t.Fatal("recovery not reported")
+	}
+	if b.State() != BreakerClosed {
+		t.Fatalf("state %v, want closed", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker rejected traffic")
+	}
+}
+
+func TestBreakerHalfOpenFailureReopens(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Second)
+	b.Failure()
+	clk.advance(time.Second)
+	b.Allow()
+	if !b.Failure() {
+		t.Fatal("failed trial did not report re-opening")
+	}
+	if b.State() != BreakerOpen {
+		t.Fatalf("state %v, want open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("re-opened breaker allowed traffic immediately")
+	}
+	// And the window restarts from the failed trial.
+	clk.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("no new trial after the restarted window")
+	}
+}
+
+func TestBreakerDefaults(t *testing.T) {
+	b := NewBreaker(BreakerConfig{}, nil)
+	for i := 0; i < 2; i++ {
+		if b.Failure() {
+			t.Fatalf("default breaker opened after %d failures", i+1)
+		}
+	}
+	if !b.Failure() {
+		t.Fatal("default breaker did not open after 3 failures")
+	}
+}

@@ -1,0 +1,338 @@
+package gateway
+
+import (
+	"bytes"
+	"crypto/ecdsa"
+	"crypto/x509"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"deflection/attest"
+	"deflection/internal/obs"
+	"deflection/internal/runtime"
+	"deflection/internal/vplane"
+)
+
+// This file is the multi-process transport for the fleet certificate
+// exchange (vplane.CertStore). The gateway host runs a CertServer next to
+// its metrics endpoint; each deflection-serve backend mounts an
+// HTTPCertStore pointed at it. The server is UNTRUSTED by construction:
+// backends admit nothing from it before the full certificate check chain
+// (platform signature, measurement, manifest fingerprint, key binding,
+// image digest) passes inside vplane. The one trust-bearing piece — the
+// platform public-key registry — models the vendor provisioning channel of
+// the paper's IAS analogue: keys enter it out of band (RegisterPlatform or
+// the backends' own announcements at enrolment time), and a wrong key can
+// only cause certificate rejection, never acceptance of a forged verdict.
+
+// certRecord is the wire form of one store entry.
+type certRecord struct {
+	Cert  *attest.VerdictCert `json:"cert"`
+	Image *runtime.Image      `json:"image"`
+}
+
+// maxCertBody bounds one PUT body (certificate + verified image).
+const maxCertBody = 64 << 20
+
+// CertServer is the HTTP side of the fleet certificate store. Routes:
+//
+//	GET  /certs/<hex key>   -> certRecord JSON, or 404
+//	PUT  /certs/<hex key>   -> store certRecord JSON
+//	GET  /platforms/<id>    -> PKIX DER of the platform public key, or 404
+//	PUT  /platforms/<id>    -> register a platform key (enrolment channel)
+//
+// Safe for concurrent use.
+type CertServer struct {
+	mu        sync.Mutex
+	certs     map[string]certRecord
+	platforms map[string][]byte // PKIX DER
+	m         *obs.Registry
+}
+
+// NewCertServer returns an empty certificate server. metrics may be nil.
+func NewCertServer(metrics *obs.Registry) *CertServer {
+	return &CertServer{
+		certs:     make(map[string]certRecord),
+		platforms: make(map[string][]byte),
+		m:         metrics,
+	}
+}
+
+// RegisterPlatform records a platform attestation public key, standing in
+// for the vendor provisioning channel.
+func (s *CertServer) RegisterPlatform(id string, pub *ecdsa.PublicKey) error {
+	der, err := x509.MarshalPKIXPublicKey(pub)
+	if err != nil {
+		return fmt.Errorf("gateway: %w", err)
+	}
+	s.mu.Lock()
+	s.platforms[id] = der
+	s.mu.Unlock()
+	return nil
+}
+
+// Len reports the number of stored certificates.
+func (s *CertServer) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.certs)
+}
+
+// ServeHTTP implements http.Handler.
+func (s *CertServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case strings.HasPrefix(r.URL.Path, "/certs/"):
+		s.serveCert(w, r, strings.TrimPrefix(r.URL.Path, "/certs/"))
+	case strings.HasPrefix(r.URL.Path, "/platforms/"):
+		s.servePlatform(w, r, strings.TrimPrefix(r.URL.Path, "/platforms/"))
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+func (s *CertServer) serveCert(w http.ResponseWriter, r *http.Request, keyHex string) {
+	if len(keyHex) != 64 {
+		http.Error(w, "bad key", http.StatusBadRequest)
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		s.mu.Lock()
+		rec, ok := s.certs[keyHex]
+		s.mu.Unlock()
+		if !ok {
+			s.m.Counter("certstore_get_misses_total").Inc()
+			http.NotFound(w, r)
+			return
+		}
+		s.m.Counter("certstore_get_hits_total").Inc()
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(rec)
+	case http.MethodPut:
+		body, err := io.ReadAll(io.LimitReader(r.Body, maxCertBody))
+		if err != nil {
+			http.Error(w, "read", http.StatusBadRequest)
+			return
+		}
+		var rec certRecord
+		if err := json.Unmarshal(body, &rec); err != nil || rec.Cert == nil || rec.Image == nil {
+			http.Error(w, "bad record", http.StatusBadRequest)
+			return
+		}
+		// The only server-side sanity check: the URL key must match the
+		// certificate's own key binding. Everything else is the acceptor's
+		// problem — this store is untrusted anyway.
+		if hex.EncodeToString(rec.Cert.Key[:]) != keyHex {
+			http.Error(w, "key mismatch", http.StatusBadRequest)
+			return
+		}
+		s.mu.Lock()
+		s.certs[keyHex] = rec
+		s.mu.Unlock()
+		s.m.Counter("certstore_puts_total").Inc()
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		http.Error(w, "method", http.StatusMethodNotAllowed)
+	}
+}
+
+func (s *CertServer) servePlatform(w http.ResponseWriter, r *http.Request, id string) {
+	if id == "" {
+		http.Error(w, "bad id", http.StatusBadRequest)
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		s.mu.Lock()
+		der, ok := s.platforms[id]
+		s.mu.Unlock()
+		if !ok {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		_, _ = w.Write(der)
+	case http.MethodPut:
+		der, err := io.ReadAll(io.LimitReader(r.Body, 1<<16))
+		if err != nil {
+			http.Error(w, "read", http.StatusBadRequest)
+			return
+		}
+		if _, err := parsePlatformKey(der); err != nil {
+			http.Error(w, "bad key", http.StatusBadRequest)
+			return
+		}
+		s.mu.Lock()
+		// First writer wins: enrolment happens once per platform, and a
+		// later conflicting key would let a compromised backend shadow a
+		// peer's identity.
+		if prev, ok := s.platforms[id]; ok && !bytes.Equal(prev, der) {
+			s.mu.Unlock()
+			http.Error(w, "platform already enrolled", http.StatusConflict)
+			return
+		}
+		s.platforms[id] = der
+		s.mu.Unlock()
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		http.Error(w, "method", http.StatusMethodNotAllowed)
+	}
+}
+
+func parsePlatformKey(der []byte) (*ecdsa.PublicKey, error) {
+	pub, err := x509.ParsePKIXPublicKey(der)
+	if err != nil {
+		return nil, fmt.Errorf("gateway: platform key: %w", err)
+	}
+	ec, ok := pub.(*ecdsa.PublicKey)
+	if !ok {
+		return nil, fmt.Errorf("gateway: platform key: not ECDSA")
+	}
+	return ec, nil
+}
+
+// HTTPCertStore is the backend-side client of a CertServer. It implements
+// vplane.CertStore; its Check method resolves peer platform keys from the
+// server's enrolment registry (caching them in a local attest.Service) and
+// then verifies the certificate signature. A malicious or corrupted server
+// can only make Check fail — it holds no signing keys.
+type HTTPCertStore struct {
+	base string
+	hc   *http.Client
+	svc  *attest.Service
+
+	mu      sync.Mutex
+	fetched map[string]bool
+}
+
+// NewHTTPCertStore points a client at base (e.g. "http://host:port"). svc
+// is the local trust root for platform keys; keys already registered in it
+// (vendor-provisioned) are used as-is, unknown platforms are fetched from
+// the server's enrolment registry once and cached. Pass a fresh
+// attest.NewService() to rely on enrolment alone.
+func NewHTTPCertStore(base string, svc *attest.Service) *HTTPCertStore {
+	return &HTTPCertStore{
+		base:    strings.TrimRight(base, "/"),
+		hc:      &http.Client{Timeout: 10 * time.Second},
+		svc:     svc,
+		fetched: make(map[string]bool),
+	}
+}
+
+// Announce enrols this backend's platform key with the server so peers can
+// resolve it.
+func (s *HTTPCertStore) Announce(p *attest.Platform) error {
+	der, err := x509.MarshalPKIXPublicKey(p.PublicKey())
+	if err != nil {
+		return fmt.Errorf("gateway: %w", err)
+	}
+	req, err := http.NewRequest(http.MethodPut, s.base+"/platforms/"+p.ID(), bytes.NewReader(der))
+	if err != nil {
+		return fmt.Errorf("gateway: %w", err)
+	}
+	resp, err := s.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("gateway: announce: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		return fmt.Errorf("gateway: announce: HTTP %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// PutCert publishes a certificate and its image to the fleet store.
+func (s *HTTPCertStore) PutCert(cert *attest.VerdictCert, img *runtime.Image) error {
+	body, err := json.Marshal(certRecord{Cert: cert, Image: img})
+	if err != nil {
+		return fmt.Errorf("gateway: %w", err)
+	}
+	url := s.base + "/certs/" + hex.EncodeToString(cert.Key[:])
+	req, err := http.NewRequest(http.MethodPut, url, bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("gateway: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := s.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("gateway: put cert: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		return fmt.Errorf("gateway: put cert: HTTP %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// GetCert fetches the certificate stored under key, if any. Transport
+// errors are reported as misses: the acceptor falls back to a cold
+// verification, which is always safe.
+func (s *HTTPCertStore) GetCert(key vplane.Key) (*attest.VerdictCert, *runtime.Image, bool) {
+	resp, err := s.hc.Get(s.base + "/certs/" + hex.EncodeToString(key[:]))
+	if err != nil {
+		return nil, nil, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, nil, false
+	}
+	var rec certRecord
+	if err := json.NewDecoder(io.LimitReader(resp.Body, maxCertBody)).Decode(&rec); err != nil {
+		return nil, nil, false
+	}
+	if rec.Cert == nil || rec.Image == nil {
+		return nil, nil, false
+	}
+	return rec.Cert, rec.Image, true
+}
+
+// Check verifies a certificate's platform signature, resolving the signer's
+// public key through the enrolment registry on first sight.
+func (s *HTTPCertStore) Check(cert *attest.VerdictCert) error {
+	if err := s.svc.VerifyVerdictCert(cert); err == nil {
+		return nil
+	} else if s.alreadyFetched(cert.PlatformID) {
+		return err
+	}
+	pub, ferr := s.fetchPlatformKey(cert.PlatformID)
+	if ferr != nil {
+		return ferr
+	}
+	s.svc.RegisterKey(cert.PlatformID, pub)
+	return s.svc.VerifyVerdictCert(cert)
+}
+
+func (s *HTTPCertStore) alreadyFetched(id string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fetched[id]
+}
+
+func (s *HTTPCertStore) fetchPlatformKey(id string) (*ecdsa.PublicKey, error) {
+	resp, err := s.hc.Get(s.base + "/platforms/" + id)
+	if err != nil {
+		return nil, fmt.Errorf("gateway: platform key fetch: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("gateway: platform key fetch: HTTP %d", resp.StatusCode)
+	}
+	der, err := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	if err != nil {
+		return nil, fmt.Errorf("gateway: platform key fetch: %w", err)
+	}
+	pub, err := parsePlatformKey(der)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.fetched[id] = true
+	s.mu.Unlock()
+	return pub, nil
+}

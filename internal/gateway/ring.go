@@ -1,0 +1,69 @@
+package gateway
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// ring is a consistent-hash ring over backend indices, with virtual nodes
+// for even spread. Routing a session by its binary digest means repeat
+// submissions of the same binary land on the same backend — and hit that
+// backend's warm verdict cache — while adding or removing one backend only
+// remaps the keys that hashed to it, not the whole fleet.
+type ring struct {
+	points []ringPoint // sorted by hash
+	n      int         // number of distinct backends
+}
+
+type ringPoint struct {
+	hash uint64
+	idx  int
+}
+
+// newRing places replicas virtual nodes per backend on the ring.
+func newRing(n, replicas int) *ring {
+	if replicas <= 0 {
+		replicas = 64
+	}
+	r := &ring{n: n}
+	for i := 0; i < n; i++ {
+		for v := 0; v < replicas; v++ {
+			r.points = append(r.points, ringPoint{hash: hash64(fmt.Sprintf("backend-%d#%d", i, v)), idx: i})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool { return r.points[a].hash < r.points[b].hash })
+	return r
+}
+
+// sequence returns every backend index exactly once, in the ring-walk order
+// for key: the primary owner first, then the natural failover order. A nil
+// key returns the identity order (the caller then sorts by load instead).
+func (r *ring) sequence(key []byte) []int {
+	order := make([]int, 0, r.n)
+	if len(key) == 0 || len(r.points) == 0 {
+		for i := 0; i < r.n; i++ {
+			order = append(order, i)
+		}
+		return order
+	}
+	h := fnv.New64a()
+	h.Write(key)
+	kh := h.Sum64()
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= kh })
+	seen := make([]bool, r.n)
+	for i := 0; i < len(r.points) && len(order) < r.n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.idx] {
+			seen[p.idx] = true
+			order = append(order, p.idx)
+		}
+	}
+	return order
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}

@@ -41,8 +41,8 @@ type Config struct {
 }
 
 // DefaultConfig returns the repository's TCB rules: the verification
-// packages may not reach the observability plane, the service plane, or
-// the net/os standard-library trees.
+// packages may not reach the observability plane, the service plane
+// (including the session gateway), or the net/os standard-library trees.
 func DefaultConfig(root string) Config {
 	return Config{
 		Root: root,
@@ -58,6 +58,7 @@ func DefaultConfig(root string) Config {
 			"internal/obs",
 			"internal/ccaas",
 			"internal/vplane",
+			"internal/gateway",
 			"net",
 			"os",
 		},

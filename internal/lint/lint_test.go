@@ -96,6 +96,27 @@ var X = obs.Y
 	}
 }
 
+// TestDetectsGatewayImport: the session gateway is service-plane code; a
+// TCB package importing it (even indirectly) must be flagged.
+func TestDetectsGatewayImport(t *testing.T) {
+	root := t.TempDir()
+	write(t, root, "go.mod", "module example.test\n\ngo 1.22\n")
+	write(t, root, "internal/policy/p.go", `package policy
+
+import _ "example.test/internal/gateway"
+`)
+	write(t, root, "internal/gateway/g.go", "package gateway\n")
+	cfg := DefaultConfig(root)
+	cfg.TCB = []string{"internal/policy"}
+	rep, err := Check(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Findings) != 1 || rep.Findings[0].Import != "example.test/internal/gateway" {
+		t.Fatalf("findings = %v, want one internal/gateway", rep.Findings)
+	}
+}
+
 // TestSubtreeMatch: "os" must also reject "os/exec" but not "osquery"-style
 // prefixes of unrelated packages.
 func TestSubtreeMatch(t *testing.T) {

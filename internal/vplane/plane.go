@@ -69,6 +69,7 @@ type Plane struct {
 
 	mu      sync.Mutex
 	flights map[Key]*flight
+	certs   *CertConfig // fleet certificate wiring; nil = disabled
 
 	// verifyHook, when set, runs at the top of every cold pipeline run —
 	// tests use it to hold a verification open while waiters pile up.
@@ -127,6 +128,19 @@ func (p *Plane) Verify(ctx context.Context, objBytes []byte, m runtime.Manifest,
 		return v, SourceCache, nil
 	}
 
+	// Fleet certificate admission: before paying a cold pipeline run, ask
+	// the shared store whether a peer enclave already certified this key.
+	// An admitted certificate becomes an ordinary cache entry, so repeat
+	// submissions hit the local cache without touching the store again.
+	// (Two concurrent misses may both admit the same certificate; the
+	// duplicate Put is idempotent and far cheaper than a duplicate cold
+	// run, so this sits outside the single-flight map on purpose.)
+	if v, ok := p.tryCertified(key, m); ok {
+		p.cache.Put(v)
+		p.m.Histogram("vplane_verify_certified_seconds").ObserveDuration(time.Since(start))
+		return v, SourceCertified, nil
+	}
+
 	p.mu.Lock()
 	if f, ok := p.flights[key]; ok {
 		f.waiters++
@@ -179,6 +193,9 @@ func (p *Plane) runFlight(f *flight, key Key, objBytes []byte, m runtime.Manifes
 	}
 	if v != nil {
 		p.cache.Put(v)
+		// A fresh positive verdict is fleet news: sign and publish it so
+		// peer backends can admit the image without a cold run of their own.
+		p.publishCert(v, m)
 	}
 	p.mu.Lock()
 	delete(p.flights, key)

@@ -28,6 +28,7 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"errors"
+	"hash"
 
 	"deflection/internal/enclave"
 	"deflection/internal/runtime"
@@ -53,10 +54,23 @@ func ComputeKey(objBytes []byte, m runtime.Manifest, l enclave.Layout) Key {
 	h.Write(n[:])
 	h.Write(fp)
 
+	hashLayout(h, l)
+
+	var k Key
+	h.Sum(k[:0])
+	return k
+}
+
+// hashLayout feeds every layout parameter that the rewritten image's
+// absolute addresses depend on into h, in a fixed order. Shared by the
+// cache key and the verdict-certificate image digest so both bind the
+// exact same address map.
+func hashLayout(h hash.Hash, l enclave.Layout) {
 	sgxv2 := uint64(0)
 	if l.SGXv2 {
 		sgxv2 = 1
 	}
+	var n [8]byte
 	for _, v := range []uint64{
 		l.ELRBase, l.ELREnd,
 		l.CodeBase, l.CodeEnd,
@@ -71,10 +85,6 @@ func ComputeKey(objBytes []byte, m runtime.Manifest, l enclave.Layout) Key {
 		binary.LittleEndian.PutUint64(n[:], v)
 		h.Write(n[:])
 	}
-
-	var k Key
-	h.Sum(k[:0])
-	return k
 }
 
 // Verdict is one cached verification outcome. Exactly one of Image and
@@ -119,6 +129,9 @@ const (
 	SourceCache
 	// SourceJoined means the call joined another session's in-flight run.
 	SourceJoined
+	// SourceCertified means the verdict was admitted from a peer enclave's
+	// attested verdict certificate — no local pipeline run was paid.
+	SourceCertified
 )
 
 // String names the source.
@@ -130,6 +143,8 @@ func (s Source) String() string {
 		return "cache"
 	case SourceJoined:
 		return "joined"
+	case SourceCertified:
+		return "certified"
 	default:
 		return "unknown"
 	}
