@@ -15,6 +15,7 @@ import (
 	"crypto/sha256"
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // Role distinguishes the two remote parties of the DEFLECTION model; it is
@@ -92,8 +93,10 @@ func (p *Platform) Quote(measurement [32]byte, reportData []byte) (*Quote, error
 
 // Service is the Attestation Service (IAS analogue): it knows the
 // attestation public keys of genuine platforms and verifies Quotes on
-// behalf of remote parties.
+// behalf of remote parties. Safe for concurrent use: verification sessions
+// read the key registry while provisioning may still be adding platforms.
 type Service struct {
+	mu    sync.RWMutex
 	known map[string]*ecdsa.PublicKey
 }
 
@@ -105,7 +108,17 @@ func NewService() *Service {
 // Register records a platform's attestation public key (the provisioning
 // step a hardware vendor performs).
 func (s *Service) Register(p *Platform) {
+	s.mu.Lock()
 	s.known[p.ID()] = p.PublicKey()
+	s.mu.Unlock()
+}
+
+// lookup returns the registered key for a platform ID.
+func (s *Service) lookup(id string) (*ecdsa.PublicKey, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	pub, ok := s.known[id]
+	return pub, ok
 }
 
 // Report is the Service's verdict on a Quote.
@@ -123,7 +136,7 @@ var ErrBadQuote = errors.New("attest: quote signature invalid")
 
 // Verify checks the quote and returns an attestation report.
 func (s *Service) Verify(q *Quote) (*Report, error) {
-	pub, ok := s.known[q.PlatformID]
+	pub, ok := s.lookup(q.PlatformID)
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownPlatform, q.PlatformID)
 	}

@@ -95,7 +95,7 @@ var ErrBadCert = errors.New("attest: verdict certificate signature invalid")
 // what*; the acceptor must still compare Measurement, Key, ManifestFP and
 // ImageDigest against its own values (the verification plane does this).
 func (s *Service) VerifyVerdictCert(c *VerdictCert) error {
-	pub, ok := s.known[c.PlatformID]
+	pub, ok := s.lookup(c.PlatformID)
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownPlatform, c.PlatformID)
 	}
@@ -107,8 +107,10 @@ func (s *Service) VerifyVerdictCert(c *VerdictCert) error {
 
 // RegisterKey records a platform attestation public key by ID — the
 // provisioning step for fleet deployments where peer platforms are not in
-// the same process (their keys arrive through the fleet registry instead of
-// a *Platform handle).
+// the same process (their keys arrive through an out-of-band vendor channel,
+// e.g. a trusted-keys file, instead of a *Platform handle).
 func (s *Service) RegisterKey(id string, pub *ecdsa.PublicKey) {
+	s.mu.Lock()
 	s.known[id] = pub
+	s.mu.Unlock()
 }

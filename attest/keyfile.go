@@ -1,0 +1,118 @@
+package attest
+
+import (
+	"bufio"
+	"crypto/ecdsa"
+	"crypto/x509"
+	"encoding/base64"
+	"encoding/pem"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// This file is the vendor provisioning channel for fleet deployments: the
+// out-of-band path by which a backend learns which platform attestation
+// keys are genuine. Trust roots are NEVER fetched from the (untrusted)
+// fleet certificate store — they are provisioned into a Service before the
+// process serves traffic, either in-process (Register/RegisterKey) or from
+// a trusted-keys file an operator distributes.
+//
+// Trusted-keys file format: one platform per line,
+//
+//	<platform-id> <base64 PKIX DER public key>
+//
+// with '#' comments and blank lines ignored. Platform IDs therefore must
+// not contain whitespace.
+
+// WriteTrustedKey appends one trusted-keys line for the platform key.
+func WriteTrustedKey(w io.Writer, id string, pub *ecdsa.PublicKey) error {
+	if id == "" || strings.ContainsAny(id, " \t\r\n#") {
+		return fmt.Errorf("attest: platform ID %q not representable in a trusted-keys file", id)
+	}
+	der, err := x509.MarshalPKIXPublicKey(pub)
+	if err != nil {
+		return fmt.Errorf("attest: %w", err)
+	}
+	_, err = fmt.Fprintf(w, "%s %s\n", id, base64.StdEncoding.EncodeToString(der))
+	return err
+}
+
+// TrustedKey is one line of a trusted-keys file.
+func (p *Platform) TrustedKey(w io.Writer) error {
+	return WriteTrustedKey(w, p.id, p.PublicKey())
+}
+
+// LoadTrustedKeys registers every platform key in a trusted-keys file,
+// returning the number of keys loaded. A malformed line aborts the load:
+// a trust root must be exactly what the operator provisioned, not a
+// best-effort subset of it.
+func (s *Service) LoadTrustedKeys(r io.Reader) (int, error) {
+	sc := bufio.NewScanner(r)
+	n, lineNo := 0, 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		id, b64, ok := strings.Cut(line, " ")
+		if !ok {
+			return n, fmt.Errorf("attest: trusted-keys line %d: want \"<id> <base64 key>\"", lineNo)
+		}
+		der, err := base64.StdEncoding.DecodeString(strings.TrimSpace(b64))
+		if err != nil {
+			return n, fmt.Errorf("attest: trusted-keys line %d: %w", lineNo, err)
+		}
+		pub, err := ParsePlatformKey(der)
+		if err != nil {
+			return n, fmt.Errorf("attest: trusted-keys line %d: %w", lineNo, err)
+		}
+		s.RegisterKey(id, pub)
+		n++
+	}
+	if err := sc.Err(); err != nil {
+		return n, fmt.Errorf("attest: trusted-keys: %w", err)
+	}
+	return n, nil
+}
+
+// ParsePlatformKey decodes a PKIX DER platform attestation public key.
+func ParsePlatformKey(der []byte) (*ecdsa.PublicKey, error) {
+	pub, err := x509.ParsePKIXPublicKey(der)
+	if err != nil {
+		return nil, fmt.Errorf("attest: platform key: %w", err)
+	}
+	ec, ok := pub.(*ecdsa.PublicKey)
+	if !ok {
+		return nil, fmt.Errorf("attest: platform key: not ECDSA")
+	}
+	return ec, nil
+}
+
+// platformKeyPEMType is the PEM block type of a persisted platform key.
+const platformKeyPEMType = "DEFLECTION PLATFORM KEY"
+
+// MarshalPrivateKey serialises the platform attestation private key as PEM,
+// so a backend can keep one platform identity across restarts (certificates
+// it signed stay verifiable under the provisioned trust root).
+func (p *Platform) MarshalPrivateKey() ([]byte, error) {
+	der, err := x509.MarshalECPrivateKey(p.priv)
+	if err != nil {
+		return nil, fmt.Errorf("attest: %w", err)
+	}
+	return pem.EncodeToMemory(&pem.Block{Type: platformKeyPEMType, Bytes: der}), nil
+}
+
+// LoadPlatform reconstructs a platform from a persisted private key.
+func LoadPlatform(id string, pemBytes []byte) (*Platform, error) {
+	block, _ := pem.Decode(pemBytes)
+	if block == nil || block.Type != platformKeyPEMType {
+		return nil, fmt.Errorf("attest: platform key: no %q PEM block", platformKeyPEMType)
+	}
+	priv, err := x509.ParseECPrivateKey(block.Bytes)
+	if err != nil {
+		return nil, fmt.Errorf("attest: platform key: %w", err)
+	}
+	return &Platform{id: id, priv: priv}, nil
+}

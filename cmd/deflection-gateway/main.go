@@ -6,10 +6,12 @@
 // within a per-session retry budget, and graceful drain of the whole stack.
 //
 // The gateway also hosts the fleet certificate store: backends publish
-// attested verdict certificates to it and resolve peer platform keys
-// through its enrolment registry, so each unique binary is cold-verified
-// once per fleet. The store is served under the metrics address
-// (/certs/..., /platforms/...).
+// attested verdict certificates to it so each unique binary is
+// cold-verified once per fleet. The store (served under the metrics
+// address, /certs/...) is untrusted and holds no platform keys — backends
+// verify certificates against their own vendor-provisioned trust roots
+// (deflection-serve -trusted-keys; spawned backends are provisioned
+// in-process).
 //
 // Backends come from two sources, freely mixed:
 //
@@ -112,7 +114,7 @@ func run() int {
 	certSrv := gateway.NewCertServer(reg)
 
 	// Metrics + cert store endpoint. It must be up before backends spawn so
-	// they can enrol their platform keys.
+	// their HTTP cert stores have somewhere to publish.
 	var metricsLn net.Listener
 	if *metricsAddr != "" {
 		metricsLn, err = net.Listen("tcp", *metricsAddr)
@@ -123,7 +125,12 @@ func run() int {
 		defer metricsLn.Close()
 	}
 
-	// Trust roots for spawned backends and the demo parties.
+	// Trust roots for spawned backends and the demo parties. certCheck is
+	// the in-process analogue of a vendor-provisioned trusted-keys file:
+	// every spawned platform key is registered into it directly, before any
+	// backend serves traffic — the untrusted cert store never contributes a
+	// key. External backends provision theirs via deflection-serve
+	// -trusted-keys instead.
 	as := attest.NewService()
 	certCheck := attest.NewService()
 
@@ -168,13 +175,9 @@ func run() int {
 			cc.Store = memStore
 			cc.Check = certCheck.VerifyVerdictCert
 		} else {
-			hs := gateway.NewHTTPCertStore("http://"+metricsLn.Addr().String(), attest.NewService())
+			hs := gateway.NewHTTPCertStore("http://"+metricsLn.Addr().String(), certCheck)
 			cc.Store = hs
 			cc.Check = hs.Check
-			if err := certSrv.RegisterPlatform(platform.ID(), platform.PublicKey()); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				return 1
-			}
 		}
 		plane.EnableCerts(cc)
 
@@ -230,7 +233,6 @@ func run() int {
 		mux := http.NewServeMux()
 		mux.Handle("/metrics", reg.Handler())
 		mux.Handle("/certs/", certSrv)
-		mux.Handle("/platforms/", certSrv)
 		mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 			status := "ok"
 			if gw.Draining() {

@@ -146,14 +146,15 @@ func TestGatewaySmoke(t *testing.T) {
 		}
 	}
 
-	// The enrolment registry serves the spawned backends' platform keys.
+	// The store serves no platform keys: trust roots are provisioned out of
+	// band, never fetched from the (untrusted) cert server.
 	presp, err := http.Get(fmt.Sprintf("http://%s/platforms/gateway-backend-0", metricsAddr))
 	if err != nil {
-		t.Fatalf("fetching platform key: %v", err)
+		t.Fatalf("probing platform-key route: %v", err)
 	}
 	presp.Body.Close()
-	if presp.StatusCode != http.StatusOK {
-		t.Errorf("/platforms/gateway-backend-0 = HTTP %d, want 200", presp.StatusCode)
+	if presp.StatusCode != http.StatusNotFound {
+		t.Errorf("/platforms/gateway-backend-0 = HTTP %d, want 404 (no enrolment registry)", presp.StatusCode)
 	}
 
 	// Graceful shutdown on SIGTERM must exit 0.

@@ -30,6 +30,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -54,6 +55,36 @@ int main() {
 
 func main() {
 	os.Exit(run())
+}
+
+// loadOrCreatePlatform resolves the backend's platform attestation
+// identity: from a persisted PEM key when keyFile exists, otherwise a
+// fresh key (persisted to keyFile when one is named, so the identity —
+// and the validity of certificates it signed — survives restarts).
+func loadOrCreatePlatform(id, keyFile string) (*attest.Platform, error) {
+	if keyFile != "" {
+		pemBytes, err := os.ReadFile(keyFile)
+		if err == nil {
+			return attest.LoadPlatform(id, pemBytes)
+		}
+		if !os.IsNotExist(err) {
+			return nil, err
+		}
+	}
+	p, err := attest.NewPlatform(id)
+	if err != nil {
+		return nil, err
+	}
+	if keyFile != "" {
+		pemBytes, err := p.MarshalPrivateKey()
+		if err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(keyFile, pemBytes, 0o600); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
 }
 
 func run() int {
@@ -81,6 +112,16 @@ func run() int {
 				"after signature/measurement/digest checks (empty = off)")
 		platformID = flag.String("platform-id", "deflection-serve-platform",
 			"attestation platform identity; must be unique per backend when joining a fleet cert store")
+		platformKeyFile = flag.String("platform-key", "",
+			"PEM file holding this backend's platform attestation private key; loaded if it exists, "+
+				"created (0600) otherwise, so the platform identity survives restarts (empty = fresh key per start)")
+		trustedKeys = flag.String("trusted-keys", "",
+			"trusted-keys file of peer platform public keys (one '<id> <base64 PKIX key>' line each), "+
+				"the vendor-provisioned trust root for admitting fleet verdict certificates; "+
+				"without it peer certificates are rejected and every binary is cold-verified locally")
+		exportPlatformKey = flag.String("export-platform-key", "",
+			"write this backend's trusted-keys line to the given file and continue serving, "+
+				"so operators can assemble the fleet's -trusted-keys file")
 	)
 	flag.Parse()
 
@@ -93,13 +134,26 @@ func run() int {
 		return 2
 	}
 
-	platform, err := attest.NewPlatform(*platformID)
+	platform, err := loadOrCreatePlatform(*platformID, *platformKeyFile)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
 	as := attest.NewService()
 	as.Register(platform)
+
+	if *exportPlatformKey != "" {
+		var line strings.Builder
+		if err := platform.TrustedKey(&line); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		if err := os.WriteFile(*exportPlatformKey, []byte(line.String()), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		logger.Log("platform_key_exported", "file", *exportPlatformKey, "platform", *platformID)
+	}
 
 	var plane *vplane.Plane
 	if *verifyCacheBytes > 0 {
@@ -133,28 +187,44 @@ func run() int {
 		return 1
 	}
 
-	// Join the fleet certificate exchange: enrol this backend's platform
-	// key, publish certificates for verdicts it produces, and admit peer
-	// certificates (after the full signature/measurement/digest chain) so a
-	// binary already verified elsewhere in the fleet installs without a
-	// cold re-verification.
+	// Join the fleet certificate exchange: publish certificates for
+	// verdicts this backend produces, and admit peer certificates (after
+	// the full signature/measurement/digest chain) so a binary already
+	// verified elsewhere in the fleet installs without a cold
+	// re-verification. The trust root for peer signatures is provisioned
+	// out of band via -trusted-keys — never learned from the store, which
+	// is untrusted; with no trusted keys, peer certificates are simply
+	// rejected and every binary cold-verifies locally.
 	if *certStore != "" {
 		if plane == nil {
 			fmt.Fprintln(os.Stderr, "deflection-serve: -cert-store requires the verification plane (-verify-cache-bytes > 0)")
 			return 2
 		}
-		hs := gateway.NewHTTPCertStore(*certStore, attest.NewService())
-		if err := hs.Announce(platform); err != nil {
-			fmt.Fprintf(os.Stderr, "joining cert store %s: %v\n", *certStore, err)
-			return 1
+		certRoot := attest.NewService()
+		certRoot.Register(platform) // a restarted backend re-admits its own persisted-key certificates
+		peerKeys := 0
+		if *trustedKeys != "" {
+			f, err := os.Open(*trustedKeys)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 1
+			}
+			peerKeys, err = certRoot.LoadTrustedKeys(f)
+			f.Close()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "loading trusted keys %s: %v\n", *trustedKeys, err)
+				return 1
+			}
 		}
+		hs := gateway.NewHTTPCertStore(*certStore, certRoot)
 		plane.EnableCerts(vplane.CertConfig{
 			Measurement: meas,
 			Sign:        platform.SignVerdict,
 			Check:       hs.Check,
 			Store:       hs,
 		})
-		logger.Log("cert_store_joined", "url", *certStore, "platform", *platformID)
+		logger.Log("cert_store_joined", "url", *certStore,
+			"platform", *platformID, "trusted_peer_keys", peerKeys)
 	}
 
 	l, err := net.Listen("tcp", *addr)

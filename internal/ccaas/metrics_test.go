@@ -1,6 +1,7 @@
 package ccaas_test
 
 import (
+	"context"
 	"io"
 	"net"
 	"strings"
@@ -201,7 +202,7 @@ func TestClientRetryMetrics(t *testing.T) {
 	}
 	c, err := ccaas.DialRetry(dial, as, meas, attest.RoleCodeProvider, ccaas.RetryConfig{
 		Metrics: clientReg,
-		Sleep:   func(time.Duration) {},
+		Sleep:   func(context.Context, time.Duration) {},
 	})
 	if err != nil {
 		t.Fatal(err)

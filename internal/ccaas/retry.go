@@ -31,8 +31,11 @@ type RetryConfig struct {
 	Jitter float64
 	// Seed makes the jitter reproducible (0 is treated as 1).
 	Seed int64
-	// Sleep replaces time.Sleep in tests.
-	Sleep func(time.Duration)
+	// Sleep replaces the backoff wait in tests. It is called synchronously
+	// with the retry loop's context and must return promptly when the
+	// context is cancelled — the loop aborts as soon as it returns with the
+	// context dead.
+	Sleep func(context.Context, time.Duration)
 	// Metrics, if set, receives ccaas_client_* attempt/retry/backoff
 	// counters. A nil registry is valid (throwaway metrics).
 	Metrics *obs.Registry
@@ -83,19 +86,11 @@ func (r *retrier) backoff(ctx context.Context, failed int) error {
 	r.Metrics.Counter("ccaas_client_retries_total").Inc()
 	r.Metrics.Histogram("ccaas_client_backoff_seconds").ObserveDuration(d)
 	if r.Sleep != nil {
-		// A replaced clock (tests) cannot be interrupted; run it aside so
-		// cancellation still returns promptly.
-		slept := make(chan struct{})
-		go func() {
-			r.Sleep(d)
-			close(slept)
-		}()
-		select {
-		case <-slept:
-			return nil
-		case <-ctx.Done():
-			return ctx.Err()
-		}
+		// A replaced clock (tests) gets the context so it can abort its own
+		// wait; calling it synchronously means no goroutine outlives the
+		// retry loop even if the clock ignores cancellation.
+		r.Sleep(ctx, d)
+		return ctx.Err()
 	}
 	t := time.NewTimer(d)
 	defer t.Stop()

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	goruntime "runtime"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -110,16 +111,18 @@ func TestGatewayBusyIsTransient(t *testing.T) {
 }
 
 func TestDialRetryContextCustomSleepStillCancellable(t *testing.T) {
-	// A replaced Sleep (deterministic tests) must not defeat cancellation.
+	// A replaced Sleep (deterministic tests) receives the loop's context; a
+	// clock that honours it aborts the retry schedule mid-backoff, and the
+	// loop calls it synchronously, so no goroutine outlives the loop.
 	var calls atomic.Int64
 	ctx, cancel := context.WithCancel(context.Background())
-	slept := make(chan struct{})
+	before := goruntime.NumGoroutine()
 	cfg := RetryConfig{
 		Attempts:  3,
 		BaseDelay: 10 * time.Millisecond,
-		Sleep: func(time.Duration) {
+		Sleep: func(ctx context.Context, _ time.Duration) {
 			cancel()
-			<-slept // simulate a sleep that outlives the context
+			<-ctx.Done() // a cancellation-aware clock wakes up immediately
 		},
 	}
 	done := make(chan error, 1)
@@ -135,5 +138,15 @@ func TestDialRetryContextCustomSleepStillCancellable(t *testing.T) {
 	case <-time.After(5 * time.Second):
 		t.Fatal("custom Sleep blocked cancellation")
 	}
-	close(slept)
+	if calls.Load() != 1 {
+		t.Fatalf("dialer called %d times, want 1 (cancelled during first backoff)", calls.Load())
+	}
+	// No helper goroutine may be left behind running the replaced clock.
+	deadline := time.Now().Add(2 * time.Second)
+	for goruntime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines %d > %d before the retry: backoff leaked one", goruntime.NumGoroutine(), before)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
 }

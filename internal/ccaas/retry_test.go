@@ -1,6 +1,7 @@
 package ccaas_test
 
 import (
+	"context"
 	"errors"
 	"io"
 	"net"
@@ -39,9 +40,9 @@ func pipeDialer(t *testing.T, srv *ccaas.Server, wrap func(attempt int, c net.Co
 }
 
 // noSleep records backoff delays instead of sleeping.
-func noSleep(delays *[]time.Duration) func(time.Duration) {
+func noSleep(delays *[]time.Duration) func(context.Context, time.Duration) {
 	var mu sync.Mutex
-	return func(d time.Duration) {
+	return func(_ context.Context, d time.Duration) {
 		mu.Lock()
 		*delays = append(*delays, d)
 		mu.Unlock()
@@ -99,7 +100,7 @@ func TestDialRetryStopsOnPermanentError(t *testing.T) {
 	var wrong [32]byte
 	copy(wrong[:], "some-other-bootstrap-build")
 	_, err := ccaas.DialRetry(dial, as, wrong, attest.RoleDataOwner,
-		ccaas.RetryConfig{Sleep: func(time.Duration) { t.Fatal("slept on a permanent error") }})
+		ccaas.RetryConfig{Sleep: func(context.Context, time.Duration) { t.Fatal("slept on a permanent error") }})
 	if !errors.Is(err, attest.ErrMeasurementMismatch) {
 		t.Fatalf("err = %v, want measurement mismatch", err)
 	}

@@ -2,8 +2,7 @@ package gateway
 
 import (
 	"bytes"
-	"crypto/ecdsa"
-	"crypto/x509"
+	"context"
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
@@ -25,11 +24,12 @@ import (
 // HTTPCertStore pointed at it. The server is UNTRUSTED by construction:
 // backends admit nothing from it before the full certificate check chain
 // (platform signature, measurement, manifest fingerprint, key binding,
-// image digest) passes inside vplane. The one trust-bearing piece — the
-// platform public-key registry — models the vendor provisioning channel of
-// the paper's IAS analogue: keys enter it out of band (RegisterPlatform or
-// the backends' own announcements at enrolment time), and a wrong key can
-// only cause certificate rejection, never acceptance of a forged verdict.
+// image digest) passes inside vplane. Crucially, the trust root for those
+// signature checks never comes from this transport: platform keys are
+// vendor-provisioned out of band (attest.Service.LoadTrustedKeys or
+// in-process registration) before the backend serves traffic, so the worst
+// a compromised server can do is serve certificates that fail verification
+// and force a cold run — never get a forged verdict accepted.
 
 // certRecord is the wire form of one store entry.
 type certRecord struct {
@@ -44,37 +44,20 @@ const maxCertBody = 64 << 20
 //
 //	GET  /certs/<hex key>   -> certRecord JSON, or 404
 //	PUT  /certs/<hex key>   -> store certRecord JSON
-//	GET  /platforms/<id>    -> PKIX DER of the platform public key, or 404
-//	PUT  /platforms/<id>    -> register a platform key (enrolment channel)
 //
 // Safe for concurrent use.
 type CertServer struct {
-	mu        sync.Mutex
-	certs     map[string]certRecord
-	platforms map[string][]byte // PKIX DER
-	m         *obs.Registry
+	mu    sync.Mutex
+	certs map[string]certRecord
+	m     *obs.Registry
 }
 
 // NewCertServer returns an empty certificate server. metrics may be nil.
 func NewCertServer(metrics *obs.Registry) *CertServer {
 	return &CertServer{
-		certs:     make(map[string]certRecord),
-		platforms: make(map[string][]byte),
-		m:         metrics,
+		certs: make(map[string]certRecord),
+		m:     metrics,
 	}
-}
-
-// RegisterPlatform records a platform attestation public key, standing in
-// for the vendor provisioning channel.
-func (s *CertServer) RegisterPlatform(id string, pub *ecdsa.PublicKey) error {
-	der, err := x509.MarshalPKIXPublicKey(pub)
-	if err != nil {
-		return fmt.Errorf("gateway: %w", err)
-	}
-	s.mu.Lock()
-	s.platforms[id] = der
-	s.mu.Unlock()
-	return nil
 }
 
 // Len reports the number of stored certificates.
@@ -86,14 +69,11 @@ func (s *CertServer) Len() int {
 
 // ServeHTTP implements http.Handler.
 func (s *CertServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	switch {
-	case strings.HasPrefix(r.URL.Path, "/certs/"):
+	if strings.HasPrefix(r.URL.Path, "/certs/") {
 		s.serveCert(w, r, strings.TrimPrefix(r.URL.Path, "/certs/"))
-	case strings.HasPrefix(r.URL.Path, "/platforms/"):
-		s.servePlatform(w, r, strings.TrimPrefix(r.URL.Path, "/platforms/"))
-	default:
-		http.NotFound(w, r)
+		return
 	}
+	http.NotFound(w, r)
 }
 
 func (s *CertServer) serveCert(w http.ResponseWriter, r *http.Request, keyHex string) {
@@ -142,109 +122,35 @@ func (s *CertServer) serveCert(w http.ResponseWriter, r *http.Request, keyHex st
 	}
 }
 
-func (s *CertServer) servePlatform(w http.ResponseWriter, r *http.Request, id string) {
-	if id == "" {
-		http.Error(w, "bad id", http.StatusBadRequest)
-		return
-	}
-	switch r.Method {
-	case http.MethodGet:
-		s.mu.Lock()
-		der, ok := s.platforms[id]
-		s.mu.Unlock()
-		if !ok {
-			http.NotFound(w, r)
-			return
-		}
-		w.Header().Set("Content-Type", "application/octet-stream")
-		_, _ = w.Write(der)
-	case http.MethodPut:
-		der, err := io.ReadAll(io.LimitReader(r.Body, 1<<16))
-		if err != nil {
-			http.Error(w, "read", http.StatusBadRequest)
-			return
-		}
-		if _, err := parsePlatformKey(der); err != nil {
-			http.Error(w, "bad key", http.StatusBadRequest)
-			return
-		}
-		s.mu.Lock()
-		// First writer wins: enrolment happens once per platform, and a
-		// later conflicting key would let a compromised backend shadow a
-		// peer's identity.
-		if prev, ok := s.platforms[id]; ok && !bytes.Equal(prev, der) {
-			s.mu.Unlock()
-			http.Error(w, "platform already enrolled", http.StatusConflict)
-			return
-		}
-		s.platforms[id] = der
-		s.mu.Unlock()
-		w.WriteHeader(http.StatusNoContent)
-	default:
-		http.Error(w, "method", http.StatusMethodNotAllowed)
-	}
-}
-
-func parsePlatformKey(der []byte) (*ecdsa.PublicKey, error) {
-	pub, err := x509.ParsePKIXPublicKey(der)
-	if err != nil {
-		return nil, fmt.Errorf("gateway: platform key: %w", err)
-	}
-	ec, ok := pub.(*ecdsa.PublicKey)
-	if !ok {
-		return nil, fmt.Errorf("gateway: platform key: not ECDSA")
-	}
-	return ec, nil
-}
+// getCertTimeout bounds one certificate lookup. Lookups sit on the cold
+// path right before a pipeline run, so an unreachable store must fail fast
+// into the cold fallback rather than stall every unique-key verification.
+// Publication keeps the client's longer timeout: a PUT carries the full
+// verified image and runs off the critical path.
+const getCertTimeout = 2 * time.Second
 
 // HTTPCertStore is the backend-side client of a CertServer. It implements
-// vplane.CertStore; its Check method resolves peer platform keys from the
-// server's enrolment registry (caching them in a local attest.Service) and
-// then verifies the certificate signature. A malicious or corrupted server
-// can only make Check fail — it holds no signing keys.
+// vplane.CertStore; its Check method verifies certificate signatures
+// against the local, vendor-provisioned trust root only. A malicious or
+// corrupted server can only make lookups miss or Check fail — it holds no
+// signing keys and contributes nothing to the trust root.
 type HTTPCertStore struct {
 	base string
 	hc   *http.Client
 	svc  *attest.Service
-
-	mu      sync.Mutex
-	fetched map[string]bool
 }
 
 // NewHTTPCertStore points a client at base (e.g. "http://host:port"). svc
-// is the local trust root for platform keys; keys already registered in it
-// (vendor-provisioned) are used as-is, unknown platforms are fetched from
-// the server's enrolment registry once and cached. Pass a fresh
-// attest.NewService() to rely on enrolment alone.
+// is the local trust root for platform keys and must be provisioned out of
+// band (attest.Service.LoadTrustedKeys, Register, or RegisterKey) before
+// peer certificates can be admitted; an empty service rejects every peer
+// certificate, which degrades safely to cold verification.
 func NewHTTPCertStore(base string, svc *attest.Service) *HTTPCertStore {
 	return &HTTPCertStore{
-		base:    strings.TrimRight(base, "/"),
-		hc:      &http.Client{Timeout: 10 * time.Second},
-		svc:     svc,
-		fetched: make(map[string]bool),
+		base: strings.TrimRight(base, "/"),
+		hc:   &http.Client{Timeout: 10 * time.Second},
+		svc:  svc,
 	}
-}
-
-// Announce enrols this backend's platform key with the server so peers can
-// resolve it.
-func (s *HTTPCertStore) Announce(p *attest.Platform) error {
-	der, err := x509.MarshalPKIXPublicKey(p.PublicKey())
-	if err != nil {
-		return fmt.Errorf("gateway: %w", err)
-	}
-	req, err := http.NewRequest(http.MethodPut, s.base+"/platforms/"+p.ID(), bytes.NewReader(der))
-	if err != nil {
-		return fmt.Errorf("gateway: %w", err)
-	}
-	resp, err := s.hc.Do(req)
-	if err != nil {
-		return fmt.Errorf("gateway: announce: %w", err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusNoContent {
-		return fmt.Errorf("gateway: announce: HTTP %d", resp.StatusCode)
-	}
-	return nil
 }
 
 // PutCert publishes a certificate and its image to the fleet store.
@@ -271,10 +177,16 @@ func (s *HTTPCertStore) PutCert(cert *attest.VerdictCert, img *runtime.Image) er
 }
 
 // GetCert fetches the certificate stored under key, if any. Transport
-// errors are reported as misses: the acceptor falls back to a cold
-// verification, which is always safe.
+// errors and timeouts are reported as misses: the acceptor falls back to a
+// cold verification, which is always safe.
 func (s *HTTPCertStore) GetCert(key vplane.Key) (*attest.VerdictCert, *runtime.Image, bool) {
-	resp, err := s.hc.Get(s.base + "/certs/" + hex.EncodeToString(key[:]))
+	ctx, cancel := context.WithTimeout(context.Background(), getCertTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, s.base+"/certs/"+hex.EncodeToString(key[:]), nil)
+	if err != nil {
+		return nil, nil, false
+	}
+	resp, err := s.hc.Do(req)
 	if err != nil {
 		return nil, nil, false
 	}
@@ -292,47 +204,9 @@ func (s *HTTPCertStore) GetCert(key vplane.Key) (*attest.VerdictCert, *runtime.I
 	return rec.Cert, rec.Image, true
 }
 
-// Check verifies a certificate's platform signature, resolving the signer's
-// public key through the enrolment registry on first sight.
+// Check verifies a certificate's platform signature against the local
+// trust root. Unknown platforms fail closed: there is deliberately no path
+// that learns a key from the (untrusted) server at verification time.
 func (s *HTTPCertStore) Check(cert *attest.VerdictCert) error {
-	if err := s.svc.VerifyVerdictCert(cert); err == nil {
-		return nil
-	} else if s.alreadyFetched(cert.PlatformID) {
-		return err
-	}
-	pub, ferr := s.fetchPlatformKey(cert.PlatformID)
-	if ferr != nil {
-		return ferr
-	}
-	s.svc.RegisterKey(cert.PlatformID, pub)
 	return s.svc.VerifyVerdictCert(cert)
-}
-
-func (s *HTTPCertStore) alreadyFetched(id string) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.fetched[id]
-}
-
-func (s *HTTPCertStore) fetchPlatformKey(id string) (*ecdsa.PublicKey, error) {
-	resp, err := s.hc.Get(s.base + "/platforms/" + id)
-	if err != nil {
-		return nil, fmt.Errorf("gateway: platform key fetch: %w", err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("gateway: platform key fetch: HTTP %d", resp.StatusCode)
-	}
-	der, err := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
-	if err != nil {
-		return nil, fmt.Errorf("gateway: platform key fetch: %w", err)
-	}
-	pub, err := parsePlatformKey(der)
-	if err != nil {
-		return nil, err
-	}
-	s.mu.Lock()
-	s.fetched[id] = true
-	s.mu.Unlock()
-	return pub, nil
 }

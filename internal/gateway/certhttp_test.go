@@ -1,7 +1,9 @@
 package gateway
 
 import (
+	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 
 	"deflection/attest"
@@ -48,26 +50,31 @@ func signedCert(t *testing.T, p *attest.Platform, img *runtime.Image) *attest.Ve
 	return cert
 }
 
-func newCertFixture(t *testing.T) (*CertServer, *HTTPCertStore, *attest.Platform) {
+// newCertFixture wires a cert server, a client store and a platform. root
+// is the client's local trust root — empty until a test provisions it, the
+// way an operator's trusted-keys file would.
+func newCertFixture(t *testing.T) (srv *CertServer, store *HTTPCertStore, p *attest.Platform, root *attest.Service) {
 	t.Helper()
-	srv := NewCertServer(nil)
+	srv = NewCertServer(nil)
 	hs := httptest.NewServer(srv)
 	t.Cleanup(hs.Close)
 	p, err := attest.NewPlatform("fleet-platform-1")
 	if err != nil {
 		t.Fatalf("platform: %v", err)
 	}
-	return srv, NewHTTPCertStore(hs.URL, attest.NewService()), p
+	root = attest.NewService()
+	return srv, NewHTTPCertStore(hs.URL, root), p, root
 }
 
 func TestCertHTTPRoundTrip(t *testing.T) {
-	srv, store, p := newCertFixture(t)
+	srv, store, p, root := newCertFixture(t)
 	img := testImage()
 	cert := signedCert(t, p, img)
 
-	if err := store.Announce(p); err != nil {
-		t.Fatalf("announce: %v", err)
-	}
+	// Vendor provisioning: the issuer's key enters the local trust root out
+	// of band, never through the store.
+	root.RegisterKey(p.ID(), p.PublicKey())
+
 	if err := store.PutCert(cert, img); err != nil {
 		t.Fatalf("put: %v", err)
 	}
@@ -91,8 +98,7 @@ func TestCertHTTPRoundTrip(t *testing.T) {
 	if gotImg.Stats != img.Stats {
 		t.Fatalf("verdict evidence lost: %+v", gotImg.Stats)
 	}
-	// Check resolves the platform key via the enrolment registry and then
-	// verifies the signature.
+	// Check verifies the signature against the provisioned trust root.
 	if err := store.Check(got); err != nil {
 		t.Fatalf("check: %v", err)
 	}
@@ -104,49 +110,62 @@ func TestCertHTTPRoundTrip(t *testing.T) {
 }
 
 func TestCertHTTPMissIsMiss(t *testing.T) {
-	_, store, _ := newCertFixture(t)
+	_, store, _, _ := newCertFixture(t)
 	if _, _, ok := store.GetCert(vplane.Key{0xFF}); ok {
 		t.Fatal("empty store returned a cert")
 	}
 }
 
-func TestCertHTTPCheckUnknownPlatform(t *testing.T) {
-	_, store, p := newCertFixture(t)
+// TestCertHTTPCheckUnprovisionedPlatform: with nothing provisioned, a
+// validly signed certificate must fail closed — there is no path that
+// learns the signer's key from the untrusted server.
+func TestCertHTTPCheckUnprovisionedPlatform(t *testing.T) {
+	_, store, p, _ := newCertFixture(t)
 	img := testImage()
 	cert := signedCert(t, p, img)
-	// Platform never announced: Check must fail, not panic or accept.
-	if err := store.Check(cert); err == nil {
-		t.Fatal("cert from unenrolled platform passed Check")
+	if err := store.PutCert(cert, img); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	got, _, ok := store.GetCert(vplane.Key(cert.Key))
+	if !ok {
+		t.Fatal("get miss")
+	}
+	if err := store.Check(got); err == nil {
+		t.Fatal("cert from unprovisioned platform passed Check")
 	}
 }
 
-func TestCertHTTPEnrolmentFirstWriterWins(t *testing.T) {
-	_, store, p := newCertFixture(t)
-	if err := store.Announce(p); err != nil {
-		t.Fatalf("announce: %v", err)
-	}
-	// Re-announcing the same key is idempotent.
-	if err := store.Announce(p); err != nil {
-		t.Fatalf("re-announce: %v", err)
-	}
-	// A different platform claiming the same ID is refused: enrolment is
-	// first-writer-wins, so a compromised backend cannot shadow a peer.
-	imposter, err := attest.NewPlatform(p.ID())
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := imposter.SignVerdict(&attest.VerdictCert{}); err != nil {
-		t.Fatal(err)
-	}
-	if err := store.Announce(imposter); err == nil {
-		t.Fatal("conflicting enrolment accepted")
+// TestCertHTTPNoPlatformRegistry: the server must not expose any platform
+// key endpoints — the old enrolment registry let whoever reached the
+// listener inject keys into peers' trust roots.
+func TestCertHTTPNoPlatformRegistry(t *testing.T) {
+	srv := NewCertServer(nil)
+	hs := httptest.NewServer(srv)
+	t.Cleanup(hs.Close)
+	for _, req := range []struct{ method, path string }{
+		{http.MethodGet, "/platforms/some-id"},
+		{http.MethodPut, "/platforms/some-id"},
+	} {
+		r, err := http.NewRequest(req.method, hs.URL+req.path, strings.NewReader("attacker-key"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("%s %s = HTTP %d, want 404", req.method, req.path, resp.StatusCode)
+		}
 	}
 }
 
 func TestCertHTTPServerRejectsKeyMismatch(t *testing.T) {
-	_, store, p := newCertFixture(t)
+	_, store, p, root := newCertFixture(t)
 	img := testImage()
 	cert := signedCert(t, p, img)
+	root.RegisterKey(p.ID(), p.PublicKey())
 	// Corrupt the key after signing; the URL (derived from the key) and the
 	// body now agree with each other, so this exercises the admission-side
 	// signature check instead of the server's URL/body comparison.
@@ -157,9 +176,6 @@ func TestCertHTTPServerRejectsKeyMismatch(t *testing.T) {
 	got, _, ok := store.GetCert(vplane.Key(cert.Key))
 	if !ok {
 		t.Fatal("get miss")
-	}
-	if err := store.Announce(p); err != nil {
-		t.Fatal(err)
 	}
 	if err := store.Check(got); err == nil {
 		t.Fatal("key-tampered cert passed signature check")

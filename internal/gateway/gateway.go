@@ -405,6 +405,12 @@ func (g *Gateway) Handle(conn net.Conn) error {
 	defer release()
 	if !admit {
 		g.m.Counter("gateway_sessions_rejected_busy_total").Inc()
+		// Drain the routing preamble before replying: closing a socket with
+		// unread bytes in its receive buffer turns the close into a RST,
+		// which can discard the busy frame before the client reads it.
+		_ = conn.SetReadDeadline(time.Now().Add(g.cfg.PreambleTimeout))
+		_, _ = readPreamble(conn)
+		_ = conn.SetReadDeadline(time.Time{})
 		g.replyBusy(conn, reason)
 		return fmt.Errorf("gateway: session %d rejected: %s", sid, reason)
 	}

@@ -2,6 +2,7 @@ package obj
 
 import (
 	"fmt"
+	"sort"
 
 	"deflection/internal/isa"
 )
@@ -254,11 +255,19 @@ func (a *Assembler) Assemble(policyMask uint8) (*Object, error) {
 		}
 		syms = append(syms, Symbol{Name: f.name, Section: SecText, Offset: start, Size: end - start, Kind: SymFunc})
 	}
-	for name, off := range offsets {
-		if funcNames[name] {
-			continue
+	// Label symbols in sorted order: map iteration order would otherwise
+	// leak into the serialised symbol table and make the object bytes —
+	// and every downstream content hash and verdict-cache key — differ
+	// between runs that compiled identical source.
+	labels := make([]string, 0, len(offsets))
+	for name := range offsets {
+		if !funcNames[name] {
+			labels = append(labels, name)
 		}
-		syms = append(syms, Symbol{Name: name, Section: SecText, Offset: off, Kind: SymLabel})
+	}
+	sort.Strings(labels)
+	for _, name := range labels {
+		syms = append(syms, Symbol{Name: name, Section: SecText, Offset: offsets[name], Kind: SymLabel})
 	}
 
 	o := &Object{

@@ -2,6 +2,7 @@ package vplane_test
 
 import (
 	"context"
+	"sync"
 	"testing"
 
 	"deflection/attest"
@@ -286,6 +287,105 @@ func TestNegativeVerdictsNotCertified(t *testing.T) {
 	}
 	if got := f.regA.Counter("vplane_certs_issued_total").Value(); got != 0 {
 		t.Errorf("certs_issued = %d, want 0", got)
+	}
+}
+
+// blockingCountingStore wraps a CertStore, counting GetCert calls and
+// holding each one until released.
+type blockingCountingStore struct {
+	inner   vplane.CertStore
+	mu      sync.Mutex
+	gets    int
+	entered chan struct{} // one send per GetCert call, before it blocks
+	release chan struct{}
+}
+
+func (s *blockingCountingStore) PutCert(cert *attest.VerdictCert, img *runtime.Image) error {
+	return s.inner.PutCert(cert, img)
+}
+
+func (s *blockingCountingStore) GetCert(key vplane.Key) (*attest.VerdictCert, *runtime.Image, bool) {
+	s.mu.Lock()
+	s.gets++
+	s.mu.Unlock()
+	s.entered <- struct{}{}
+	<-s.release
+	return s.inner.GetCert(key)
+}
+
+// TestCertLookupSingleFlight: N concurrent cache misses for the same key
+// cost ONE store lookup, not N — the certificate consultation runs inside
+// the single-flight, so a slow or down store cannot multiply fleet traffic
+// or stall more than the one flight leader.
+func TestCertLookupSingleFlight(t *testing.T) {
+	const N = 8
+	f := newCertFleet(t)
+	obj := compileObj(t, "int main() { return 9; }", policy.SetP1)
+	m := manifestFor(policy.SetP1)
+	l := defaultLayout(t)
+
+	// A certifies the binary; C then sees a populated fleet store through a
+	// blocking, call-counting wrapper.
+	if _, _, err := f.a.Verify(context.Background(), obj, m, l); err != nil {
+		t.Fatal(err)
+	}
+	store := &blockingCountingStore{
+		inner:   f.store,
+		entered: make(chan struct{}, N),
+		release: make(chan struct{}),
+	}
+	regC := obs.NewRegistry()
+	c := vplane.New(vplane.Config{CacheBytes: 1 << 20, Workers: 2, QueueDepth: 16, Metrics: regC})
+	defer c.Close()
+	c.EnableCerts(vplane.CertConfig{
+		Measurement: f.meas,
+		Check:       f.as.VerifyVerdictCert,
+		Store:       store,
+	})
+
+	sources := make([]vplane.Source, N)
+	errs := make([]error, N)
+	var wg sync.WaitGroup
+	for i := 0; i < N; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, sources[i], errs[i] = c.Verify(context.Background(), obj, m, l)
+		}(i)
+	}
+
+	// The leader's lookup is in flight (blocked in the store); wait for the
+	// other N-1 submitters to join it, then let the lookup finish.
+	<-store.entered
+	waitCounter(t, regC, "vplane_dedup_joins_total", N-1)
+	close(store.release)
+	wg.Wait()
+
+	var certified, joined int
+	for i := 0; i < N; i++ {
+		if errs[i] != nil {
+			t.Fatalf("Verify[%d]: %v", i, errs[i])
+		}
+		switch sources[i] {
+		case vplane.SourceCertified:
+			certified++
+		case vplane.SourceJoined:
+			joined++
+		default:
+			t.Fatalf("Verify[%d] source = %v", i, sources[i])
+		}
+	}
+	if certified != 1 || joined != N-1 {
+		t.Fatalf("sources: %d certified + %d joined, want 1 + %d", certified, joined, N-1)
+	}
+	store.mu.Lock()
+	gets := store.gets
+	store.mu.Unlock()
+	if gets != 1 {
+		t.Fatalf("store lookups = %d for %d concurrent misses, want 1 (single-flight)", gets, N)
+	}
+	if got := regC.Counter("vplane_verify_runs_total").Value(); got != 0 {
+		t.Fatalf("pipeline ran %d times, want 0 (certificate replay)", got)
 	}
 }
 

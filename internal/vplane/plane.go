@@ -51,10 +51,11 @@ type Config struct {
 // flight is one in-progress verification that concurrent submitters of the
 // same key attach to.
 type flight struct {
-	done    chan struct{} // closed after verdict/err are set
+	done    chan struct{} // closed after verdict/err/src are set
 	verdict *Verdict
 	err     error
-	waiters int // guarded by Plane.mu; 0 ⇒ cancel the job
+	src     Source // how the flight obtained its verdict (certified or cold)
+	waiters int    // guarded by Plane.mu; 0 ⇒ cancel the job
 	ctx     context.Context
 	cancel  context.CancelFunc
 }
@@ -128,46 +129,39 @@ func (p *Plane) Verify(ctx context.Context, objBytes []byte, m runtime.Manifest,
 		return v, SourceCache, nil
 	}
 
-	// Fleet certificate admission: before paying a cold pipeline run, ask
-	// the shared store whether a peer enclave already certified this key.
-	// An admitted certificate becomes an ordinary cache entry, so repeat
-	// submissions hit the local cache without touching the store again.
-	// (Two concurrent misses may both admit the same certificate; the
-	// duplicate Put is idempotent and far cheaper than a duplicate cold
-	// run, so this sits outside the single-flight map on purpose.)
-	if v, ok := p.tryCertified(key, m); ok {
-		p.cache.Put(v)
-		p.m.Histogram("vplane_verify_certified_seconds").ObserveDuration(time.Since(start))
-		return v, SourceCertified, nil
-	}
-
 	p.mu.Lock()
 	if f, ok := p.flights[key]; ok {
 		f.waiters++
 		p.mu.Unlock()
 		p.m.Counter("vplane_dedup_joins_total").Inc()
-		return p.wait(ctx, f, SourceJoined)
+		return p.wait(ctx, f, true)
 	}
 	fctx, cancel := context.WithCancel(context.Background())
 	f := &flight{done: make(chan struct{}), waiters: 1, ctx: fctx, cancel: cancel}
 	p.flights[key] = f
 	p.mu.Unlock()
 
-	p.m.Counter("vplane_cache_misses_total").Inc()
 	// The flight runs detached from the leader's context: its lifetime is
 	// governed by the waiter refcount, so a leader that gives up does not
-	// kill a job other sessions are still waiting on.
+	// kill a job other sessions are still waiting on. Fleet certificate
+	// admission happens inside the flight, so N concurrent misses on the
+	// same key cost one store lookup, not N.
 	go p.runFlight(f, key, append([]byte(nil), objBytes...), m, l)
-	return p.wait(ctx, f, SourceCold)
+	return p.wait(ctx, f, false)
 }
 
-// wait blocks on a flight until it completes or ctx expires. An expired
-// waiter decrements the flight's refcount; the last one to leave cancels
-// the job (a queued job is then dropped before it ever runs).
-func (p *Plane) wait(ctx context.Context, f *flight, src Source) (*Verdict, Source, error) {
+// wait blocks on a flight until it completes or ctx expires. The leader
+// reports the flight's own source (certified or cold); joiners report
+// SourceJoined. An expired waiter decrements the flight's refcount; the
+// last one to leave cancels the job (a queued job is then dropped before
+// it ever runs).
+func (p *Plane) wait(ctx context.Context, f *flight, joined bool) (*Verdict, Source, error) {
 	select {
 	case <-f.done:
-		return f.verdict, src, f.err
+		if joined {
+			return f.verdict, SourceJoined, f.err
+		}
+		return f.verdict, f.src, f.err
 	case <-ctx.Done():
 		p.mu.Lock()
 		f.waiters--
@@ -176,13 +170,41 @@ func (p *Plane) wait(ctx context.Context, f *flight, src Source) (*Verdict, Sour
 		}
 		p.mu.Unlock()
 		p.m.Counter("vplane_waits_abandoned_total").Inc()
+		src := SourceCold
+		if joined {
+			src = SourceJoined
+		}
 		return nil, src, ctx.Err()
 	}
 }
 
-// runFlight admits the cold verification through the pool, caches the
-// verdict, and publishes the result to every waiter.
+// runFlight resolves one single-flight verification: first by consulting
+// the fleet certificate store (one lookup per flight, so concurrent misses
+// do not multiply store traffic), then by admitting a cold pipeline run
+// through the pool. The verdict is cached and published to every waiter.
 func (p *Plane) runFlight(f *flight, key Key, objBytes []byte, m runtime.Manifest, l enclave.Layout) {
+	finish := func(v *Verdict, verr error, src Source) {
+		p.mu.Lock()
+		delete(p.flights, key)
+		f.verdict, f.err, f.src = v, verr, src
+		p.mu.Unlock()
+		close(f.done)
+		f.cancel()
+	}
+
+	// Fleet certificate admission: before paying a cold pipeline run, ask
+	// the shared store whether a peer enclave already certified this key.
+	// An admitted certificate becomes an ordinary cache entry, so repeat
+	// submissions hit the local cache without touching the store again.
+	certStart := time.Now()
+	if v, ok := p.tryCertified(key, m); ok {
+		p.cache.Put(v)
+		p.m.Histogram("vplane_verify_certified_seconds").ObserveDuration(time.Since(certStart))
+		finish(v, nil, SourceCertified)
+		return
+	}
+
+	p.m.Counter("vplane_cache_misses_total").Inc()
 	var (
 		v    *Verdict
 		verr error
@@ -197,12 +219,7 @@ func (p *Plane) runFlight(f *flight, key Key, objBytes []byte, m runtime.Manifes
 		// peer backends can admit the image without a cold run of their own.
 		p.publishCert(v, m)
 	}
-	p.mu.Lock()
-	delete(p.flights, key)
-	f.verdict, f.err = v, verr
-	p.mu.Unlock()
-	close(f.done)
-	f.cancel()
+	finish(v, verr, SourceCold)
 }
 
 // runVerify executes the full parse→load→disasm→verify→rewrite pipeline in
