@@ -1,11 +1,11 @@
 GO ?= go
 
-.PHONY: check build fmt vet lint fuzz-disasm test race race-vplane race-gateway chaos bench metrics-smoke
+.PHONY: check build fmt vet lint metric-lint fuzz-disasm test race race-vplane race-gateway chaos bench metrics-smoke
 
 # Tier-1 gate: what CI must keep green. race is the full -race sweep and
 # subsumes race-vplane/race-gateway; the focused targets exist for fast
 # iteration.
-check: build fmt vet lint race race-vplane race-gateway fuzz-disasm
+check: build fmt vet lint metric-lint race race-vplane race-gateway fuzz-disasm
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,12 @@ vet:
 # nor anything under net/ or os/. Fails with the offending import chain.
 lint:
 	$(GO) run ./cmd/deflection-lint -root .
+
+# Metric-name hygiene: every literal Counter/Gauge/Histogram name must be
+# lowercase snake_case and no name may be registered as two metric types
+# (Prometheus would reject the exposition).
+metric-lint:
+	$(GO) run ./cmd/deflection-lint -metrics -root .
 
 # Short coverage-guided smoke of the instruction decoder; FUZZTIME can be
 # raised for a real fuzzing session (e.g. make fuzz-disasm FUZZTIME=10m).

@@ -35,6 +35,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -43,6 +44,7 @@ import (
 	"deflection"
 	"deflection/attest"
 	"deflection/internal/ccaas"
+	"deflection/internal/fleet"
 	"deflection/internal/gateway"
 	"deflection/internal/obs"
 	"deflection/internal/vplane"
@@ -62,12 +64,18 @@ func main() {
 	os.Exit(run())
 }
 
-// spawnedBackend is one in-process fleet member.
+// spawnedBackend is one in-process fleet member. Each gets its OWN metrics
+// registry, span collector and metrics listener: fleet aggregation at the
+// gateway works by genuinely scraping each backend over HTTP, exactly the
+// path externally managed deflection-serve processes exercise.
 type spawnedBackend struct {
-	srv   *ccaas.Server
-	plane *vplane.Plane
-	ln    net.Listener
-	done  chan error
+	srv       *ccaas.Server
+	plane     *vplane.Plane
+	reg       *obs.Registry
+	spans     *obs.Collector
+	ln        net.Listener
+	metricsLn net.Listener
+	done      chan error
 }
 
 func run() int {
@@ -88,12 +96,34 @@ func run() int {
 		brkOpenFor  = flag.Duration("breaker-open-for", 2*time.Second, "open-breaker window before a half-open trial")
 		helloWait   = flag.Duration("hello-timeout", 5*time.Second, "wait for a backend's attestation hello")
 		drain       = flag.Duration("drain", 15*time.Second, "graceful-shutdown drain budget")
-		metricsAddr = flag.String("metrics-addr", "", "serve JSON metrics + fleet cert store on this address (empty = off)")
+		metricsAddr = flag.String("metrics-addr", "", "serve metrics (JSON/Prometheus), /fleet, /traces and the fleet cert store on this address (empty = off)")
+		scrapeEvery = flag.Duration("fleet-scrape-interval", time.Second, "fleet telemetry scrape period")
+		traceLog    = flag.String("trace-log", "", "append every gateway span as one JSON line to this file (empty = off)")
+		traceSlow   = flag.Duration("trace-slow", time.Second, "auto-log any span at least this slow (0 = off)")
+		pprofOn     = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ on the metrics address")
 	)
 	flag.Parse()
 
 	logger := obs.NewLogger(os.Stderr)
 	reg := obs.NewRegistry()
+
+	var sink io.Writer
+	if *traceLog != "" {
+		f, err := os.OpenFile(*traceLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer f.Close()
+		sink = f
+	}
+	spans := obs.NewCollector(obs.CollectorConfig{
+		Role:          "gateway",
+		Proc:          "deflection-gateway",
+		Sink:          sink,
+		SlowThreshold: *traceSlow,
+		Log:           logger.Log,
+	})
 
 	pols, err := deflection.ParsePolicies(*policies)
 	if err != nil {
@@ -141,6 +171,11 @@ func run() int {
 	if metricsLn == nil {
 		memStore = vplane.NewMemCertStore()
 	}
+
+	// Fleet telemetry: backends (spawned and external alike) register their
+	// metrics addresses here; the aggregator scrapes them and serves /fleet.
+	registrar := fleet.NewRegistrar(nil)
+
 	var spawned []*spawnedBackend
 	var meas [32]byte
 	for i := 0; i < *spawn; i++ {
@@ -152,14 +187,22 @@ func run() int {
 		as.Register(platform)
 		certCheck.RegisterKey(platform.ID(), platform.PublicKey())
 
-		plane := vplane.New(vplane.Config{Metrics: reg, Log: logger.Log})
+		breg := obs.NewRegistry()
+		bspans := obs.NewCollector(obs.CollectorConfig{
+			Role:          "backend",
+			Proc:          platform.ID(),
+			SlowThreshold: *traceSlow,
+			Log:           logger.Log,
+		})
+		plane := vplane.New(vplane.Config{Metrics: breg, Spans: bspans, Log: logger.Log})
 		srv, err := ccaas.NewServer(ccaas.ServerConfig{
 			Platform:    platform,
 			Policies:    pols,
 			MaxSessions: 256,
 			IOTimeout:   30 * time.Second,
 			Log:         logger.Log,
-			Metrics:     reg,
+			Metrics:     breg,
+			Spans:       bspans,
 			Verify:      plane,
 		})
 		if err != nil {
@@ -186,11 +229,32 @@ func run() int {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
 		}
-		b := &spawnedBackend{srv: srv, plane: plane, ln: ln, done: make(chan error, 1)}
+		// The backend's own metrics endpoint, scraped by the aggregator over
+		// real HTTP — the same contract external deflection-serve backends
+		// serve on -metrics-addr.
+		mln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		bmux := http.NewServeMux()
+		bmux.Handle("/metrics", breg.Handler())
+		bmux.Handle("/traces", bspans.Handler())
+		go func() { _ = http.Serve(mln, bmux) }()
+		if err := registrar.Register(fleet.Registration{
+			Addr:        ln.Addr().String(),
+			MetricsAddr: mln.Addr().String(),
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+
+		b := &spawnedBackend{srv: srv, plane: plane, reg: breg, spans: bspans,
+			ln: ln, metricsLn: mln, done: make(chan error, 1)}
 		go func() { b.done <- srv.Serve(ln) }()
 		spawned = append(spawned, b)
 		backendAddrs = append(backendAddrs, ln.Addr().String())
-		logger.Log("backend_spawned", "addr", ln.Addr(), "platform", platform.ID())
+		logger.Log("backend_spawned", "addr", ln.Addr(), "metrics_addr", mln.Addr(), "platform", platform.ID())
 	}
 	defer func() {
 		for _, b := range spawned {
@@ -198,6 +262,7 @@ func run() int {
 			_ = b.srv.Shutdown(ctx)
 			cancel()
 			b.ln.Close()
+			b.metricsLn.Close()
 			<-b.done
 			b.plane.Close()
 		}
@@ -211,6 +276,7 @@ func run() int {
 		HelloTimeout:  *helloWait,
 		Breaker:       gateway.BreakerConfig{Threshold: *brkFails, OpenFor: *brkOpenFor},
 		Metrics:       reg,
+		Spans:         spans,
 		Log:           logger.Log,
 	})
 	if err != nil {
@@ -229,15 +295,46 @@ func run() int {
 		"probe_interval", *probeEvery,
 		"breaker_threshold", *brkFails)
 
+	// The aggregator joins routing health (breaker states, in-flight
+	// counts) into the scraped telemetry via a callback, so the fleet
+	// package never needs to import the gateway.
+	agg, err := fleet.NewAggregator(fleet.AggregatorConfig{
+		Registrar: registrar,
+		BackendHealth: func() []fleet.BackendHealth {
+			states := gw.BackendStates()
+			out := make([]fleet.BackendHealth, len(states))
+			for i, s := range states {
+				out[i] = fleet.BackendHealth{Addr: s.Addr, Healthy: s.Healthy,
+					Breaker: s.Breaker, Inflight: s.Inflight}
+			}
+			return out
+		},
+		Interval: *scrapeEvery,
+		Metrics:  reg,
+		Log:      logger.Log,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+
 	if metricsLn != nil {
+		aggCtx, aggStop := context.WithCancel(context.Background())
+		defer aggStop()
+		go agg.Run(aggCtx)
+
 		mux := http.NewServeMux()
 		mux.Handle("/metrics", reg.Handler())
+		mux.Handle("/traces", spans.Handler())
+		mux.Handle("/fleet", agg.Handler())
+		mux.Handle("/fleet/register", registrar.Handler())
 		mux.Handle("/certs/", certSrv)
 		mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 			status := "ok"
 			if gw.Draining() {
 				status = "draining"
 			}
+			w.Header().Set("Cache-Control", "no-store")
 			w.Header().Set("Content-Type", "application/json")
 			_ = json.NewEncoder(w).Encode(map[string]any{
 				"status":          status,
@@ -245,8 +342,15 @@ func run() int {
 				"backends":        gw.BackendStates(),
 			})
 		})
+		if *pprofOn {
+			mux.HandleFunc("/debug/pprof/", pprof.Index)
+			mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+			mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+			mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+			mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		}
 		go func() { _ = http.Serve(metricsLn, mux) }()
-		logger.Log("metrics_listening", "addr", metricsLn.Addr())
+		logger.Log("metrics_listening", "addr", metricsLn.Addr(), "pprof", *pprofOn)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -292,20 +396,30 @@ func run() int {
 		return 1
 	}
 	digest := sha256.Sum256(bin.Bytes())
+	// Each demo session carries its own trace ID: in the cleartext routing
+	// preamble for the gateway's spans, and through the sealed channel (the
+	// gateway cannot inject bytes into the attested stream) for the
+	// backend's. Both processes then expose the same ID on /traces.
+	var tid obs.TraceID
 	dial := func() (io.ReadWriteCloser, error) {
 		conn, err := net.Dial("tcp", l.Addr().String())
 		if err != nil {
 			return nil, err
 		}
-		if err := gateway.WritePreamble(conn, digest[:]); err != nil {
+		if err := gateway.WritePreambleTraced(conn, digest[:], tid); err != nil {
 			conn.Close()
 			return nil, err
 		}
 		return conn, nil
 	}
 	for i := 0; i < 2; i++ {
+		tid = obs.NewTraceID()
+		fmt.Printf("[party] session %d trace id %s\n", i+1, tid)
 		err := ccaas.Retry(dial, as, meas, attest.RoleCodeProvider,
 			ccaas.RetryConfig{Metrics: reg}, func(c *ccaas.Client) error {
+				if err := c.SendTrace(tid); err != nil {
+					return err
+				}
 				if _, _, err := c.SendBinary(bin.Bytes()); err != nil {
 					return err
 				}
@@ -327,10 +441,19 @@ func run() int {
 			return 1
 		}
 	}
+	// Verification counters now live in the per-backend registries; the
+	// fleet view is their sum (what /fleet serves as totals).
+	sumCounter := func(name string) int64 {
+		var n int64
+		for _, b := range spawned {
+			n += b.reg.Counter(name).Value()
+		}
+		return n
+	}
 	fmt.Printf("[fleet] cold verifications: %d, cache hits: %d, certificates issued: %d\n",
-		reg.Counter("vplane_verify_runs_total").Value(),
-		reg.Counter("vplane_cache_hits_total").Value(),
-		reg.Counter("vplane_certs_issued_total").Value())
+		sumCounter("vplane_verify_runs_total"),
+		sumCounter("vplane_cache_hits_total"),
+		sumCounter("vplane_certs_issued_total"))
 	logger.Log("demo_complete", "metrics", reg.Summary())
 
 	if metricsLn != nil {

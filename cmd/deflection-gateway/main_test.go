@@ -101,12 +101,6 @@ func TestGatewaySmoke(t *testing.T) {
 		}
 		time.Sleep(20 * time.Millisecond)
 	}
-	if got := snap.Counters["vplane_verify_runs_total"]; got != 1 {
-		t.Errorf("vplane_verify_runs_total = %d, want 1 (one cold verification per fleet)", got)
-	}
-	if got := snap.Counters["vplane_certs_issued_total"]; got < 1 {
-		t.Errorf("vplane_certs_issued_total = %d, want >= 1", got)
-	}
 	// With a metrics endpoint up, the spawned backends publish through the
 	// HTTP store: the server must have seen the PUT.
 	if got := snap.Counters["certstore_puts_total"]; got < 1 {
@@ -114,6 +108,94 @@ func TestGatewaySmoke(t *testing.T) {
 	}
 	if got := snap.Gauges["gateway_backends_healthy"]; got != 2 {
 		t.Errorf("gateway_backends_healthy = %d, want 2", got)
+	}
+
+	// The /metrics endpoint also speaks the Prometheus text format under
+	// content negotiation (the JSON contract above is the default).
+	preq, err := http.NewRequest("GET", fmt.Sprintf("http://%s/metrics", metricsAddr), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	preq.Header.Set("Accept", "text/plain;version=0.0.4")
+	promResp, err := http.DefaultClient.Do(preq)
+	if err != nil {
+		t.Fatalf("scraping Prometheus /metrics: %v", err)
+	}
+	promBody, err := io.ReadAll(promResp.Body)
+	promResp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := promResp.Header.Get("Content-Type"); !regexp.MustCompile(`^text/plain`).MatchString(ct) {
+		t.Errorf("Prometheus scrape content-type = %q", ct)
+	}
+	if !regexp.MustCompile(`(?m)^# TYPE gateway_sessions_total counter$`).Match(promBody) {
+		t.Errorf("Prometheus exposition missing gateway_sessions_total:\n%s", promBody)
+	}
+	if !regexp.MustCompile(`(?m)^gateway_session_seconds_bucket\{le="`).Match(promBody) {
+		t.Errorf("Prometheus exposition missing histogram buckets:\n%s", promBody)
+	}
+
+	// The fleet view: per-backend verification counters live in each
+	// backend's own registry now; /fleet scrapes and merges them. Two demo
+	// sessions of the same binary = one cold verification fleet-wide.
+	var fleetRep struct {
+		Backends []struct {
+			Addr          string  `json:"addr"`
+			Healthy       bool    `json:"healthy"`
+			Breaker       string  `json:"breaker"`
+			VerifyCold    int64   `json:"verify_cold"`
+			CacheHitRatio float64 `json:"cache_hit_ratio"`
+			ScrapeErr     string  `json:"scrape_err"`
+		} `json:"backends"`
+		Totals     map[string]int64 `json:"totals"`
+		Histograms map[string]struct {
+			Count int64 `json:"count"`
+		} `json:"histograms"`
+	}
+	fleetDeadline := time.Now().Add(10 * time.Second)
+	for {
+		fresp, err := http.Get(fmt.Sprintf("http://%s/fleet?refresh=1", metricsAddr))
+		if err != nil {
+			t.Fatalf("scraping /fleet: %v", err)
+		}
+		if cc := fresp.Header.Get("Cache-Control"); cc != "no-store" {
+			t.Errorf("/fleet Cache-Control = %q, want no-store", cc)
+		}
+		err = json.NewDecoder(fresp.Body).Decode(&fleetRep)
+		fresp.Body.Close()
+		if err != nil {
+			t.Fatalf("/fleet is not JSON: %v", err)
+		}
+		if fleetRep.Totals["vplane_verify_runs_total"] >= 1 {
+			break
+		}
+		if time.Now().After(fleetDeadline) {
+			t.Fatalf("/fleet totals never saw the cold verification: %+v", fleetRep.Totals)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if len(fleetRep.Backends) != 2 {
+		t.Fatalf("/fleet backends = %d, want 2", len(fleetRep.Backends))
+	}
+	for _, b := range fleetRep.Backends {
+		if b.ScrapeErr != "" {
+			t.Errorf("backend %s scrape error: %s", b.Addr, b.ScrapeErr)
+		}
+		if b.Breaker != "closed" || !b.Healthy {
+			t.Errorf("backend %s: healthy=%v breaker=%q, want healthy/closed", b.Addr, b.Healthy, b.Breaker)
+		}
+	}
+	if got := fleetRep.Totals["vplane_verify_runs_total"]; got != 1 {
+		t.Errorf("fleet vplane_verify_runs_total = %d, want 1 (one cold verification per fleet)", got)
+	}
+	if got := fleetRep.Totals["vplane_certs_issued_total"]; got < 1 {
+		t.Errorf("fleet vplane_certs_issued_total = %d, want >= 1", got)
+	}
+	// The merged load histogram spans the whole fleet: both demo sessions
+	// (one cold load, one warm) appear in it.
+	if got := fleetRep.Histograms["ccaas_load_seconds"].Count; got < 2 {
+		t.Errorf("fleet ccaas_load_seconds count = %d, want >= 2", got)
 	}
 
 	// Health endpoint reports the pool.

@@ -28,6 +28,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -37,6 +38,7 @@ import (
 	"deflection"
 	"deflection/attest"
 	"deflection/internal/ccaas"
+	"deflection/internal/fleet"
 	"deflection/internal/gateway"
 	"deflection/internal/obs"
 	"deflection/internal/runtime"
@@ -96,8 +98,14 @@ func run() int {
 		ioTimeout       = flag.Duration("io-timeout", 30*time.Second, "per-message read/write timeout (0 = none)")
 		sessionTimeout  = flag.Duration("session-timeout", 5*time.Minute, "whole-session deadline (0 = none)")
 		drain           = flag.Duration("drain", 15*time.Second, "graceful-shutdown drain budget before force-closing sessions")
-		metricsAddr     = flag.String("metrics-addr", "", "serve JSON metrics on this address (/metrics, /healthz; empty = off)")
+		metricsAddr     = flag.String("metrics-addr", "", "serve metrics on this address (/metrics with JSON/Prometheus content negotiation, /healthz, /traces; empty = off)")
 		metricsInterval = flag.Duration("metrics-interval", time.Minute, "period of the metrics summary log line")
+		traceLog        = flag.String("trace-log", "", "append every span as one JSON line to this file (empty = off)")
+		traceSlow       = flag.Duration("trace-slow", time.Second, "auto-log any span at least this slow (0 = off)")
+		pprofEnabled    = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ on the metrics address")
+		fleetReport     = flag.String("fleet-report", "", "base URL of a deflection-gateway metrics endpoint to self-register "+
+			"this backend's metrics address with (POST /fleet/register; empty = off)")
+		fleetInterval = flag.Duration("fleet-interval", 10*time.Second, "re-announce period for -fleet-report")
 
 		verifyCacheBytes = flag.Int64("verify-cache-bytes", vplane.DefaultCacheBytes,
 			"verification-plane verdict/image cache budget in bytes (0 = disable the plane, verify per session)")
@@ -127,6 +135,24 @@ func run() int {
 
 	logger := obs.NewLogger(os.Stderr)
 	reg := obs.NewRegistry()
+
+	var sink io.Writer
+	if *traceLog != "" {
+		f, err := os.OpenFile(*traceLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer f.Close()
+		sink = f
+	}
+	spans := obs.NewCollector(obs.CollectorConfig{
+		Role:          "backend",
+		Proc:          *platformID,
+		Sink:          sink,
+		SlowThreshold: *traceSlow,
+		Log:           logger.Log,
+	})
 
 	pols, err := deflection.ParsePolicies(*policies)
 	if err != nil {
@@ -162,6 +188,7 @@ func run() int {
 			Workers:    *verifyWorkers,
 			QueueDepth: *verifyQueue,
 			Metrics:    reg,
+			Spans:      spans,
 			Log:        logger.Log,
 		})
 		defer plane.Close()
@@ -175,6 +202,7 @@ func run() int {
 		SessionTimeout: *sessionTimeout,
 		Log:            logger.Log,
 		Metrics:        reg,
+		Spans:          spans,
 		Verify:         plane,
 	})
 	if err != nil {
@@ -252,19 +280,57 @@ func run() int {
 		defer ml.Close()
 		mux := http.NewServeMux()
 		mux.Handle("/metrics", reg.Handler())
+		mux.Handle("/traces", spans.Handler())
 		mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 			status := "ok"
 			if srv.Draining() {
 				status = "draining"
 			}
+			w.Header().Set("Cache-Control", "no-store")
 			w.Header().Set("Content-Type", "application/json")
 			_ = json.NewEncoder(w).Encode(map[string]any{
 				"status":          status,
 				"active_sessions": srv.ActiveSessions(),
 			})
 		})
+		if *pprofEnabled {
+			mux.HandleFunc("/debug/pprof/", pprof.Index)
+			mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+			mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+			mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+			mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		}
 		go func() { _ = http.Serve(ml, mux) }()
-		logger.Log("metrics_listening", "addr", ml.Addr())
+		logger.Log("metrics_listening", "addr", ml.Addr(), "pprof", *pprofEnabled)
+
+		// Self-register with the gateway's fleet registrar so the /fleet
+		// view can scrape this backend; re-announce periodically so a
+		// restarted gateway re-learns the fleet without operator action.
+		if *fleetReport != "" {
+			announce := func() {
+				actx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+				defer cancel()
+				err := fleet.Announce(actx, nil, strings.TrimRight(*fleetReport, "/"), fleet.Registration{
+					Addr:        l.Addr().String(),
+					MetricsAddr: ml.Addr().String(),
+				})
+				if err != nil {
+					logger.Log("fleet_announce_failed", "gateway", *fleetReport, "err", err)
+				}
+			}
+			announce()
+			go func() {
+				ticker := time.NewTicker(*fleetInterval)
+				defer ticker.Stop()
+				for range ticker.C {
+					announce()
+				}
+			}()
+			logger.Log("fleet_reporting", "gateway", *fleetReport, "interval", *fleetInterval)
+		}
+	} else if *fleetReport != "" {
+		fmt.Fprintln(os.Stderr, "deflection-serve: -fleet-report requires -metrics-addr (the address the gateway scrapes)")
+		return 2
 	}
 
 	if *metricsInterval > 0 {
@@ -324,6 +390,13 @@ func run() int {
 		return 1
 	}
 	fmt.Println("[party] attested the enclave, session channel established")
+
+	tid := obs.NewTraceID()
+	if err := client.SendTrace(tid); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Printf("[party] session trace id %s (see /traces?trace=%s)\n", tid, tid)
 
 	bin, err := deflection.Generate(demoService, deflection.GeneratorOptions{Policies: pols})
 	if err != nil {

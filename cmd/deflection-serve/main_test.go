@@ -142,6 +142,83 @@ func TestMetricsSmoke(t *testing.T) {
 		}
 	}
 
+	// The same endpoint speaks Prometheus text exposition under content
+	// negotiation; the JSON contract above stays the browser default.
+	preq, err := http.NewRequest("GET", fmt.Sprintf("http://%s/metrics", metricsAddr), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	preq.Header.Set("Accept", "text/plain;version=0.0.4")
+	promResp, err := http.DefaultClient.Do(preq)
+	if err != nil {
+		t.Fatalf("scraping Prometheus /metrics: %v", err)
+	}
+	promBody, err := io.ReadAll(promResp.Body)
+	promResp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cc := promResp.Header.Get("Cache-Control"); cc != "no-store" {
+		t.Errorf("/metrics Cache-Control = %q, want no-store", cc)
+	}
+	if !regexp.MustCompile(`(?m)^# TYPE ccaas_sessions_accepted_total counter$`).Match(promBody) {
+		t.Errorf("Prometheus exposition missing ccaas_sessions_accepted_total:\n%s", promBody)
+	}
+	if !regexp.MustCompile(`(?m)^ccaas_session_seconds_bucket\{le="\+Inf"\} [0-9]+$`).Match(promBody) {
+		t.Errorf("Prometheus exposition missing +Inf bucket:\n%s", promBody)
+	}
+
+	// The demo session carried a trace ID over the sealed channel; its spans
+	// (session phases and verifier stages) are on /traces under one trace.
+	tresp, err := http.Get(fmt.Sprintf("http://%s/traces", metricsAddr))
+	if err != nil {
+		t.Fatalf("scraping /traces: %v", err)
+	}
+	var traces struct {
+		Role  string `json:"role"`
+		Spans []struct {
+			Trace string `json:"trace"`
+			Name  string `json:"name"`
+		} `json:"spans"`
+	}
+	if cc := tresp.Header.Get("Cache-Control"); cc != "no-store" {
+		t.Errorf("/traces Cache-Control = %q, want no-store", cc)
+	}
+	err = json.NewDecoder(tresp.Body).Decode(&traces)
+	tresp.Body.Close()
+	if err != nil {
+		t.Fatalf("/traces is not JSON: %v", err)
+	}
+	if traces.Role != "backend" {
+		t.Errorf("/traces role = %q, want backend", traces.Role)
+	}
+	var sessionTrace string
+	for _, s := range traces.Spans {
+		if s.Name == "session" && s.Trace != "0000000000000000" {
+			sessionTrace = s.Trace
+		}
+	}
+	if sessionTrace == "" {
+		t.Fatalf("no traced session span on /traces: %+v", traces.Spans)
+	}
+	wantSpans := map[string]bool{
+		"session/attest": false, "session/load": false, "session/run": false,
+		"receive_binary/parse": false, "vplane/verify": false,
+	}
+	for _, s := range traces.Spans {
+		if s.Trace != sessionTrace {
+			continue
+		}
+		if _, ok := wantSpans[s.Name]; ok {
+			wantSpans[s.Name] = true
+		}
+	}
+	for name, seen := range wantSpans {
+		if !seen {
+			t.Errorf("span %s missing from demo trace %s", name, sessionTrace)
+		}
+	}
+
 	hresp, err := http.Get(fmt.Sprintf("http://%s/healthz", metricsAddr))
 	if err != nil {
 		t.Fatalf("scraping /healthz: %v", err)
@@ -150,6 +227,9 @@ func TestMetricsSmoke(t *testing.T) {
 	var health struct {
 		Status         string `json:"status"`
 		ActiveSessions int    `json:"active_sessions"`
+	}
+	if cc := hresp.Header.Get("Cache-Control"); cc != "no-store" {
+		t.Errorf("/healthz Cache-Control = %q, want no-store", cc)
 	}
 	if err := json.NewDecoder(hresp.Body).Decode(&health); err != nil {
 		t.Fatalf("/healthz is not JSON: %v", err)

@@ -1,0 +1,140 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"deflection/internal/compiler"
+	"deflection/internal/dclib"
+	"deflection/internal/enclave"
+	"deflection/internal/nbench"
+	"deflection/internal/obs"
+	"deflection/internal/policy"
+	"deflection/internal/runtime"
+)
+
+// ObsRow is one kernel's cold-verification cost with span collection off
+// versus on.
+type ObsRow struct {
+	Name      string
+	TextBytes int
+	// Base is the median cold ReceiveBinary latency with no collector.
+	Base time.Duration
+	// Traced is the median with the production tracing path active: a span
+	// collector receiving the outer verify span plus the full stage-trace
+	// export (AddTrace) after every load.
+	Traced time.Duration
+	// OverheadPct is (Traced - Base) / Base in percent (negative = noise).
+	OverheadPct float64
+}
+
+// ObsResult prices the request-tracing instrumentation on the cold
+// verification path, the most latency-sensitive traced operation: collecting
+// spans must stay well under 2% of the pipeline cost.
+type ObsResult struct {
+	Rows  []ObsRow
+	Iters int
+	// AggregatePct compares the summed medians across all kernels.
+	AggregatePct float64
+}
+
+// ObsOverhead measures every nBench kernel's cold verification (full P1-P6)
+// with and without span collection, interleaving the two configurations so
+// machine drift hits both equally.
+func ObsOverhead(quick bool) (*ObsResult, error) {
+	kernels := nbench.Kernels()
+	iters := 15
+	if quick {
+		iters = 5
+		if len(kernels) > 3 {
+			kernels = kernels[:3]
+		}
+	}
+
+	// The traced configuration mirrors what a serving backend runs: an
+	// in-memory ring collector fed one outer span plus the stage trace of
+	// each load. No sink and no slow-sampler log, which is the steady-state
+	// production setup.
+	col := obs.NewCollector(obs.CollectorConfig{Role: "backend", Proc: "bench"})
+
+	m := runtime.DefaultManifest()
+	m.Policies = policy.SetP1P6
+
+	res := &ObsResult{Iters: iters}
+	var baseSum, tracedSum time.Duration
+	for _, k := range kernels {
+		o, err := compiler.Compile(dclib.Program(k.Source), compiler.Options{Policies: policy.SetP1P6})
+		if err != nil {
+			return nil, err
+		}
+		objBytes := o.Marshal()
+
+		coldLoad := func() (*runtime.Bootstrap, time.Duration, error) {
+			boot, err := runtime.New(enclave.DefaultConfig(), m)
+			if err != nil {
+				return nil, 0, err
+			}
+			start := time.Now()
+			if _, err := boot.ReceiveBinary(objBytes); err != nil {
+				return nil, 0, fmt.Errorf("bench: obs %s: %w", k.Name, err)
+			}
+			return boot, time.Since(start), nil
+		}
+
+		base := make([]time.Duration, 0, iters)
+		traced := make([]time.Duration, 0, iters)
+		for i := 0; i < iters; i++ {
+			_, d, err := coldLoad()
+			if err != nil {
+				return nil, err
+			}
+			base = append(base, d)
+
+			tid := obs.NewTraceID()
+			boot, d, err := coldLoad()
+			if err != nil {
+				return nil, err
+			}
+			// Same measurement window as base, plus the cost of collecting:
+			// one outer span and the full stage-trace export.
+			obsStart := time.Now()
+			col.Observe(tid, "vplane/verify", obsStart.Add(-d), d, "source", "cold")
+			col.AddTrace(tid, boot.LastTrace())
+			traced = append(traced, d+time.Since(obsStart))
+		}
+		sort.Slice(base, func(i, j int) bool { return base[i] < base[j] })
+		sort.Slice(traced, func(i, j int) bool { return traced[i] < traced[j] })
+		row := ObsRow{
+			Name:      k.Name,
+			TextBytes: len(objBytes),
+			Base:      quantDur(base, 0.50),
+			Traced:    quantDur(traced, 0.50),
+		}
+		if row.Base > 0 {
+			row.OverheadPct = float64(row.Traced-row.Base) / float64(row.Base) * 100
+		}
+		baseSum += row.Base
+		tracedSum += row.Traced
+		res.Rows = append(res.Rows, row)
+	}
+	if baseSum > 0 {
+		res.AggregatePct = float64(tracedSum-baseSum) / float64(baseSum) * 100
+	}
+	return res, nil
+}
+
+// String renders the per-kernel overhead table plus the aggregate figure.
+func (r *ObsResult) String() string {
+	t := &table{header: []string{"binary", "text", "base (median)", "traced (median)", "overhead"}}
+	for _, row := range r.Rows {
+		t.add(row.Name,
+			fmt.Sprintf("%d KiB", row.TextBytes/1024),
+			row.Base.Round(time.Microsecond).String(),
+			row.Traced.Round(time.Microsecond).String(),
+			fmt.Sprintf("%+.2f%%", row.OverheadPct))
+	}
+	return fmt.Sprintf("Span-collection overhead on cold verification (%d iters/config)\n%s"+
+		"aggregate overhead across kernels: %+.2f%% (budget: < 2%%)\n",
+		r.Iters, t.String(), r.AggregatePct)
+}

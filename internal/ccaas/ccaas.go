@@ -23,6 +23,7 @@ import (
 
 	"deflection/attest"
 	"deflection/internal/cpu"
+	"deflection/internal/obs"
 	"deflection/internal/runtime"
 	"deflection/internal/vplane"
 )
@@ -33,6 +34,7 @@ const (
 	tagBinary = 'C' // code provider delivers the target binary
 	tagData   = 'D' // data owner uploads an input message
 	tagRun    = 'X' // execute the verified service
+	tagTrace  = 'T' // attach an observability trace ID to the session
 	tagBye    = 'Q' // end of session
 )
 
@@ -67,6 +69,20 @@ type dataReply struct {
 	Error string `json:"error,omitempty"`
 }
 
+// traceMsg carries the client-minted trace ID inside the sealed channel.
+// Sending it through the attested stream (rather than letting the gateway
+// inject it) keeps the proxy unable to originate a single session byte;
+// the ID itself is observability-only and carries no authority.
+type traceMsg struct {
+	Trace string `json:"trace"`
+}
+
+// traceReply acknowledges a trace attachment.
+type traceReply struct {
+	OK    bool   `json:"ok"`
+	Error string `json:"error,omitempty"`
+}
+
 // RunReply is the server's answer to a run request.
 type RunReply struct {
 	Exit       int64    `json:"exit"`
@@ -84,6 +100,12 @@ func (s *Server) Handle(transport io.ReadWriter) (err error) {
 	sid := s.sessionSeq.Add(1)
 	start := time.Now()
 	admitted := false
+	// Session phases accumulate in a local trace and flush at session end:
+	// the trace ID arrives mid-session (a sealed tagTrace message), so spans
+	// recorded before it — attestation included — must wait for the final ID
+	// before they are exported to the span collector.
+	var tid obs.TraceID
+	sessTr := obs.NewTrace("session")
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("ccaas: session panic: %v", r)
@@ -96,6 +118,8 @@ func (s *Server) Handle(transport io.ReadWriter) (err error) {
 			m.Gauge("ccaas_sessions_active").Add(-1)
 			m.Histogram("ccaas_session_seconds").ObserveDuration(time.Since(start))
 		}
+		s.cfg.Spans.AddTrace(tid, sessTr)
+		s.cfg.Spans.Observe(tid, "session", start, time.Since(start), "sid", sid)
 		outcome := "ok"
 		if err != nil {
 			outcome = err.Error()
@@ -126,6 +150,7 @@ func (s *Server) Handle(transport io.ReadWriter) (err error) {
 		return err
 	}
 	m.Histogram("ccaas_attest_seconds").ObserveDuration(time.Since(attestStart))
+	sessTr.Add("attest", time.Since(attestStart), "sid", sid)
 
 	reply := func(v any) error {
 		payload, err := json.Marshal(v)
@@ -187,11 +212,17 @@ func (s *Server) Handle(transport io.ReadWriter) (err error) {
 				src = vplane.SourceCold
 			)
 			if s.cfg.Verify != nil {
-				rep, src, err = s.cfg.Verify.Load(context.Background(), boot, msg[1:])
+				rep, src, err = s.cfg.Verify.Load(obs.ContextWithTrace(context.Background(), tid), boot, msg[1:])
 			} else {
 				rep, err = boot.ReceiveBinary(msg[1:])
+				if err == nil {
+					// The cold pipeline ran in this session's own enclave:
+					// export its stage trace under this session's trace ID.
+					s.cfg.Spans.AddTrace(tid, boot.LastTrace())
+				}
 			}
 			loadDur := time.Since(loadStart)
+			sessTr.Add("load", loadDur, "sid", sid, "source", src, "ok", err == nil)
 			m.Histogram("ccaas_load_seconds").Observe(loadDur.Seconds())
 			if s.cfg.Verify != nil {
 				// Split latency by verdict source so the cached-vs-cold
@@ -243,6 +274,7 @@ func (s *Server) Handle(transport io.ReadWriter) (err error) {
 				continue
 			}
 			boot.ReceiveData(data)
+			sessTr.Add("data", 0, "sid", sid, "bytes", len(data))
 			if err := reply(dataReply{OK: true, Size: len(data)}); err != nil {
 				return err
 			}
@@ -252,6 +284,7 @@ func (s *Server) Handle(transport io.ReadWriter) (err error) {
 			}
 			runStart := time.Now()
 			res, err := boot.Run(runtime.RunConfig{Gas: s.cfg.Gas})
+			sessTr.Add("run", time.Since(runStart), "sid", sid, "ok", err == nil)
 			m.Histogram("ccaas_run_seconds").ObserveDuration(time.Since(runStart))
 			m.Counter("ccaas_runs_total").Inc()
 			if err != nil {
@@ -276,6 +309,26 @@ func (s *Server) Handle(transport io.ReadWriter) (err error) {
 				return err
 			}
 			boot.ResetIO()
+		case tagTrace:
+			var tm traceMsg
+			if err := json.Unmarshal(msg[1:], &tm); err != nil {
+				if rerr := reply(traceReply{Error: "malformed trace message"}); rerr != nil {
+					return rerr
+				}
+				continue
+			}
+			id, err := obs.ParseTraceID(tm.Trace)
+			if err != nil {
+				if rerr := reply(traceReply{Error: "malformed trace id"}); rerr != nil {
+					return rerr
+				}
+				continue
+			}
+			tid = id
+			s.log("trace_attached", "sid", sid, "trace", tid)
+			if err := reply(traceReply{OK: true}); err != nil {
+				return err
+			}
 		case tagBye:
 			return nil
 		default:

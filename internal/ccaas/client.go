@@ -7,6 +7,7 @@ import (
 	"io"
 
 	"deflection/attest"
+	"deflection/internal/obs"
 )
 
 // Client is a remote party's session handle.
@@ -97,6 +98,30 @@ func (c *Client) SendBinary(objBytes []byte) (hash []byte, guards int, err error
 		return nil, 0, fmt.Errorf("ccaas: binary rejected: %s", rep.Error)
 	}
 	return rep.BinaryHash, rep.Guards, nil
+}
+
+// SendTrace attaches a client-minted trace ID to the session over the
+// sealed channel. The server tags all subsequent (and session-scoped)
+// spans with it, which is what lets an operator correlate gateway spans,
+// session phases and verifier stages across processes. The ID is
+// observability-only: servers that predate the message reject it with a
+// structured error, which callers may ignore.
+func (c *Client) SendTrace(id obs.TraceID) error {
+	payload, err := json.Marshal(traceMsg{Trace: id.String()})
+	if err != nil {
+		return fmt.Errorf("ccaas: %w", err)
+	}
+	if err := c.send(tagTrace, payload); err != nil {
+		return err
+	}
+	var rep traceReply
+	if err := c.recv(&rep); err != nil {
+		return err
+	}
+	if !rep.OK {
+		return fmt.Errorf("ccaas: trace rejected: %s", rep.Error)
+	}
+	return nil
 }
 
 // SendData uploads one input message and waits for the server's

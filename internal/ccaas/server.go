@@ -52,6 +52,11 @@ type ServerConfig struct {
 	// Metrics, if set, receives session/byte/timing metrics. A nil registry
 	// is valid: instrumentation then updates throwaway metrics.
 	Metrics *obs.Registry
+	// Spans, if set, receives per-session phase spans (attest, load, run)
+	// and — on the in-session cold path — the verifier's stage trace, all
+	// tagged with the session's trace ID when the party attached one via
+	// the sealed trace message. Nil disables span collection.
+	Spans *obs.Collector
 	// Verify, if set, routes binary deliveries through the verification
 	// service plane: verdicts are cached content-addressed, concurrent
 	// submissions of the same binary collapse to one pipeline run, and

@@ -1,0 +1,219 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"deflection/internal/obs"
+)
+
+// BackendReport is the aggregator's merged view of one backend: the
+// registrar's identity, the routing layer's health, and the latest scrape.
+type BackendReport struct {
+	Addr        string    `json:"addr"`
+	MetricsAddr string    `json:"metrics_addr"`
+	LastSeen    time.Time `json:"last_seen"`
+
+	// Routing-layer state (absent when the gateway knows no such backend).
+	Healthy  bool   `json:"healthy"`
+	Breaker  string `json:"breaker,omitempty"`
+	Inflight int64  `json:"inflight"`
+
+	// Scrape outcome. A failed scrape keeps the backend in the report with
+	// ScrapeErr set: invisible backends are exactly what /fleet must show.
+	ScrapeErr string `json:"scrape_err,omitempty"`
+
+	// Headline figures derived from the scraped counters.
+	SessionsAccepted int64   `json:"sessions_accepted"`
+	SessionsActive   int64   `json:"sessions_active"`
+	VerifyCold       int64   `json:"verify_cold"`
+	VerifyCertified  int64   `json:"verify_certified"`
+	CacheHits        int64   `json:"cache_hits"`
+	CacheMisses      int64   `json:"cache_misses"`
+	CacheHitRatio    float64 `json:"cache_hit_ratio"`
+
+	Counters map[string]int64 `json:"counters,omitempty"`
+	Gauges   map[string]int64 `json:"gauges,omitempty"`
+}
+
+// Report is the /fleet document: per-backend detail plus fleet-wide
+// aggregates (summed counters, exactly merged histograms).
+type Report struct {
+	Scraped    time.Time                 `json:"scraped"`
+	Backends   []BackendReport           `json:"backends"`
+	Totals     map[string]int64          `json:"totals"`
+	Histograms map[string]obs.HistDetail `json:"histograms"`
+}
+
+// AggregatorConfig parameterises an Aggregator.
+type AggregatorConfig struct {
+	// Registrar supplies the scrape targets. Required.
+	Registrar *Registrar
+	// BackendHealth, if set, supplies the routing layer's per-backend
+	// health/breaker states, matched to members by session address.
+	BackendHealth func() []BackendHealth
+	// Client performs the scrapes (nil = a 2s-timeout client).
+	Client *http.Client
+	// Interval is the periodic scrape period for Run (0 = 1s).
+	Interval time.Duration
+	// Metrics receives fleet_* scrape counters. Nil is valid.
+	Metrics *obs.Registry
+	// Log, if set, receives scrape-failure events.
+	Log func(event string, kv ...any)
+	// Clock overrides time.Now (tests).
+	Clock func() time.Time
+}
+
+// Aggregator scrapes registered backends and serves the merged fleet view.
+type Aggregator struct {
+	cfg   AggregatorConfig
+	clock func() time.Time
+
+	mu   sync.Mutex
+	last *Report
+}
+
+// NewAggregator builds an aggregator over a registrar.
+func NewAggregator(cfg AggregatorConfig) (*Aggregator, error) {
+	if cfg.Registrar == nil {
+		return nil, fmt.Errorf("fleet: aggregator requires a registrar")
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Timeout: 2 * time.Second}
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = time.Second
+	}
+	clock := cfg.Clock
+	if clock == nil {
+		clock = time.Now
+	}
+	return &Aggregator{cfg: cfg, clock: clock}, nil
+}
+
+// scrapeOne fetches one backend's detailed metrics document.
+func (a *Aggregator) scrapeOne(ctx context.Context, metricsAddr string) (*obs.DetailSnapshot, error) {
+	url := fmt.Sprintf("http://%s/metrics?detail=buckets", metricsAddr)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := a.cfg.Client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("scrape answered %s", resp.Status)
+	}
+	var snap obs.DetailSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("scrape body: %w", err)
+	}
+	return &snap, nil
+}
+
+// Scrape polls every registered backend once and rebuilds the fleet report.
+func (a *Aggregator) Scrape(ctx context.Context) *Report {
+	members := a.cfg.Registrar.Members()
+	health := make(map[string]BackendHealth)
+	if a.cfg.BackendHealth != nil {
+		for _, h := range a.cfg.BackendHealth() {
+			health[h.Addr] = h
+		}
+	}
+
+	rep := &Report{
+		Scraped:    a.clock(),
+		Backends:   make([]BackendReport, 0, len(members)),
+		Totals:     make(map[string]int64),
+		Histograms: make(map[string]obs.HistDetail),
+	}
+	histParts := make(map[string][]obs.HistDetail)
+	for _, m := range members {
+		br := BackendReport{Addr: m.Addr, MetricsAddr: m.MetricsAddr, LastSeen: m.LastSeen}
+		if h, ok := health[m.Addr]; ok {
+			br.Healthy, br.Breaker, br.Inflight = h.Healthy, h.Breaker, h.Inflight
+		}
+		a.cfg.Metrics.Counter("fleet_scrapes_total").Inc()
+		snap, err := a.scrapeOne(ctx, m.MetricsAddr)
+		if err != nil {
+			a.cfg.Metrics.Counter("fleet_scrape_failures_total").Inc()
+			if a.cfg.Log != nil {
+				a.cfg.Log("fleet_scrape_failed", "backend", m.Addr, "metrics_addr", m.MetricsAddr, "err", err)
+			}
+			br.ScrapeErr = err.Error()
+			rep.Backends = append(rep.Backends, br)
+			continue
+		}
+		br.Counters, br.Gauges = snap.Counters, snap.Gauges
+		br.SessionsAccepted = snap.Counters["ccaas_sessions_accepted_total"]
+		br.SessionsActive = snap.Gauges["ccaas_sessions_active"]
+		br.VerifyCold = snap.Counters["vplane_verify_runs_total"]
+		br.VerifyCertified = snap.Counters["vplane_cert_hits_total"]
+		br.CacheHits = snap.Counters["vplane_cache_hits_total"]
+		br.CacheMisses = snap.Counters["vplane_cache_misses_total"]
+		if lookups := br.CacheHits + br.CacheMisses; lookups > 0 {
+			br.CacheHitRatio = float64(br.CacheHits) / float64(lookups)
+		}
+		for name, v := range snap.Counters {
+			rep.Totals[name] += v
+		}
+		for name, h := range snap.Histograms {
+			histParts[name] = append(histParts[name], h)
+		}
+		rep.Backends = append(rep.Backends, br)
+	}
+	// Merging is exact: all backends share the obs bucket geometry, so the
+	// fleet histogram equals the one a single process would have recorded.
+	for name, parts := range histParts {
+		rep.Histograms[name] = obs.MergeHist(parts...)
+	}
+
+	a.mu.Lock()
+	a.last = rep
+	a.mu.Unlock()
+	return rep
+}
+
+// Last returns the most recent report (nil before the first scrape).
+func (a *Aggregator) Last() *Report {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.last
+}
+
+// Run scrapes on the configured interval until ctx is cancelled.
+func (a *Aggregator) Run(ctx context.Context) {
+	ticker := time.NewTicker(a.cfg.Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			a.Scrape(ctx)
+		}
+	}
+}
+
+// Handler serves the fleet report as JSON. A report is rebuilt on demand
+// when none exists yet (or when ?refresh=1 forces a live scrape), so the
+// endpoint is usable without the Run loop.
+func (a *Aggregator) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Cache-Control", "no-store")
+		rep := a.Last()
+		if rep == nil || req.URL.Query().Get("refresh") == "1" {
+			rep = a.Scrape(req.Context())
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(rep)
+	})
+}

@@ -1,0 +1,149 @@
+// Package fleet is the gateway-side telemetry aggregation layer: backends
+// self-report their metrics endpoints to a Registrar, an Aggregator
+// periodically scrapes each backend's /metrics?detail=buckets document, and
+// the merged view — per-backend health and breaker state, session counts,
+// verify cold/warm rates, cache hit ratios, and fleet-wide histograms —
+// is served from the gateway's /fleet endpoint.
+//
+// The package deliberately sits OUTSIDE the trust boundary, next to the
+// gateway: it moves only operational telemetry, never session bytes, and
+// the TCB import lint forbids any verification package from reaching it.
+// Histogram merging is exact, not approximate: every backend shares the
+// obs package's log-bucket geometry, so summing scraped cumulative buckets
+// reproduces the histogram a single process would have recorded.
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Registration is the self-report a backend POSTs to /fleet/register.
+type Registration struct {
+	// Addr is the backend's session (ccaas) listen address — the identity
+	// the gateway routes to.
+	Addr string `json:"addr"`
+	// MetricsAddr is the backend's metrics listen address, scraped by the
+	// aggregator.
+	MetricsAddr string `json:"metrics_addr"`
+}
+
+// Member is one registered backend.
+type Member struct {
+	Registration
+	RegisteredAt time.Time `json:"registered_at"`
+	LastSeen     time.Time `json:"last_seen"`
+}
+
+// Registrar tracks the backends that have announced themselves. Repeat
+// registrations refresh LastSeen (backends re-announce periodically, so a
+// stale LastSeen is itself a health signal).
+type Registrar struct {
+	clock func() time.Time
+
+	mu      sync.Mutex
+	members map[string]*Member // keyed by session Addr
+}
+
+// NewRegistrar builds an empty registrar. clock overrides time.Now (tests).
+func NewRegistrar(clock func() time.Time) *Registrar {
+	if clock == nil {
+		clock = time.Now
+	}
+	return &Registrar{clock: clock, members: make(map[string]*Member)}
+}
+
+// Register adds or refreshes one backend.
+func (r *Registrar) Register(reg Registration) error {
+	if reg.Addr == "" || reg.MetricsAddr == "" {
+		return fmt.Errorf("fleet: registration requires addr and metrics_addr")
+	}
+	now := r.clock()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.members[reg.Addr]; ok {
+		m.MetricsAddr = reg.MetricsAddr
+		m.LastSeen = now
+		return nil
+	}
+	r.members[reg.Addr] = &Member{Registration: reg, RegisteredAt: now, LastSeen: now}
+	return nil
+}
+
+// Members lists the registered backends sorted by session address.
+func (r *Registrar) Members() []Member {
+	r.mu.Lock()
+	out := make([]Member, 0, len(r.members))
+	for _, m := range r.members {
+		out = append(out, *m)
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}
+
+// Handler accepts backend self-registrations (POST /fleet/register).
+func (r *Registrar) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Cache-Control", "no-store")
+		if req.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		var reg Registration
+		if err := json.NewDecoder(http.MaxBytesReader(w, req.Body, 1<<16)).Decode(&reg); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := r.Register(reg); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+}
+
+// Announce self-registers a backend with a gateway's /fleet/register
+// endpoint. Backends call it periodically; failures are returned so the
+// caller can log and retry on its own schedule.
+func Announce(ctx context.Context, client *http.Client, gatewayURL string, reg Registration) error {
+	body, err := json.Marshal(reg)
+	if err != nil {
+		return fmt.Errorf("fleet: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		gatewayURL+"/fleet/register", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("fleet: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return fmt.Errorf("fleet: announce: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return fmt.Errorf("fleet: announce: gateway answered %s", resp.Status)
+	}
+	return nil
+}
+
+// BackendHealth is the routing-layer view of one backend (health, breaker
+// state, in-flight sessions). It mirrors the gateway's BackendState without
+// importing the gateway package — fleet must stay import-cycle-free below
+// it, so the gateway hands its states in through a callback.
+type BackendHealth struct {
+	Addr     string `json:"addr"`
+	Healthy  bool   `json:"healthy"`
+	Breaker  string `json:"breaker"`
+	Inflight int64  `json:"inflight"`
+}

@@ -1,0 +1,228 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+	"time"
+
+	"deflection/internal/obs"
+)
+
+func fixedClock() func() time.Time {
+	t := time.Unix(1700000000, 0).UTC()
+	return func() time.Time { return t }
+}
+
+func TestRegistrarRegisterAndHandler(t *testing.T) {
+	r := NewRegistrar(fixedClock())
+	if err := r.Register(Registration{Addr: "b0:1", MetricsAddr: "b0:2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(Registration{Addr: "", MetricsAddr: "x"}); err == nil {
+		t.Fatal("empty addr accepted")
+	}
+
+	// HTTP self-registration, including a refresh of an existing member.
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	for _, reg := range []Registration{
+		{Addr: "b1:1", MetricsAddr: "b1:2"},
+		{Addr: "b0:1", MetricsAddr: "b0:2-moved"},
+	} {
+		body, _ := json.Marshal(reg)
+		resp, err := http.Post(srv.URL+"/fleet/register", "application/json", strings.NewReader(string(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNoContent {
+			t.Fatalf("register status = %d", resp.StatusCode)
+		}
+	}
+	members := r.Members()
+	if len(members) != 2 {
+		t.Fatalf("members = %+v", members)
+	}
+	if members[0].Addr != "b0:1" || members[0].MetricsAddr != "b0:2-moved" {
+		t.Fatalf("refresh did not update metrics addr: %+v", members[0])
+	}
+
+	// GET is rejected; Announce round-trips against the same handler.
+	resp, err := http.Get(srv.URL + "/fleet/register")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET status = %d", resp.StatusCode)
+	}
+	if err := Announce(context.Background(), nil, srv.URL, Registration{Addr: "b2:1", MetricsAddr: "b2:2"}); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Members()) != 3 {
+		t.Fatalf("announce did not register: %+v", r.Members())
+	}
+}
+
+// startMetricsBackend serves a registry over httptest and returns its
+// host:port (what a Registration's MetricsAddr holds).
+func startMetricsBackend(t *testing.T, reg *obs.Registry) string {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		reg.Handler().ServeHTTP(w, r)
+	}))
+	t.Cleanup(srv.Close)
+	u, err := url.Parse(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u.Host
+}
+
+func TestAggregatorScrape(t *testing.T) {
+	// Three backends with distinct counter values and overlapping
+	// histograms; one of them is unreachable.
+	regs := make([]*obs.Registry, 2)
+	r := NewRegistrar(fixedClock())
+	for i := range regs {
+		regs[i] = obs.NewRegistry()
+		addr := startMetricsBackend(t, regs[i])
+		if err := r.Register(Registration{Addr: addr + "-session", MetricsAddr: addr}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.Register(Registration{Addr: "dead-session", MetricsAddr: "127.0.0.1:1"}); err != nil {
+		t.Fatal(err)
+	}
+
+	regs[0].Counter("ccaas_sessions_accepted_total").Add(3)
+	regs[0].Counter("vplane_verify_runs_total").Add(1)
+	regs[0].Counter("vplane_cache_hits_total").Add(3)
+	regs[0].Counter("vplane_cache_misses_total").Add(1)
+	regs[0].Histogram("ccaas_load_seconds").Observe(0.010)
+	regs[0].Histogram("ccaas_load_seconds").Observe(0.020)
+	regs[1].Counter("ccaas_sessions_accepted_total").Add(2)
+	regs[1].Counter("vplane_cert_hits_total").Add(4)
+	regs[1].Histogram("ccaas_load_seconds").Observe(0.200)
+
+	members := r.Members()
+	healthByAddr := map[string]BackendHealth{
+		members[1].Addr: {Addr: members[1].Addr, Healthy: true, Breaker: "closed", Inflight: 2},
+		members[2].Addr: {Addr: members[2].Addr, Healthy: false, Breaker: "open"},
+	}
+	agg, err := NewAggregator(AggregatorConfig{
+		Registrar: r,
+		BackendHealth: func() []BackendHealth {
+			out := make([]BackendHealth, 0, len(healthByAddr))
+			for _, h := range healthByAddr {
+				out = append(out, h)
+			}
+			return out
+		},
+		Metrics: obs.NewRegistry(),
+		Clock:   fixedClock(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rep := agg.Scrape(context.Background())
+	if len(rep.Backends) != 3 {
+		t.Fatalf("backends = %d", len(rep.Backends))
+	}
+	byAddr := make(map[string]BackendReport)
+	for _, b := range rep.Backends {
+		byAddr[b.Addr] = b
+	}
+
+	// The dead backend is present with its scrape error recorded.
+	dead := byAddr["dead-session"]
+	if dead.ScrapeErr == "" {
+		t.Fatalf("dead backend has no scrape error: %+v", dead)
+	}
+
+	// Routing health is joined by session address.
+	b1 := byAddr[members[1].Addr]
+	if !b1.Healthy || b1.Breaker != "closed" || b1.Inflight != 2 {
+		t.Fatalf("health join: %+v", b1)
+	}
+
+	// Headline figures and the cache hit ratio derive from the scrape.
+	var first BackendReport
+	for _, b := range rep.Backends {
+		if b.SessionsAccepted == 3 {
+			first = b
+		}
+	}
+	if first.VerifyCold != 1 || first.CacheHits != 3 || first.CacheHitRatio != 0.75 {
+		t.Fatalf("derived figures: %+v", first)
+	}
+
+	// Fleet totals sum across backends.
+	if rep.Totals["ccaas_sessions_accepted_total"] != 5 {
+		t.Fatalf("totals = %+v", rep.Totals)
+	}
+	if rep.Totals["vplane_cert_hits_total"] != 4 {
+		t.Fatalf("totals = %+v", rep.Totals)
+	}
+
+	// The merged histogram equals one fed all three samples directly.
+	direct := obs.NewRegistry()
+	for _, v := range []float64{0.010, 0.020, 0.200} {
+		direct.Histogram("ccaas_load_seconds").Observe(v)
+	}
+	want := direct.DetailSnapshot().Histograms["ccaas_load_seconds"]
+	got := rep.Histograms["ccaas_load_seconds"]
+	if got.Count != 3 || got.P50 != want.P50 || got.P99 != want.P99 {
+		t.Fatalf("merged histogram %+v, want %+v", got, want)
+	}
+}
+
+func TestAggregatorHandler(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("ccaas_sessions_accepted_total").Inc()
+	addr := startMetricsBackend(t, reg)
+	r := NewRegistrar(fixedClock())
+	if err := r.Register(Registration{Addr: addr + "-s", MetricsAddr: addr}); err != nil {
+		t.Fatal(err)
+	}
+	agg, err := NewAggregator(AggregatorConfig{Registrar: r, Clock: fixedClock()})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// No Run loop: the handler scrapes on demand for the first request.
+	req := httptest.NewRequest("GET", "/fleet", nil)
+	rw := httptest.NewRecorder()
+	agg.Handler().ServeHTTP(rw, req)
+	if cc := rw.Header().Get("Cache-Control"); cc != "no-store" {
+		t.Fatalf("Cache-Control = %q", cc)
+	}
+	var rep Report
+	if err := json.Unmarshal(rw.Body.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Backends) != 1 || rep.Totals["ccaas_sessions_accepted_total"] != 1 {
+		t.Fatalf("report = %+v", rep)
+	}
+
+	// The cached report is served until a refresh is forced.
+	reg.Counter("ccaas_sessions_accepted_total").Inc()
+	rw = httptest.NewRecorder()
+	agg.Handler().ServeHTTP(rw, httptest.NewRequest("GET", "/fleet", nil))
+	_ = json.Unmarshal(rw.Body.Bytes(), &rep)
+	if rep.Totals["ccaas_sessions_accepted_total"] != 1 {
+		t.Fatalf("cached report rescraped: %+v", rep.Totals)
+	}
+	rw = httptest.NewRecorder()
+	agg.Handler().ServeHTTP(rw, httptest.NewRequest("GET", "/fleet?refresh=1", nil))
+	_ = json.Unmarshal(rw.Body.Bytes(), &rep)
+	if rep.Totals["ccaas_sessions_accepted_total"] != 2 {
+		t.Fatalf("refresh did not rescrape: %+v", rep.Totals)
+	}
+}

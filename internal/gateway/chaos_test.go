@@ -70,6 +70,7 @@ type fleetBackend struct {
 	plane    *vplane.Plane
 	srv      *ccaas.Server
 	reg      *obs.Registry
+	spans    *obs.Collector
 	ln       net.Listener
 	served   chan error
 }
@@ -121,11 +122,13 @@ func (f *fleet) startBackend(i int, addr string) *fleetBackend {
 	f.certSvc.RegisterKey(platform.ID(), platform.PublicKey())
 
 	reg := obs.NewRegistry()
-	plane := vplane.New(vplane.Config{CacheBytes: 1 << 20, Workers: 2, QueueDepth: 8, Metrics: reg})
+	spans := obs.NewCollector(obs.CollectorConfig{Role: "backend", Proc: fmt.Sprintf("fleet-platform-%d", i)})
+	plane := vplane.New(vplane.Config{CacheBytes: 1 << 20, Workers: 2, QueueDepth: 8, Metrics: reg, Spans: spans})
 	srv, err := ccaas.NewServer(ccaas.ServerConfig{
 		Platform: platform,
 		Policies: policy.SetP1,
 		Metrics:  reg,
+		Spans:    spans,
 		Verify:   plane,
 	})
 	if err != nil {
@@ -151,6 +154,7 @@ func (f *fleet) startBackend(i int, addr string) *fleetBackend {
 		plane:    plane,
 		srv:      srv,
 		reg:      reg,
+		spans:    spans,
 		ln:       ln,
 		served:   make(chan error, 1),
 	}

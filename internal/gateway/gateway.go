@@ -57,16 +57,33 @@ const preambleMagic = "deflection-gateway-v1"
 // attestation handshake. Route is typically the SHA-256 of the binary the
 // session will submit; it reveals only *which* binary (by opaque digest),
 // never its contents, and buys warm-cache affinity in exchange.
+//
+// Trace is an optional observability-only trace ID (16 hex chars) that
+// lets operators correlate the gateway's spans with the backend's. Both
+// directions tolerate its absence — v1 peers that predate the field
+// simply never see it (encoding/json ignores unknown fields and omitempty
+// elides empty ones), so the wire protocol version string is unchanged.
 type preamble struct {
 	Magic string `json:"gw"`
 	Route []byte `json:"route,omitempty"`
+	Trace string `json:"trace,omitempty"`
 }
 
 // WritePreamble sends the gateway routing preamble on a fresh connection.
 // Dialers that connect through a deflection-gateway must call it before
 // the ccaas handshake; route may be nil for least-loaded placement.
 func WritePreamble(w io.Writer, route []byte) error {
-	payload, err := json.Marshal(preamble{Magic: preambleMagic, Route: route})
+	return WritePreambleTraced(w, route, 0)
+}
+
+// WritePreambleTraced is WritePreamble carrying a client-minted trace ID.
+// A zero ID elides the field, producing the exact v1 preamble.
+func WritePreambleTraced(w io.Writer, route []byte, id obs.TraceID) error {
+	p := preamble{Magic: preambleMagic, Route: route}
+	if id != 0 {
+		p.Trace = id.String()
+	}
+	payload, err := json.Marshal(p)
 	if err != nil {
 		return fmt.Errorf("gateway: %w", err)
 	}
@@ -78,16 +95,22 @@ func WritePreamble(w io.Writer, route []byte) error {
 var ErrNotPreamble = errors.New("gateway: connection did not start with a routing preamble")
 
 // readPreamble consumes the preamble frame from a new client connection.
-func readPreamble(r io.Reader) ([]byte, error) {
+// A malformed trace field is ignored rather than fatal: the trace ID is
+// observability-only and must never be able to break routing.
+func readPreamble(r io.Reader) ([]byte, obs.TraceID, error) {
 	frame, err := attest.ReadFrame(r)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	var p preamble
 	if err := json.Unmarshal(frame, &p); err != nil || p.Magic != preambleMagic {
-		return nil, ErrNotPreamble
+		return nil, 0, ErrNotPreamble
 	}
-	return p.Route, nil
+	tid, err := obs.ParseTraceID(p.Trace)
+	if err != nil {
+		tid = 0
+	}
+	return p.Route, tid, nil
 }
 
 // Config parameterises a Gateway.
@@ -122,6 +145,10 @@ type Config struct {
 	ProbeTimeout time.Duration
 	// Metrics receives gateway_* counters/gauges. Nil is valid.
 	Metrics *obs.Registry
+	// Spans receives route/dial/splice span records tagged with each
+	// session's trace ID (when the client's preamble carries one). Nil is
+	// valid: tracing is off and costs nothing.
+	Spans *obs.Collector
 	// Log, if set, receives structured events with key/value pairs.
 	Log func(event string, kv ...any)
 	// Clock overrides time.Now for the breakers (tests).
@@ -409,26 +436,30 @@ func (g *Gateway) Handle(conn net.Conn) error {
 		// unread bytes in its receive buffer turns the close into a RST,
 		// which can discard the busy frame before the client reads it.
 		_ = conn.SetReadDeadline(time.Now().Add(g.cfg.PreambleTimeout))
-		_, _ = readPreamble(conn)
+		_, _, _ = readPreamble(conn)
 		_ = conn.SetReadDeadline(time.Time{})
 		g.replyBusy(conn, reason)
 		return fmt.Errorf("gateway: session %d rejected: %s", sid, reason)
 	}
 	g.m.Gauge("gateway_sessions_active").Add(1)
+	var tid obs.TraceID
 	defer func() {
 		g.m.Gauge("gateway_sessions_active").Add(-1)
 		g.m.Histogram("gateway_session_seconds").ObserveDuration(time.Since(start))
+		g.cfg.Spans.Observe(tid, "gateway/session", start, time.Since(start), "sid", sid)
 	}()
 
 	_ = conn.SetReadDeadline(time.Now().Add(g.cfg.PreambleTimeout))
-	route, err := readPreamble(conn)
+	route, ptid, err := readPreamble(conn)
 	if err != nil {
 		g.m.Counter("gateway_preamble_errors_total").Inc()
 		g.replyBusy(conn, "bad routing preamble")
 		return fmt.Errorf("gateway: session %d preamble: %w", sid, err)
 	}
+	tid = ptid
 	_ = conn.SetReadDeadline(time.Time{})
 
+	routeStart := time.Now()
 	var (
 		lastErr error
 		tried   int
@@ -447,7 +478,10 @@ func (g *Gateway) Handle(conn net.Conn) error {
 			g.m.Counter("gateway_failovers_total").Inc()
 			g.log("session_failover", "sid", sid, "to", b.addr, "attempt", tried, "prev_err", lastErr)
 		}
+		dialStart := time.Now()
 		upstream, hello, err := g.connect(b, g.cfg.HelloTimeout)
+		g.cfg.Spans.Observe(tid, "gateway/dial", dialStart, time.Since(dialStart),
+			"sid", sid, "backend", b.addr, "ok", err == nil)
 		if err != nil {
 			g.m.Counter("gateway_connect_failures_total").Inc()
 			g.markFailure(b, err)
@@ -455,8 +489,11 @@ func (g *Gateway) Handle(conn net.Conn) error {
 			continue
 		}
 		g.markSuccess(b)
-		g.log("session_routed", "sid", sid, "backend", b.addr, "routed", len(route) > 0, "attempt", tried)
-		return g.splice(sid, b, conn, upstream, hello)
+		g.cfg.Spans.Observe(tid, "gateway/route", routeStart, time.Since(routeStart),
+			"sid", sid, "backend", b.addr, "routed", len(route) > 0, "attempt", tried)
+		g.log("session_routed", "sid", sid, "backend", b.addr, "routed", len(route) > 0,
+			"attempt", tried, "trace", tid)
+		return g.splice(sid, tid, b, conn, upstream, hello)
 	}
 
 	g.m.Counter("gateway_no_backend_total").Inc()
@@ -472,7 +509,8 @@ func (g *Gateway) Handle(conn net.Conn) error {
 // bytes in both directions until either side ends. The first error or EOF
 // tears the pair down; the gateway never interprets another byte of the
 // (sealed) stream.
-func (g *Gateway) splice(sid int64, b *backend, client, upstream net.Conn, hello []byte) error {
+func (g *Gateway) splice(sid int64, tid obs.TraceID, b *backend, client, upstream net.Conn, hello []byte) error {
+	spliceStart := time.Now()
 	b.inflight.Add(1)
 	defer b.inflight.Add(-1)
 	g.mu.Lock()
@@ -519,6 +557,8 @@ func (g *Gateway) splice(sid int64, b *backend, client, upstream net.Conn, hello
 	case second = <-downC:
 	}
 	g.m.Counter("gateway_bytes_proxied_total").Add(first.n + second.n)
+	g.cfg.Spans.Observe(tid, "gateway/splice", spliceStart, time.Since(spliceStart),
+		"sid", sid, "backend", b.addr, "bytes", first.n+second.n)
 	g.log("session_done", "sid", sid, "backend", b.addr, "bytes", first.n+second.n)
 	return nil
 }

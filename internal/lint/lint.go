@@ -59,6 +59,7 @@ func DefaultConfig(root string) Config {
 			"internal/ccaas",
 			"internal/vplane",
 			"internal/gateway",
+			"internal/fleet",
 			"net",
 			"os",
 		},

@@ -117,6 +117,47 @@ import _ "example.test/internal/gateway"
 	}
 }
 
+// TestForbiddenListPinned: the default forbidden set must cover every
+// service-plane package, including the fleet telemetry transport — losing
+// an entry here silently re-opens the TCB to the network stack.
+func TestForbiddenListPinned(t *testing.T) {
+	cfg := DefaultConfig(".")
+	want := []string{
+		"internal/obs", "internal/ccaas", "internal/vplane",
+		"internal/gateway", "internal/fleet", "net", "os",
+	}
+	have := make(map[string]bool, len(cfg.Forbidden))
+	for _, f := range cfg.Forbidden {
+		have[f] = true
+	}
+	for _, w := range want {
+		if !have[w] {
+			t.Errorf("DefaultConfig.Forbidden is missing %q", w)
+		}
+	}
+}
+
+// TestDetectsFleetImport: the fleet aggregation package speaks HTTP to
+// every backend; a TCB package reaching it must be flagged.
+func TestDetectsFleetImport(t *testing.T) {
+	root := t.TempDir()
+	write(t, root, "go.mod", "module example.test\n\ngo 1.22\n")
+	write(t, root, "internal/disasm/d.go", `package disasm
+
+import _ "example.test/internal/fleet"
+`)
+	write(t, root, "internal/fleet/f.go", "package fleet\n")
+	cfg := DefaultConfig(root)
+	cfg.TCB = []string{"internal/disasm"}
+	rep, err := Check(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Findings) != 1 || rep.Findings[0].Import != "example.test/internal/fleet" {
+		t.Fatalf("findings = %v, want one internal/fleet", rep.Findings)
+	}
+}
+
 // TestSubtreeMatch: "os" must also reject "os/exec" but not "osquery"-style
 // prefixes of unrelated packages.
 func TestSubtreeMatch(t *testing.T) {

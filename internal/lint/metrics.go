@@ -1,0 +1,154 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Metric-name hygiene: every Counter/Gauge/Histogram call site with a
+// literal name is collected across the repository and checked for
+//
+//   - naming: lowercase snake_case ([a-z][a-z0-9_]*), the Prometheus
+//     convention the /metrics exposition relies on, and
+//   - cross-type collisions: the same name registered as two different
+//     metric types anywhere in the tree, which the registry would serve as
+//     two conflicting series (and Prometheus would reject outright).
+//
+// Test files are skipped: they register throwaway names against scratch
+// registries and never reach an exposition endpoint.
+
+// metricNameRE is the accepted shape for exposition-facing metric names.
+var metricNameRE = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+
+// metricMethods are the obs.Registry constructors whose first argument
+// names a metric.
+var metricMethods = map[string]bool{"Counter": true, "Gauge": true, "Histogram": true}
+
+// MetricSite is one literal-name metric registration call site.
+type MetricSite struct {
+	Name string // the metric name literal
+	Type string // Counter | Gauge | Histogram
+	Pos  string // file:line of the call
+}
+
+// MetricFinding is one metric-hygiene violation.
+type MetricFinding struct {
+	Pos  string
+	Name string
+	Msg  string
+}
+
+func (f MetricFinding) String() string {
+	return fmt.Sprintf("%s: metric %q %s", f.Pos, f.Name, f.Msg)
+}
+
+// MetricsReport is the outcome of a metric-lint run.
+type MetricsReport struct {
+	Findings []MetricFinding
+	Sites    []MetricSite // every literal-name call site, sorted by position
+}
+
+// CheckMetrics walks every non-test .go file under root (skipping hidden
+// and testdata directories) and lints the literal metric names.
+func CheckMetrics(root string) (*MetricsReport, error) {
+	rep := &MetricsReport{}
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if path != root && (strings.HasPrefix(name, ".") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, 0)
+		if err != nil {
+			return fmt.Errorf("lint: %s: %w", path, err)
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !metricMethods[sel.Sel.Name] {
+				return true
+			}
+			lit, ok := call.Args[0].(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				return true // dynamic names are the caller's problem
+			}
+			metric, err := strconvUnquote(lit.Value)
+			if err != nil {
+				return true
+			}
+			rel, rerr := filepath.Rel(root, path)
+			if rerr != nil {
+				rel = path
+			}
+			pos := fmt.Sprintf("%s:%d", filepath.ToSlash(rel), fset.Position(lit.Pos()).Line)
+			rep.Sites = append(rep.Sites, MetricSite{Name: metric, Type: sel.Sel.Name, Pos: pos})
+			return true
+		})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(rep.Sites, func(i, j int) bool { return rep.Sites[i].Pos < rep.Sites[j].Pos })
+
+	// Naming convention.
+	for _, s := range rep.Sites {
+		if !metricNameRE.MatchString(s.Name) {
+			rep.Findings = append(rep.Findings, MetricFinding{
+				Pos: s.Pos, Name: s.Name,
+				Msg: "is not lowercase snake_case ([a-z][a-z0-9_]*)",
+			})
+		}
+	}
+
+	// Cross-type collisions: one name, two registry types.
+	types := make(map[string]map[string]string) // name -> type -> first pos
+	for _, s := range rep.Sites {
+		if types[s.Name] == nil {
+			types[s.Name] = make(map[string]string)
+		}
+		if _, ok := types[s.Name][s.Type]; !ok {
+			types[s.Name][s.Type] = s.Pos
+		}
+	}
+	for name, byType := range types {
+		if len(byType) < 2 {
+			continue
+		}
+		var uses []string
+		for typ, pos := range byType {
+			uses = append(uses, fmt.Sprintf("%s at %s", typ, pos))
+		}
+		sort.Strings(uses)
+		rep.Findings = append(rep.Findings, MetricFinding{
+			Pos: strings.SplitN(uses[0], " at ", 2)[1], Name: name,
+			Msg: "registered as multiple metric types: " + strings.Join(uses, ", "),
+		})
+	}
+	sort.Slice(rep.Findings, func(i, j int) bool {
+		if rep.Findings[i].Pos != rep.Findings[j].Pos {
+			return rep.Findings[i].Pos < rep.Findings[j].Pos
+		}
+		return rep.Findings[i].Name < rep.Findings[j].Name
+	})
+	return rep, nil
+}

@@ -1,0 +1,146 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRepoMetricHygiene lints the real repository's metric names: the same
+// check `make metric-lint` gates the build on.
+func TestRepoMetricHygiene(t *testing.T) {
+	rep, err := CheckMetrics("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range rep.Findings {
+		t.Errorf("%s", f)
+	}
+	// The repo registers plenty of metrics; an empty site list means the
+	// walker broke, not that the tree is clean.
+	if len(rep.Sites) < 20 {
+		t.Fatalf("only %d metric call sites found, the walker is broken", len(rep.Sites))
+	}
+}
+
+func TestMetricNameConvention(t *testing.T) {
+	root := t.TempDir()
+	write(t, root, "a/a.go", `package a
+
+type reg struct{}
+
+func (reg) Counter(string) int   { return 0 }
+func (reg) Gauge(string) int     { return 0 }
+func (reg) Histogram(string) int { return 0 }
+
+func f(r reg) {
+	r.Counter("good_total")
+	r.Counter("BadCamel")
+	r.Gauge("bad-dash")
+	r.Histogram("_leading_underscore")
+}
+`)
+	rep, err := CheckMetrics(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Sites) != 4 {
+		t.Fatalf("sites = %d, want 4: %+v", len(rep.Sites), rep.Sites)
+	}
+	if len(rep.Findings) != 3 {
+		t.Fatalf("findings = %d, want 3: %+v", len(rep.Findings), rep.Findings)
+	}
+	for _, f := range rep.Findings {
+		if !strings.Contains(f.Msg, "snake_case") {
+			t.Errorf("unexpected finding: %s", f)
+		}
+		if !strings.Contains(f.Pos, "a/a.go:") {
+			t.Errorf("finding lacks file:line: %s", f.Pos)
+		}
+	}
+}
+
+func TestMetricCrossTypeCollision(t *testing.T) {
+	root := t.TempDir()
+	write(t, root, "a/a.go", `package a
+
+type reg struct{}
+
+func (reg) Counter(string) int   { return 0 }
+func (reg) Histogram(string) int { return 0 }
+
+func f(r reg) {
+	r.Counter("load_seconds")
+}
+`)
+	write(t, root, "b/b.go", `package b
+
+type reg struct{}
+
+func (reg) Histogram(string) int { return 0 }
+
+func f(r reg) {
+	r.Histogram("load_seconds")
+}
+`)
+	rep, err := CheckMetrics(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Findings) != 1 {
+		t.Fatalf("findings = %+v, want one collision", rep.Findings)
+	}
+	f := rep.Findings[0]
+	if f.Name != "load_seconds" || !strings.Contains(f.Msg, "multiple metric types") {
+		t.Fatalf("finding = %s", f)
+	}
+	if !strings.Contains(f.Msg, "Counter") || !strings.Contains(f.Msg, "Histogram") {
+		t.Fatalf("collision does not name both types: %s", f)
+	}
+}
+
+// TestMetricLintSkipsTests: _test.go registrations are scratch names and
+// must not trip the lint.
+func TestMetricLintSkipsTests(t *testing.T) {
+	root := t.TempDir()
+	write(t, root, "a/a_test.go", `package a
+
+type reg struct{}
+
+func (reg) Counter(string) int { return 0 }
+
+func f(r reg) {
+	r.Counter("NOT-a-valid-name")
+}
+`)
+	rep, err := CheckMetrics(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Sites) != 0 || len(rep.Findings) != 0 {
+		t.Fatalf("test file was linted: %+v", rep)
+	}
+}
+
+// TestMetricLintIgnoresDynamicNames: non-literal names cannot be checked
+// statically and are left alone.
+func TestMetricLintIgnoresDynamicNames(t *testing.T) {
+	root := t.TempDir()
+	write(t, root, "a/a.go", `package a
+
+type reg struct{}
+
+func (reg) Counter(string) int { return 0 }
+
+func f(r reg, name string) {
+	r.Counter(name)
+	r.Counter("prefix_" + name)
+}
+`)
+	rep, err := CheckMetrics(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Sites) != 0 {
+		t.Fatalf("dynamic names collected: %+v", rep.Sites)
+	}
+}

@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"bytes"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestLoggerConcurrent hammers one Logger from 16 goroutines and asserts
+// that every emitted line is whole — no torn or interleaved fragments. The
+// Logger serialises the format+write under its mutex; this test (run under
+// -race by the tier-1 gate) pins that property.
+func TestLoggerConcurrent(t *testing.T) {
+	var buf safeBuffer
+	l := NewLogger(&buf)
+	l.SetClock(func() time.Time { return time.Unix(1700000000, 0) })
+
+	const goroutines = 16
+	const perGoroutine = 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perGoroutine; i++ {
+				l.Log("hammer", "goroutine", g, "i", i, "payload", strings.Repeat("x", 64))
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	buf.mu.Lock()
+	out := buf.buf.String()
+	buf.mu.Unlock()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != goroutines*perGoroutine {
+		t.Fatalf("got %d lines, want %d", len(lines), goroutines*perGoroutine)
+	}
+	lineRE := regexp.MustCompile(`^ts=\S+ event=hammer goroutine=\d+ i=\d+ payload=x{64}$`)
+	for i, line := range lines {
+		if !lineRE.MatchString(line) {
+			t.Fatalf("line %d torn or malformed: %q", i, line)
+		}
+	}
+}
+
+// TestLoggerQuoting pins the parseability contract for hostile values.
+func TestLoggerQuoting(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf)
+	l.SetClock(func() time.Time { return time.Unix(1700000000, 0) })
+	l.Log("evt", "msg", `has "quotes" and = signs`, "empty", "")
+	line := buf.String()
+	if !strings.Contains(line, `msg="has \"quotes\" and = signs"`) {
+		t.Fatalf("value not quoted: %q", line)
+	}
+	if !strings.Contains(line, `empty=""`) {
+		t.Fatalf("empty value not quoted: %q", line)
+	}
+}

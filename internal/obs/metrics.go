@@ -308,10 +308,28 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 	return enc.Encode(r.Snapshot())
 }
 
-// Handler serves the registry as JSON (for a -metrics-addr endpoint).
+// Handler serves the registry (for a -metrics-addr endpoint) with content
+// negotiation: Prometheus text exposition for scrapers that ask for
+// text/plain or openmetrics (or ?format=prometheus), the original JSON
+// document otherwise. ?detail=buckets extends the JSON histograms with
+// their cumulative buckets (fleet aggregation scrapes this form); the
+// default JSON contract is unchanged. Responses carry Cache-Control:
+// no-store so scrapes behind proxies are never stale.
 func (r *Registry) Handler() http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Cache-Control", "no-store")
+		if wantsPrometheus(req.Header.Get("Accept"), req.URL.Query().Get("format")) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			_ = r.WritePrometheus(w)
+			return
+		}
 		w.Header().Set("Content-Type", "application/json")
+		if req.URL.Query().Get("detail") == "buckets" {
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(r.DetailSnapshot())
+			return
+		}
 		_ = r.WriteJSON(w)
 	})
 }

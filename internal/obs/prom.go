@@ -1,0 +1,255 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (version 0.0.4) over the registry. The
+// histogram series are derived from the log-bucket layout: bucket i's
+// upper bound is 2^(histMinExp + i/histPerOctave) (le=0 for the
+// zero/negative bucket, +Inf for the overflow bucket), and the `le`
+// labels are cumulative as the format requires. Only boundaries whose
+// bucket holds samples are emitted — a sparse but valid exposition that
+// keeps a 162-bucket histogram readable.
+
+// bucketLE returns bucket i's upper bound in seconds (the Prometheus `le`
+// label). The overflow bucket reports +Inf.
+func bucketLE(i int) float64 {
+	if i <= 0 {
+		return 0
+	}
+	if i >= histBuckets-1 {
+		return math.Inf(1)
+	}
+	return math.Exp2(float64(histMinExp) + float64(i)/histPerOctave)
+}
+
+// bucketIndexForLE inverts bucketLE for finite bounds (merging scraped
+// bucket lists back into the fixed geometry).
+func bucketIndexForLE(le float64) int {
+	if le <= 0 {
+		return 0
+	}
+	i := int(math.Round((math.Log2(le) - histMinExp) * histPerOctave))
+	if i < 0 {
+		i = 0
+	}
+	if i >= histBuckets-1 {
+		i = histBuckets - 2
+	}
+	return i
+}
+
+// BucketCount is one cumulative histogram bucket: Count samples were <=
+// LE seconds. The +Inf bucket is omitted from serialised lists (JSON has
+// no Inf literal); the snapshot's total Count covers it.
+type BucketCount struct {
+	LE    float64 `json:"le"`
+	Count int64   `json:"count"`
+}
+
+// HistDetail is a histogram snapshot plus its cumulative buckets — what
+// fleet aggregation needs to merge histograms across processes exactly.
+type HistDetail struct {
+	HistSnapshot
+	Buckets []BucketCount `json:"buckets,omitempty"`
+}
+
+// counts reconstructs the per-bucket (non-cumulative) counts array from
+// the serialised cumulative list, assigning the remainder to overflow.
+func (d HistDetail) counts() [histBuckets]int64 {
+	var counts [histBuckets]int64
+	var prev int64
+	for _, b := range d.Buckets {
+		idx := bucketIndexForLE(b.LE)
+		counts[idx] += b.Count - prev
+		prev = b.Count
+	}
+	if rest := d.Count - prev; rest > 0 {
+		counts[histBuckets-1] += rest
+	}
+	return counts
+}
+
+// detail converts live bucket counters into a HistDetail.
+func (h *Histogram) detail() HistDetail {
+	var counts [histBuckets]int64
+	var total int64
+	for i := range counts {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	d := HistDetail{HistSnapshot: HistSnapshot{
+		Count: total,
+		Sum:   math.Float64frombits(h.sumBits.Load()),
+	}}
+	if total == 0 {
+		return d
+	}
+	d.Min = math.Float64frombits(h.minBits.Load())
+	d.Max = math.Float64frombits(h.maxBits.Load())
+	d.P50 = quantile(&counts, total, 0.50)
+	d.P95 = quantile(&counts, total, 0.95)
+	d.P99 = quantile(&counts, total, 0.99)
+	d.Buckets = cumulate(&counts)
+	return d
+}
+
+// cumulate renders non-empty finite buckets as a cumulative list.
+func cumulate(counts *[histBuckets]int64) []BucketCount {
+	var out []BucketCount
+	var cum int64
+	for i := 0; i < histBuckets-1; i++ { // overflow bucket excluded (le=+Inf)
+		cum += counts[i]
+		if counts[i] > 0 {
+			out = append(out, BucketCount{LE: bucketLE(i), Count: cum})
+		}
+	}
+	return out
+}
+
+// MergeHist merges histogram details from multiple processes into one.
+// All deflection processes share the bucket geometry, so bucket counts
+// merge exactly and the quantile estimates of the merged histogram are as
+// good as any single process's.
+func MergeHist(details ...HistDetail) HistDetail {
+	var counts [histBuckets]int64
+	out := HistDetail{}
+	for _, d := range details {
+		if d.Count == 0 {
+			continue
+		}
+		c := d.counts()
+		for i := range counts {
+			counts[i] += c[i]
+		}
+		out.Sum += d.Sum
+		if out.Count == 0 || d.Min < out.Min {
+			out.Min = d.Min
+		}
+		if d.Max > out.Max {
+			out.Max = d.Max
+		}
+		out.Count += d.Count
+	}
+	if out.Count == 0 {
+		return out
+	}
+	out.P50 = quantile(&counts, out.Count, 0.50)
+	out.P95 = quantile(&counts, out.Count, 0.95)
+	out.P99 = quantile(&counts, out.Count, 0.99)
+	out.Buckets = cumulate(&counts)
+	return out
+}
+
+// DetailSnapshot is a registry snapshot whose histograms carry their
+// cumulative buckets (served by /metrics?detail=buckets; the default JSON
+// document is unchanged).
+type DetailSnapshot struct {
+	Counters   map[string]int64      `json:"counters"`
+	Gauges     map[string]int64      `json:"gauges"`
+	Histograms map[string]HistDetail `json:"histograms"`
+}
+
+// DetailSnapshot copies every metric including histogram buckets.
+func (r *Registry) DetailSnapshot() DetailSnapshot {
+	s := DetailSnapshot{
+		Counters:   make(map[string]int64),
+		Gauges:     make(map[string]int64),
+		Histograms: make(map[string]HistDetail),
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.histograms {
+		s.Histograms[name] = h.detail()
+	}
+	return s
+}
+
+// promFloat renders a float the way Prometheus parsers expect.
+func promFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format: counters and gauges as single series, histograms as cumulative
+// <name>_bucket{le="..."} series plus <name>_sum and <name>_count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	s := r.DetailSnapshot()
+	names := make([]string, 0, len(s.Counters))
+	for name := range s.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, s.Counters[name]); err != nil {
+			return err
+		}
+	}
+	names = names[:0]
+	for name := range s.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", name, name, s.Gauges[name]); err != nil {
+			return err
+		}
+	}
+	names = names[:0]
+	for name := range s.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		d := s.Histograms[name]
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "# TYPE %s histogram\n", name)
+		for _, b := range d.Buckets {
+			fmt.Fprintf(&sb, "%s_bucket{le=%q} %d\n", name, promFloat(b.LE), b.Count)
+		}
+		fmt.Fprintf(&sb, "%s_bucket{le=\"+Inf\"} %d\n", name, d.Count)
+		fmt.Fprintf(&sb, "%s_sum %s\n", name, promFloat(d.Sum))
+		fmt.Fprintf(&sb, "%s_count %d\n", name, d.Count)
+		if _, err := io.WriteString(w, sb.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// wantsPrometheus decides the /metrics response format from the Accept
+// header and ?format= query: Prometheus scrapers advertise text/plain or
+// openmetrics; everything else (including the pre-existing JSON
+// consumers, which send no Accept or ask for JSON) keeps the JSON
+// contract.
+func wantsPrometheus(accept, format string) bool {
+	switch format {
+	case "prometheus":
+		return true
+	case "json":
+		return false
+	}
+	if strings.Contains(accept, "application/json") {
+		return false
+	}
+	return strings.Contains(accept, "text/plain") ||
+		strings.Contains(accept, "openmetrics")
+}

@@ -1,0 +1,266 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("requests_total").Add(5)
+	r.Gauge("sessions_active").Set(2)
+	h := r.Histogram("load_seconds")
+	h.Observe(0.001)
+	h.Observe(0.001)
+	h.Observe(0.5)
+	h.Observe(0)   // zero bucket
+	h.Observe(1e9) // overflow bucket
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+
+	for _, want := range []string{
+		"# TYPE requests_total counter\nrequests_total 5\n",
+		"# TYPE sessions_active gauge\nsessions_active 2\n",
+		"# TYPE load_seconds histogram\n",
+		`load_seconds_bucket{le="+Inf"} 5`,
+		"load_seconds_count 5\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "load_seconds_sum") {
+		t.Errorf("no _sum series:\n%s", out)
+	}
+
+	// Cumulative bucket counts must be monotone non-decreasing and end at
+	// the total count, and every le label must parse as a float.
+	bucketRE := regexp.MustCompile(`load_seconds_bucket\{le="([^"]+)"\} (\d+)`)
+	matches := bucketRE.FindAllStringSubmatch(out, -1)
+	if len(matches) < 3 {
+		t.Fatalf("too few bucket series (%d):\n%s", len(matches), out)
+	}
+	prevCum := int64(-1)
+	prevLE := math.Inf(-1)
+	for _, m := range matches {
+		le := math.Inf(1)
+		if m[1] != "+Inf" {
+			var err error
+			le, err = strconv.ParseFloat(m[1], 64)
+			if err != nil {
+				t.Fatalf("bad le %q: %v", m[1], err)
+			}
+		}
+		cum, _ := strconv.ParseInt(m[2], 10, 64)
+		if le <= prevLE {
+			t.Fatalf("le not increasing: %v after %v", le, prevLE)
+		}
+		if cum < prevCum {
+			t.Fatalf("cumulative count decreased: %d after %d", cum, prevCum)
+		}
+		prevLE, prevCum = le, cum
+	}
+	if prevCum != 5 {
+		t.Fatalf("final cumulative = %d, want 5", prevCum)
+	}
+}
+
+func TestHandlerContentNegotiation(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hits_total").Inc()
+	r.Histogram("dur_seconds").Observe(0.25)
+
+	get := func(accept, query string) *httptest.ResponseRecorder {
+		req := httptest.NewRequest("GET", "/metrics"+query, nil)
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		rw := httptest.NewRecorder()
+		r.Handler().ServeHTTP(rw, req)
+		return rw
+	}
+
+	// Default (no Accept): the unchanged JSON contract.
+	rw := get("", "")
+	if ct := rw.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("default content-type = %q", ct)
+	}
+	if cc := rw.Header().Get("Cache-Control"); cc != "no-store" {
+		t.Fatalf("Cache-Control = %q, want no-store", cc)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(rw.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("default /metrics not JSON: %v", err)
+	}
+	if snap.Counters["hits_total"] != 1 {
+		t.Fatalf("counters = %v", snap.Counters)
+	}
+	// The default histogram entries must NOT grow a buckets field.
+	if strings.Contains(rw.Body.String(), `"buckets"`) {
+		t.Fatal("default JSON grew a buckets field (contract change)")
+	}
+
+	// A Prometheus scraper's Accept header gets the text format.
+	rw = get("application/openmetrics-text;version=1.0.0;q=0.75,text/plain;version=0.0.4;q=0.5,*/*;q=0.1", "")
+	if !strings.HasPrefix(rw.Header().Get("Content-Type"), "text/plain") {
+		t.Fatalf("prom content-type = %q", rw.Header().Get("Content-Type"))
+	}
+	if !strings.Contains(rw.Body.String(), "# TYPE hits_total counter") {
+		t.Fatalf("prom body:\n%s", rw.Body.String())
+	}
+
+	// Explicit format override beats Accept.
+	rw = get("application/json", "?format=prometheus")
+	if !strings.Contains(rw.Body.String(), "# TYPE hits_total counter") {
+		t.Fatal("?format=prometheus ignored")
+	}
+
+	// detail=buckets extends JSON histograms with cumulative buckets.
+	rw = get("", "?detail=buckets")
+	var det DetailSnapshot
+	if err := json.Unmarshal(rw.Body.Bytes(), &det); err != nil {
+		t.Fatal(err)
+	}
+	d := det.Histograms["dur_seconds"]
+	if d.Count != 1 || len(d.Buckets) == 0 {
+		t.Fatalf("detail histogram = %+v", d)
+	}
+}
+
+func TestMergeHist(t *testing.T) {
+	mk := func(samples ...float64) HistDetail {
+		h := &Histogram{}
+		for _, s := range samples {
+			h.Observe(s)
+		}
+		return h.detail()
+	}
+	a := mk(0.001, 0.002, 0.004)
+	b := mk(0.100, 0.200)
+	merged := MergeHist(a, b)
+	if merged.Count != 5 {
+		t.Fatalf("merged count = %d, want 5", merged.Count)
+	}
+	if got, want := merged.Sum, a.Sum+b.Sum; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("merged sum = %v, want %v", got, want)
+	}
+	if merged.Min != a.Min || merged.Max != b.Max {
+		t.Fatalf("merged min/max = %v/%v, want %v/%v", merged.Min, merged.Max, a.Min, b.Max)
+	}
+
+	// The merged quantiles must match a single histogram fed all samples:
+	// the geometry is shared, so merging is exact.
+	all := mk(0.001, 0.002, 0.004, 0.100, 0.200)
+	if merged.P50 != all.P50 || merged.P95 != all.P95 || merged.P99 != all.P99 {
+		t.Fatalf("merged quantiles %v/%v/%v != direct %v/%v/%v",
+			merged.P50, merged.P95, merged.P99, all.P50, all.P95, all.P99)
+	}
+	if len(merged.Buckets) != len(all.Buckets) {
+		t.Fatalf("merged buckets = %d, direct = %d", len(merged.Buckets), len(all.Buckets))
+	}
+	for i := range merged.Buckets {
+		if merged.Buckets[i] != all.Buckets[i] {
+			t.Fatalf("bucket %d: merged %+v != direct %+v", i, merged.Buckets[i], all.Buckets[i])
+		}
+	}
+
+	// Round-tripping the detail through JSON (the fleet scrape path)
+	// preserves merge exactness.
+	data, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var aBack HistDetail
+	if err := json.Unmarshal(data, &aBack); err != nil {
+		t.Fatal(err)
+	}
+	remerged := MergeHist(aBack, b)
+	if remerged.P50 != merged.P50 || remerged.Count != merged.Count {
+		t.Fatalf("post-JSON merge differs: %+v vs %+v", remerged, merged)
+	}
+
+	if empty := MergeHist(); empty.Count != 0 {
+		t.Fatalf("empty merge = %+v", empty)
+	}
+}
+
+func TestMergeHistOverflowAndZero(t *testing.T) {
+	h := &Histogram{}
+	h.Observe(0)    // zero bucket
+	h.Observe(-3)   // also zero bucket
+	h.Observe(1e12) // overflow bucket (beyond histMaxExp)
+	d := h.detail()
+
+	// Serialised buckets exclude +Inf but the count covers it.
+	for _, b := range d.Buckets {
+		if math.IsInf(b.LE, 1) {
+			t.Fatal("serialised +Inf bucket")
+		}
+	}
+	merged := MergeHist(d, d)
+	if merged.Count != 6 {
+		t.Fatalf("merged count = %d, want 6", merged.Count)
+	}
+	// The overflow samples must survive the round trip into the last bucket.
+	direct := &Histogram{}
+	for i := 0; i < 2; i++ {
+		direct.Observe(0)
+		direct.Observe(-3)
+		direct.Observe(1e12)
+	}
+	dd := direct.detail()
+	if merged.P99 != dd.P99 {
+		t.Fatalf("overflow quantile drifted: merged %v, direct %v", merged.P99, dd.P99)
+	}
+}
+
+func TestBucketLERoundTrip(t *testing.T) {
+	for i := 0; i < histBuckets-1; i++ {
+		le := bucketLE(i)
+		if got := bucketIndexForLE(le); got != i {
+			t.Fatalf("bucketIndexForLE(bucketLE(%d)) = %d", i, got)
+		}
+	}
+}
+
+func TestWantsPrometheus(t *testing.T) {
+	cases := []struct {
+		accept, format string
+		want           bool
+	}{
+		{"", "", false},
+		{"application/json", "", false},
+		{"text/plain;version=0.0.4", "", true},
+		{"application/openmetrics-text", "", true},
+		{"text/html,application/xhtml+xml", "", false}, // browsers keep JSON
+		{"application/json", "prometheus", true},
+		{"text/plain", "json", false},
+	}
+	for _, c := range cases {
+		if got := wantsPrometheus(c.accept, c.format); got != c.want {
+			t.Errorf("wantsPrometheus(%q, %q) = %v, want %v", c.accept, c.format, got, c.want)
+		}
+	}
+}
+
+// Ensure bench-style formatting helpers stay stable.
+func TestPromFloat(t *testing.T) {
+	if got := promFloat(math.Inf(1)); got != "+Inf" {
+		t.Fatalf("promFloat(+Inf) = %q", got)
+	}
+	if got := promFloat(0.5); got != "0.5" {
+		t.Fatalf("promFloat(0.5) = %q", got)
+	}
+	if _, err := strconv.ParseFloat(promFloat(bucketLE(1)), 64); err != nil {
+		t.Fatalf("le label not parseable: %v", err)
+	}
+}

@@ -50,6 +50,11 @@ func NewTraceWithClock(name string, clock func() time.Time) *Trace {
 	return &Trace{Name: name, begin: clock(), clock: clock}
 }
 
+// Begin returns the trace's first instant (span Start offsets are
+// relative to it) — what a span collector needs to place stage spans on
+// the absolute timeline.
+func (t *Trace) Begin() time.Time { return t.begin }
+
 // Timer is an in-flight span started by Trace.Start.
 type Timer struct {
 	t     *Trace

@@ -209,10 +209,11 @@ func (p *Plane) tryCertified(key Key, m runtime.Manifest) (*Verdict, bool) {
 // cross-enclave adds attack surface for no verification savings on the
 // accept path. Publication failures are logged and dropped — the verdict
 // is already cached locally, so the fleet merely loses the amortisation.
-func (p *Plane) publishCert(v *Verdict, m runtime.Manifest) {
+// It reports whether a certificate was actually issued (span attribution).
+func (p *Plane) publishCert(v *Verdict, m runtime.Manifest) bool {
 	cc := p.certConfig()
 	if cc == nil || cc.Store == nil || cc.Sign == nil || v.Image == nil {
-		return
+		return false
 	}
 	cert := &attest.VerdictCert{
 		Measurement: cc.Measurement,
@@ -223,13 +224,14 @@ func (p *Plane) publishCert(v *Verdict, m runtime.Manifest) {
 	}
 	if err := cc.Sign(cert); err != nil {
 		p.log("vplane_cert_sign_failed", "key", keyPrefix(v.Key), "err", err)
-		return
+		return false
 	}
 	if err := cc.Store.PutCert(cert, v.Image); err != nil {
 		p.m.Counter("vplane_cert_publish_failures_total").Inc()
 		p.log("vplane_cert_publish_failed", "key", keyPrefix(v.Key), "err", err)
-		return
+		return false
 	}
 	p.m.Counter("vplane_certs_issued_total").Inc()
 	p.log("vplane_cert_issued", "key", keyPrefix(v.Key))
+	return true
 }

@@ -43,6 +43,11 @@ type Config struct {
 	// Metrics receives hit/miss/dedup/eviction counters, the queue-depth
 	// gauge and latency histograms. A nil registry is valid.
 	Metrics *obs.Registry
+	// Spans, if set, receives plane-level span records (cache hits,
+	// single-flight joins, queue waits, certificate fetch/publish, cold
+	// verifier stage traces) tagged with the trace ID carried on the
+	// caller's context (obs.ContextWithTrace). Nil disables collection.
+	Spans *obs.Collector
 	// Log, if set, receives structured events (cold runs, negative
 	// verdicts, overloads) with alternating key/value pairs.
 	Log func(event string, kv ...any)
@@ -118,6 +123,7 @@ func (p *Plane) log(event string, kv ...any) {
 // *rejected binary* is a successful Verify whose Verdict.Reject is set.
 func (p *Plane) Verify(ctx context.Context, objBytes []byte, m runtime.Manifest, l enclave.Layout) (*Verdict, Source, error) {
 	start := time.Now()
+	tid := obs.TraceFromContext(ctx)
 	key := ComputeKey(objBytes, m, l)
 	if v, ok := p.cache.Get(key); ok {
 		if v.Reject != nil {
@@ -126,6 +132,7 @@ func (p *Plane) Verify(ctx context.Context, objBytes []byte, m runtime.Manifest,
 			p.m.Counter("vplane_cache_hits_total").Inc()
 		}
 		p.m.Histogram("vplane_verify_cached_seconds").ObserveDuration(time.Since(start))
+		p.cfg.Spans.Observe(tid, "vplane/cache_hit", start, time.Since(start), "key", keyPrefix(key))
 		return v, SourceCache, nil
 	}
 
@@ -134,7 +141,9 @@ func (p *Plane) Verify(ctx context.Context, objBytes []byte, m runtime.Manifest,
 		f.waiters++
 		p.mu.Unlock()
 		p.m.Counter("vplane_dedup_joins_total").Inc()
-		return p.wait(ctx, f, true)
+		v, src, err := p.wait(ctx, f, true)
+		p.cfg.Spans.Observe(tid, "vplane/join", start, time.Since(start), "key", keyPrefix(key))
+		return v, src, err
 	}
 	fctx, cancel := context.WithCancel(context.Background())
 	f := &flight{done: make(chan struct{}), waiters: 1, ctx: fctx, cancel: cancel}
@@ -145,9 +154,14 @@ func (p *Plane) Verify(ctx context.Context, objBytes []byte, m runtime.Manifest,
 	// governed by the waiter refcount, so a leader that gives up does not
 	// kill a job other sessions are still waiting on. Fleet certificate
 	// admission happens inside the flight, so N concurrent misses on the
-	// same key cost one store lookup, not N.
-	go p.runFlight(f, key, append([]byte(nil), objBytes...), m, l)
-	return p.wait(ctx, f, false)
+	// same key cost one store lookup, not N. The leader's trace ID rides
+	// along purely for span attribution: joiners see the same spans the
+	// leader's flight emitted, under the leader's ID.
+	go p.runFlight(f, tid, key, append([]byte(nil), objBytes...), m, l)
+	v, src, err := p.wait(ctx, f, false)
+	p.cfg.Spans.Observe(tid, "vplane/verify", start, time.Since(start),
+		"key", keyPrefix(key), "source", src)
+	return v, src, err
 }
 
 // wait blocks on a flight until it completes or ctx expires. The leader
@@ -182,7 +196,7 @@ func (p *Plane) wait(ctx context.Context, f *flight, joined bool) (*Verdict, Sou
 // the fleet certificate store (one lookup per flight, so concurrent misses
 // do not multiply store traffic), then by admitting a cold pipeline run
 // through the pool. The verdict is cached and published to every waiter.
-func (p *Plane) runFlight(f *flight, key Key, objBytes []byte, m runtime.Manifest, l enclave.Layout) {
+func (p *Plane) runFlight(f *flight, tid obs.TraceID, key Key, objBytes []byte, m runtime.Manifest, l enclave.Layout) {
 	finish := func(v *Verdict, verr error, src Source) {
 		p.mu.Lock()
 		delete(p.flights, key)
@@ -200,8 +214,14 @@ func (p *Plane) runFlight(f *flight, key Key, objBytes []byte, m runtime.Manifes
 	if v, ok := p.tryCertified(key, m); ok {
 		p.cache.Put(v)
 		p.m.Histogram("vplane_verify_certified_seconds").ObserveDuration(time.Since(certStart))
+		p.cfg.Spans.Observe(tid, "vplane/cert_fetch", certStart, time.Since(certStart),
+			"key", keyPrefix(key), "admitted", true)
 		finish(v, nil, SourceCertified)
 		return
+	}
+	if p.certs != nil {
+		p.cfg.Spans.Observe(tid, "vplane/cert_fetch", certStart, time.Since(certStart),
+			"key", keyPrefix(key), "admitted", false)
 	}
 
 	p.m.Counter("vplane_cache_misses_total").Inc()
@@ -209,7 +229,12 @@ func (p *Plane) runFlight(f *flight, key Key, objBytes []byte, m runtime.Manifes
 		v    *Verdict
 		verr error
 	)
-	err := p.pool.Do(f.ctx, func() { v, verr = p.runVerify(key, objBytes, m, l) })
+	queueStart := time.Now()
+	err := p.pool.Do(f.ctx, func() {
+		p.cfg.Spans.Observe(tid, "vplane/queue_wait", queueStart, time.Since(queueStart),
+			"key", keyPrefix(key))
+		v, verr = p.runVerify(tid, key, objBytes, m, l)
+	})
 	if err != nil {
 		v, verr = nil, err
 	}
@@ -217,7 +242,11 @@ func (p *Plane) runFlight(f *flight, key Key, objBytes []byte, m runtime.Manifes
 		p.cache.Put(v)
 		// A fresh positive verdict is fleet news: sign and publish it so
 		// peer backends can admit the image without a cold run of their own.
-		p.publishCert(v, m)
+		pubStart := time.Now()
+		if p.publishCert(v, m) {
+			p.cfg.Spans.Observe(tid, "vplane/cert_publish", pubStart, time.Since(pubStart),
+				"key", keyPrefix(key))
+		}
 	}
 	finish(v, verr, SourceCold)
 }
@@ -228,7 +257,7 @@ func (p *Plane) runFlight(f *flight, key Key, objBytes []byte, m runtime.Manifes
 // policy-mask mismatches) become negative verdicts; anything else (corrupt
 // objects, undersized enclaves mid-reconfiguration) is reported as an error
 // and left uncached.
-func (p *Plane) runVerify(key Key, objBytes []byte, m runtime.Manifest, l enclave.Layout) (*Verdict, error) {
+func (p *Plane) runVerify(tid obs.TraceID, key Key, objBytes []byte, m runtime.Manifest, l enclave.Layout) (*Verdict, error) {
 	if hook := p.verifyHook; hook != nil {
 		hook()
 	}
@@ -240,6 +269,11 @@ func (p *Plane) runVerify(key Key, objBytes []byte, m runtime.Manifest, l enclav
 	rep, err := boot.ReceiveBinary(objBytes)
 	p.m.Histogram("vplane_verify_cold_seconds").ObserveDuration(time.Since(start))
 	p.m.Counter("vplane_verify_runs_total").Inc()
+	// Export the scratch enclave's stage trace (parse → disasm → policy →
+	// cfa → rewrite) under the single-flight leader's trace ID, so the
+	// verifier's internal timeline shows up in /traces correlated with the
+	// session that triggered the cold run.
+	p.cfg.Spans.AddTrace(tid, boot.LastTrace())
 	if err != nil {
 		if errors.Is(err, verifier.ErrViolation) || errors.Is(err, runtime.ErrPolicyMismatch) {
 			p.m.Counter("vplane_negative_verdicts_total").Inc()
