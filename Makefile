@@ -1,11 +1,11 @@
 GO ?= go
 
-.PHONY: check build fmt vet lint metric-lint fuzz-disasm test race race-vplane race-gateway chaos bench metrics-smoke
+.PHONY: check build fmt vet lint metric-lint fuzz-disasm test race race-vplane race-gateway race-tenant chaos bench metrics-smoke
 
 # Tier-1 gate: what CI must keep green. race is the full -race sweep and
-# subsumes race-vplane/race-gateway; the focused targets exist for fast
-# iteration.
-check: build fmt vet lint metric-lint race race-vplane race-gateway fuzz-disasm
+# subsumes race-vplane/race-gateway/race-tenant; the focused targets exist
+# for fast iteration.
+check: build fmt vet lint metric-lint race race-vplane race-gateway race-tenant fuzz-disasm
 
 build:
 	$(GO) build ./...
@@ -52,10 +52,17 @@ race-vplane:
 race-gateway:
 	$(GO) test -race -count=2 ./internal/gateway/
 
+# Focused race gate for tenant admission (token buckets, weighted-fair
+# queue grants/evictions/timeouts racing releases, config reloads, and the
+# mixed-tier starvation scenario end to end).
+race-tenant:
+	$(GO) test -race -count=2 ./internal/tenant/
+	$(GO) test -race -count=2 -run 'TestTenant|TestGatewayTenant|TestGatewayStalled' ./internal/gateway/
+
 # The fault-injection suite on its own (always runs under -race: the point
 # is that injected faults surface as clean errors, not data races).
 chaos:
-	$(GO) test -race -run 'TestChaos|TestMalformed|TestNoGoroutineLeaks|TestShutdown|TestMaxSessions|TestDraining|TestServe' ./internal/ccaas/ ./internal/faultnet/ ./internal/gateway/
+	$(GO) test -race -run 'TestChaos|TestMalformed|TestNoGoroutineLeaks|TestShutdown|TestMaxSessions|TestDraining|TestServe|TestTenantStarvation' ./internal/ccaas/ ./internal/faultnet/ ./internal/gateway/
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...

@@ -47,6 +47,7 @@ import (
 	"deflection/internal/fleet"
 	"deflection/internal/gateway"
 	"deflection/internal/obs"
+	"deflection/internal/tenant"
 	"deflection/internal/vplane"
 )
 
@@ -96,6 +97,8 @@ func run() int {
 		brkOpenFor  = flag.Duration("breaker-open-for", 2*time.Second, "open-breaker window before a half-open trial")
 		helloWait   = flag.Duration("hello-timeout", 5*time.Second, "wait for a backend's attestation hello")
 		drain       = flag.Duration("drain", 15*time.Second, "graceful-shutdown drain budget")
+		tenantsConf = flag.String("tenants", "", "tenant admission config (tiers, tokens, default tier); empty = one unlimited tier. SIGHUP reloads it without dropping sessions")
+		admissionQ  = flag.Int("admission-queue", 256, "max sessions queued for capacity across all tiers")
 		metricsAddr = flag.String("metrics-addr", "", "serve metrics (JSON/Prometheus), /fleet, /traces and the fleet cert store on this address (empty = off)")
 		scrapeEvery = flag.Duration("fleet-scrape-interval", time.Second, "fleet telemetry scrape period")
 		traceLog    = flag.String("trace-log", "", "append every gateway span as one JSON line to this file (empty = off)")
@@ -268,20 +271,57 @@ func run() int {
 		}
 	}()
 
+	// Tenant admission: tiers and token buckets resolved from -tenants.
+	// The registry is swappable, which is what makes SIGHUP reloads safe:
+	// live sessions keep their slots, only future lookups see new policy.
+	var tenantReg *tenant.Registry
+	if *tenantsConf != "" {
+		tcfg, err := tenant.LoadConfig(*tenantsConf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		tenantReg = tenant.NewRegistry(tcfg)
+		logger.Log("tenants_loaded", "path", *tenantsConf, "tiers", tcfg.TierNames())
+	}
+
 	gw, err := gateway.New(gateway.Config{
-		Backends:      backendAddrs,
-		MaxSessions:   *maxSessions,
-		RetryBudget:   *retryBudget,
-		ProbeInterval: *probeEvery,
-		HelloTimeout:  *helloWait,
-		Breaker:       gateway.BreakerConfig{Threshold: *brkFails, OpenFor: *brkOpenFor},
-		Metrics:       reg,
-		Spans:         spans,
-		Log:           logger.Log,
+		Backends:       backendAddrs,
+		MaxSessions:    *maxSessions,
+		RetryBudget:    *retryBudget,
+		ProbeInterval:  *probeEvery,
+		HelloTimeout:   *helloWait,
+		Breaker:        gateway.BreakerConfig{Threshold: *brkFails, OpenFor: *brkOpenFor},
+		Tenants:        tenantReg,
+		AdmissionQueue: *admissionQ,
+		Metrics:        reg,
+		Spans:          spans,
+		Log:            logger.Log,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
+	}
+
+	// SIGHUP swaps the tenant config in place. A broken file is rejected
+	// with the old policy left running — reloads must never be able to take
+	// the gateway down.
+	if tenantReg != nil {
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		defer signal.Stop(hup)
+		go func() {
+			for range hup {
+				tcfg, err := tenant.LoadConfig(*tenantsConf)
+				if err != nil {
+					logger.Log("tenants_reload_failed", "path", *tenantsConf, "err", err)
+					continue
+				}
+				gen := tenantReg.Swap(tcfg)
+				logger.Log("tenants_reloaded", "path", *tenantsConf, "generation", gen,
+					"tiers", tcfg.TierNames())
+			}
+		}()
 	}
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -306,6 +346,16 @@ func run() int {
 			for i, s := range states {
 				out[i] = fleet.BackendHealth{Addr: s.Addr, Healthy: s.Healthy,
 					Breaker: s.Breaker, Inflight: s.Inflight}
+			}
+			return out
+		},
+		TenantStats: func() []fleet.TenantReport {
+			stats := gw.TenantStats()
+			out := make([]fleet.TenantReport, len(stats))
+			for i, s := range stats {
+				out[i] = fleet.TenantReport{Tenant: s.Tenant, Tier: s.Tier,
+					Active: s.Active, Queued: s.Queued, Admitted: s.Admitted,
+					QueuedTotal: s.QueuedTotal, Shed: s.Shed, RateLimited: s.RateLimited}
 			}
 			return out
 		},
@@ -339,6 +389,7 @@ func run() int {
 			_ = json.NewEncoder(w).Encode(map[string]any{
 				"status":          status,
 				"active_sessions": gw.ActiveSessions(),
+				"queued_sessions": gw.QueuedSessions(),
 				"backends":        gw.BackendStates(),
 			})
 		})
@@ -406,7 +457,9 @@ func run() int {
 		if err != nil {
 			return nil, err
 		}
-		if err := gateway.WritePreambleTraced(conn, digest[:], tid); err != nil {
+		// The demo labels itself: with a -tenants config in play it draws
+		// from whichever tier "demo" maps to (default tier otherwise).
+		if err := gateway.WritePreambleTagged(conn, digest[:], tid, "demo"); err != nil {
 			conn.Close()
 			return nil, err
 		}

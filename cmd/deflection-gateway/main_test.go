@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"regexp"
 	"syscall"
 	"testing"
@@ -33,11 +34,25 @@ func TestGatewaySmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("spawns a gateway process")
 	}
+	// Tenant admission config: the demo's "demo" token rides the premium
+	// tier. SIGHUP below swaps in a revision and must log a reload.
+	tenantsPath := filepath.Join(t.TempDir(), "tenants.conf")
+	writeTenants := func(weight int) {
+		conf := fmt.Sprintf(
+			"tier premium weight=%d max_sessions=64 queue_deadline=5s\ntier default weight=1\ntenant demo premium\ndefault default\n",
+			weight)
+		if err := os.WriteFile(tenantsPath, []byte(conf), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeTenants(8)
+
 	cmd := exec.Command(os.Args[0],
 		"-addr", "127.0.0.1:0",
 		"-spawn", "2",
 		"-metrics-addr", "127.0.0.1:0",
 		"-probe-interval", "50ms",
+		"-tenants", tenantsPath,
 		"-drain", "5s")
 	cmd.Env = append(os.Environ(), "DEFLECTION_GATEWAY_RUN_MAIN=1")
 	stderr, err := cmd.StderrPipe()
@@ -52,10 +67,11 @@ func TestGatewaySmoke(t *testing.T) {
 
 	var metricsAddr string
 	demoDone := make(chan struct{})
+	reloadDone := make(chan struct{})
 	scanErr := make(chan error, 1)
 	go func() {
 		sc := bufio.NewScanner(stderr)
-		var demoClosed bool
+		var demoClosed, reloadClosed bool
 		for sc.Scan() {
 			line := sc.Text()
 			if m := gwMetricsAddrRE.FindStringSubmatch(line); m != nil {
@@ -65,6 +81,10 @@ func TestGatewaySmoke(t *testing.T) {
 				regexp.MustCompile(`event=demo_complete`).MatchString(line) {
 				demoClosed = true
 				close(demoDone)
+			}
+			if !reloadClosed && regexp.MustCompile(`event=tenants_reloaded`).MatchString(line) {
+				reloadClosed = true
+				close(reloadDone)
 			}
 		}
 		scanErr <- sc.Err()
@@ -109,6 +129,14 @@ func TestGatewaySmoke(t *testing.T) {
 	if got := snap.Gauges["gateway_backends_healthy"]; got != 2 {
 		t.Errorf("gateway_backends_healthy = %d, want 2", got)
 	}
+	// Tenant admission accounting: both demo sessions drew from the demo
+	// tenant's premium budget, in aggregate and per-tenant counters.
+	if got := snap.Counters["gateway_tenant_admitted_total"]; got < 2 {
+		t.Errorf("gateway_tenant_admitted_total = %d, want >= 2", got)
+	}
+	if got := snap.Counters["gateway_tenant_demo_admitted_total"]; got < 2 {
+		t.Errorf("gateway_tenant_demo_admitted_total = %d, want >= 2", got)
+	}
 
 	// The /metrics endpoint also speaks the Prometheus text format under
 	// content negotiation (the JSON contract above is the default).
@@ -148,6 +176,11 @@ func TestGatewaySmoke(t *testing.T) {
 			CacheHitRatio float64 `json:"cache_hit_ratio"`
 			ScrapeErr     string  `json:"scrape_err"`
 		} `json:"backends"`
+		Tenants []struct {
+			Tenant   string `json:"tenant"`
+			Tier     string `json:"tier"`
+			Admitted int64  `json:"admitted_total"`
+		} `json:"tenants"`
 		Totals     map[string]int64 `json:"totals"`
 		Histograms map[string]struct {
 			Count int64 `json:"count"`
@@ -197,6 +230,19 @@ func TestGatewaySmoke(t *testing.T) {
 	if got := fleetRep.Histograms["ccaas_load_seconds"].Count; got < 2 {
 		t.Errorf("fleet ccaas_load_seconds count = %d, want >= 2", got)
 	}
+	// The tenants rollup names the demo tenant on its premium tier.
+	foundDemo := false
+	for _, tn := range fleetRep.Tenants {
+		if tn.Tenant == "demo" {
+			foundDemo = true
+			if tn.Tier != "premium" || tn.Admitted < 2 {
+				t.Errorf("/fleet demo tenant = %+v, want premium tier with >= 2 admitted", tn)
+			}
+		}
+	}
+	if !foundDemo {
+		t.Errorf("/fleet tenants rollup missing the demo tenant: %+v", fleetRep.Tenants)
+	}
 
 	// Health endpoint reports the pool.
 	hresp, err := http.Get(fmt.Sprintf("http://%s/healthz", metricsAddr))
@@ -238,6 +284,24 @@ func TestGatewaySmoke(t *testing.T) {
 	if presp.StatusCode != http.StatusNotFound {
 		t.Errorf("/platforms/gateway-backend-0 = HTTP %d, want 404 (no enrolment registry)", presp.StatusCode)
 	}
+
+	// SIGHUP reloads the tenant config in place: rewrite it, signal, and
+	// wait for the reload event. The process must keep serving (the /healthz
+	// probe below still answers) rather than restart.
+	writeTenants(4)
+	if err := cmd.Process.Signal(syscall.SIGHUP); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-reloadDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("tenants_reloaded event not logged within 10s of SIGHUP")
+	}
+	hresp2, err := http.Get(fmt.Sprintf("http://%s/healthz", metricsAddr))
+	if err != nil {
+		t.Fatalf("/healthz after SIGHUP: %v", err)
+	}
+	hresp2.Body.Close()
 
 	// Graceful shutdown on SIGTERM must exit 0.
 	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {

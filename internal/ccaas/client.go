@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"time"
 
 	"deflection/attest"
 	"deflection/internal/obs"
@@ -18,13 +19,19 @@ type Client struct {
 
 // GatewayStatus is the unsealed control frame a deflection-gateway sends in
 // place of the enclave hello when it cannot place the session on any
-// backend (pool exhausted, all breakers open, or the gateway is draining).
-// It is necessarily unauthenticated — the gateway holds no session keys —
-// so clients treat it exactly like a transport failure: transient,
-// retryable, and carrying no authority beyond "try again later".
+// backend (pool exhausted, admission shed, all breakers open, or the
+// gateway is draining). It is necessarily unauthenticated — the gateway
+// holds no session keys — so clients treat it exactly like a transport
+// failure: transient, retryable, and carrying no authority beyond "try
+// again later". RetryAfterMS, when set, is the gateway's admission-shaping
+// hint: retrying sooner than that will almost certainly be shed again, so
+// the retry helpers use it as a backoff floor. Being unauthenticated it can
+// only slow a client down by what the client itself accepts — Dial caps it
+// at MaxRetryAfter so a hostile middlebox cannot park clients forever.
 type GatewayStatus struct {
-	GatewayBusy bool   `json:"gateway_busy"`
-	Error       string `json:"error,omitempty"`
+	GatewayBusy  bool   `json:"gateway_busy"`
+	Error        string `json:"error,omitempty"`
+	RetryAfterMS int64  `json:"retry_after_ms,omitempty"`
 }
 
 // ErrGatewayBusy is returned by Dial when a fronting gateway answered with
@@ -32,6 +39,29 @@ type GatewayStatus struct {
 // transient: DialRetry and Retry back off and re-dial, which gives the
 // gateway a chance to route the session to a recovered backend.
 var ErrGatewayBusy = errors.New("ccaas: gateway busy")
+
+// MaxRetryAfter caps the retry_after_ms hint a client will honor. The hint
+// arrives on an unauthenticated frame; anything above the cap is clamped so
+// the worst a forged busy reply can do is delay one retry by a minute.
+const MaxRetryAfter = time.Minute
+
+// BusyError is the parsed gateway busy reply: ErrGatewayBusy plus the
+// shaping hint. errors.Is(err, ErrGatewayBusy) matches it, so existing
+// transient-classification and tests are unaffected.
+type BusyError struct {
+	Reason     string
+	RetryAfter time.Duration
+}
+
+func (e *BusyError) Error() string {
+	if e.RetryAfter > 0 {
+		return fmt.Sprintf("%v: %s (retry after %v)", ErrGatewayBusy, e.Reason, e.RetryAfter)
+	}
+	return fmt.Sprintf("%v: %s", ErrGatewayBusy, e.Reason)
+}
+
+// Is makes the typed busy reply interchangeable with the sentinel.
+func (e *BusyError) Is(target error) bool { return target == ErrGatewayBusy }
 
 // Dial attests the server's enclave (via the attestation service, against
 // the expected bootstrap measurement) and returns a session client. When
@@ -47,7 +77,14 @@ func Dial(conn io.ReadWriter, as *attest.Service, expected [32]byte, role attest
 	// fields are absent from it, so the two cannot be confused.
 	var gs GatewayStatus
 	if err := json.Unmarshal(frame, &gs); err == nil && gs.GatewayBusy {
-		return nil, fmt.Errorf("%w: %s", ErrGatewayBusy, gs.Error)
+		ra := time.Duration(gs.RetryAfterMS) * time.Millisecond
+		if ra < 0 {
+			ra = 0
+		}
+		if ra > MaxRetryAfter {
+			ra = MaxRetryAfter
+		}
+		return nil, &BusyError{Reason: gs.Error, RetryAfter: ra}
 	}
 	_, ch, err := attest.PartyHandshakeHello(frame, conn, as, expected, role)
 	if err != nil {

@@ -67,7 +67,10 @@ func (rc RetryConfig) norm() *retrier {
 }
 
 // delay computes the backoff after `failed` failed attempts (1-based).
-func (r *retrier) delay(failed int) time.Duration {
+// floor is the server-supplied retry_after hint: jittered exponential
+// backoff still applies, but never schedules the retry before the gateway
+// said capacity could exist again (retrying earlier is a guaranteed shed).
+func (r *retrier) delay(failed int, floor time.Duration) time.Duration {
 	d := r.BaseDelay
 	for i := 1; i < failed && d < r.MaxDelay; i++ {
 		d *= 2
@@ -75,14 +78,28 @@ func (r *retrier) delay(failed int) time.Duration {
 	if d > r.MaxDelay {
 		d = r.MaxDelay
 	}
-	return time.Duration(float64(d) * (1 - r.Jitter*r.rng.Float64()))
+	d = time.Duration(float64(d) * (1 - r.Jitter*r.rng.Float64()))
+	if d < floor {
+		d = floor
+	}
+	return d
+}
+
+// retryFloor extracts the gateway's retry_after hint from a failed
+// attempt's error (0 when the error carries none).
+func retryFloor(err error) time.Duration {
+	var be *BusyError
+	if errors.As(err, &be) {
+		return be.RetryAfter
+	}
+	return 0
 }
 
 // backoff sleeps the computed delay, records retry/backoff metrics, and
 // aborts early with the context error when ctx is cancelled mid-wait — a
 // caller with a 100ms budget must not sit out a 2s backoff.
-func (r *retrier) backoff(ctx context.Context, failed int) error {
-	d := r.delay(failed)
+func (r *retrier) backoff(ctx context.Context, failed int, floor time.Duration) error {
+	d := r.delay(failed, floor)
 	r.Metrics.Counter("ccaas_client_retries_total").Inc()
 	r.Metrics.Histogram("ccaas_client_backoff_seconds").ObserveDuration(d)
 	if r.Sleep != nil {
@@ -165,7 +182,7 @@ func DialRetryContext(ctx context.Context, dial Dialer, as *attest.Service, expe
 	var lastErr error
 	for attempt := 1; attempt <= r.Attempts; attempt++ {
 		if attempt > 1 {
-			if err := r.backoff(ctx, attempt-1); err != nil {
+			if err := r.backoff(ctx, attempt-1, retryFloor(lastErr)); err != nil {
 				return nil, ctxAbort("dial", err, lastErr)
 			}
 		}
@@ -207,7 +224,7 @@ func RetryContext(ctx context.Context, dial Dialer, as *attest.Service, expected
 	var lastErr error
 	for attempt := 1; attempt <= r.Attempts; attempt++ {
 		if attempt > 1 {
-			if err := r.backoff(ctx, attempt-1); err != nil {
+			if err := r.backoff(ctx, attempt-1, retryFloor(lastErr)); err != nil {
 				return ctxAbort("session", err, lastErr)
 			}
 		}

@@ -40,11 +40,28 @@ type BackendReport struct {
 	Gauges   map[string]int64 `json:"gauges,omitempty"`
 }
 
+// TenantReport is one tenant's admission accounting as rolled up on
+// /fleet. It mirrors the gateway's per-tenant counters; the callback
+// indirection (like BackendHealth) keeps this package free of a routing
+// layer dependency.
+type TenantReport struct {
+	Tenant      string `json:"tenant"`
+	Tier        string `json:"tier"`
+	Active      int64  `json:"active"`
+	Queued      int64  `json:"queued"`
+	Admitted    int64  `json:"admitted_total"`
+	QueuedTotal int64  `json:"queued_total"`
+	Shed        int64  `json:"shed_total"`
+	RateLimited int64  `json:"rate_limited_total"`
+}
+
 // Report is the /fleet document: per-backend detail plus fleet-wide
-// aggregates (summed counters, exactly merged histograms).
+// aggregates (summed counters, exactly merged histograms) and the
+// gateway's per-tenant admission rollup.
 type Report struct {
 	Scraped    time.Time                 `json:"scraped"`
 	Backends   []BackendReport           `json:"backends"`
+	Tenants    []TenantReport            `json:"tenants,omitempty"`
 	Totals     map[string]int64          `json:"totals"`
 	Histograms map[string]obs.HistDetail `json:"histograms"`
 }
@@ -56,6 +73,9 @@ type AggregatorConfig struct {
 	// BackendHealth, if set, supplies the routing layer's per-backend
 	// health/breaker states, matched to members by session address.
 	BackendHealth func() []BackendHealth
+	// TenantStats, if set, supplies the gateway's per-tenant admission
+	// accounting for the report's tenants section.
+	TenantStats func() []TenantReport
 	// Client performs the scrapes (nil = a 2s-timeout client).
 	Client *http.Client
 	// Interval is the periodic scrape period for Run (0 = 1s).
@@ -132,6 +152,9 @@ func (a *Aggregator) Scrape(ctx context.Context) *Report {
 		Backends:   make([]BackendReport, 0, len(members)),
 		Totals:     make(map[string]int64),
 		Histograms: make(map[string]obs.HistDetail),
+	}
+	if a.cfg.TenantStats != nil {
+		rep.Tenants = a.cfg.TenantStats()
 	}
 	histParts := make(map[string][]obs.HistDetail)
 	for _, m := range members {

@@ -45,6 +45,7 @@ import (
 	"deflection/attest"
 	"deflection/internal/ccaas"
 	"deflection/internal/obs"
+	"deflection/internal/tenant"
 )
 
 // preambleMagic identifies the gateway routing preamble frame. The
@@ -63,10 +64,18 @@ const preambleMagic = "deflection-gateway-v1"
 // directions tolerate its absence — v1 peers that predate the field
 // simply never see it (encoding/json ignores unknown fields and omitempty
 // elides empty ones), so the wire protocol version string is unchanged.
+//
+// Tenant is an optional admission-shaping label with the same
+// version-tolerance contract. It travels in cleartext before any
+// attestation, so it is NOT an identity: the gateway uses it only to pick
+// which admission budget (tier) the session draws from, and the tier
+// policy bounds the damage any one label can do. Forging someone else's
+// label buys an attacker nothing better than that tenant's own limits.
 type preamble struct {
-	Magic string `json:"gw"`
-	Route []byte `json:"route,omitempty"`
-	Trace string `json:"trace,omitempty"`
+	Magic  string `json:"gw"`
+	Route  []byte `json:"route,omitempty"`
+	Trace  string `json:"trace,omitempty"`
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // WritePreamble sends the gateway routing preamble on a fresh connection.
@@ -79,7 +88,14 @@ func WritePreamble(w io.Writer, route []byte) error {
 // WritePreambleTraced is WritePreamble carrying a client-minted trace ID.
 // A zero ID elides the field, producing the exact v1 preamble.
 func WritePreambleTraced(w io.Writer, route []byte, id obs.TraceID) error {
-	p := preamble{Magic: preambleMagic, Route: route}
+	return WritePreambleTagged(w, route, id, "")
+}
+
+// WritePreambleTagged is the full preamble: route hint, trace ID and
+// tenant admission label. Empty fields are elided, so every combination
+// down to the bare v1 preamble stays on the same wire version.
+func WritePreambleTagged(w io.Writer, route []byte, id obs.TraceID, tenantToken string) error {
+	p := preamble{Magic: preambleMagic, Route: route, Tenant: tenantToken}
 	if id != 0 {
 		p.Trace = id.String()
 	}
@@ -96,21 +112,23 @@ var ErrNotPreamble = errors.New("gateway: connection did not start with a routin
 
 // readPreamble consumes the preamble frame from a new client connection.
 // A malformed trace field is ignored rather than fatal: the trace ID is
-// observability-only and must never be able to break routing.
-func readPreamble(r io.Reader) ([]byte, obs.TraceID, error) {
+// observability-only and must never be able to break routing. The tenant
+// label is returned raw; admission normalises it (empty → anonymous,
+// overlong → truncated) so a hostile label cannot grow state.
+func readPreamble(r io.Reader) ([]byte, obs.TraceID, string, error) {
 	frame, err := attest.ReadFrame(r)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, "", err
 	}
 	var p preamble
 	if err := json.Unmarshal(frame, &p); err != nil || p.Magic != preambleMagic {
-		return nil, 0, ErrNotPreamble
+		return nil, 0, "", ErrNotPreamble
 	}
 	tid, err := obs.ParseTraceID(p.Trace)
 	if err != nil {
 		tid = 0
 	}
-	return p.Route, tid, nil
+	return p.Route, tid, p.Tenant, nil
 }
 
 // Config parameterises a Gateway.
@@ -133,6 +151,17 @@ type Config struct {
 	RetryBudget int
 	// MaxSessions caps concurrently proxied sessions (0 = unlimited).
 	MaxSessions int
+	// Tenants resolves preamble tenant labels to tiers for admission
+	// control. Nil gives every session one unlimited, non-queueing default
+	// tier — exactly the pre-tenant gateway behaviour.
+	Tenants *tenant.Registry
+	// AdmissionQueue bounds queued (waiting-for-capacity) sessions across
+	// all tiers (0 = 256). Only meaningful with MaxSessions > 0 and tiers
+	// that declare a queue deadline.
+	AdmissionQueue int
+	// RetryHint is the retry_after_ms handed to shed sessions whose tier
+	// carries no better estimate (0 = 500ms).
+	RetryHint time.Duration
 	// Replicas is the virtual-node count per backend on the hash ring
 	// (0 = 64).
 	Replicas int
@@ -178,17 +207,17 @@ var ErrGatewayClosed = errors.New("gateway: closed")
 
 // Gateway routes attested sessions across the backend pool.
 type Gateway struct {
-	cfg      Config
-	m        *obs.Registry
-	backends []*backend
-	ring     *ring
+	cfg       Config
+	m         *obs.Registry
+	backends  []*backend
+	ring      *ring
+	admission *tenant.Controller
 
 	sessionSeq atomic.Int64
 
 	mu        sync.Mutex
 	listeners map[net.Listener]struct{}
 	conns     map[net.Conn]struct{}
-	active    int
 	draining  bool
 	wg        sync.WaitGroup
 
@@ -238,6 +267,14 @@ func New(cfg Config) (*Gateway, error) {
 		conns:      make(map[net.Conn]struct{}),
 		stopProbes: make(chan struct{}),
 	}
+	g.admission = tenant.NewController(cfg.Tenants, tenant.ControllerConfig{
+		Capacity:  cfg.MaxSessions,
+		MaxQueue:  cfg.AdmissionQueue,
+		RetryHint: cfg.RetryHint,
+		Clock:     cfg.Clock,
+		Metrics:   cfg.Metrics,
+		Log:       cfg.Log,
+	})
 	for _, addr := range cfg.Backends {
 		b := &backend{addr: addr, breaker: NewBreaker(cfg.Breaker, cfg.Clock)}
 		b.healthy.Store(true) // innocent until a probe or session says otherwise
@@ -274,11 +311,13 @@ func (g *Gateway) BackendStates() []BackendState {
 }
 
 // ActiveSessions reports how many sessions are currently proxied.
-func (g *Gateway) ActiveSessions() int {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.active
-}
+func (g *Gateway) ActiveSessions() int { return g.admission.Active() }
+
+// QueuedSessions reports how many sessions are waiting for capacity.
+func (g *Gateway) QueuedSessions() int { return g.admission.Queued() }
+
+// TenantStats snapshots per-tenant admission accounting (/fleet rollups).
+func (g *Gateway) TenantStats() []tenant.Stat { return g.admission.Stats() }
 
 // Draining reports whether Shutdown has begun.
 func (g *Gateway) Draining() bool {
@@ -367,39 +406,39 @@ func (g *Gateway) probeLoop(b *backend) {
 	}
 }
 
-// acquire registers a session slot. admit=false means busy or draining.
-func (g *Gateway) acquire(conn net.Conn) (release func(), admit bool, reason string) {
+// track registers a connection for shutdown bookkeeping (drain wait +
+// force-close), WITHOUT consuming an admission slot: slots are granted by
+// the tenant controller only after the preamble has been read, so a client
+// that stalls its preamble can never hold MaxSessions capacity. ok=false
+// means the gateway is draining.
+func (g *Gateway) track(conn net.Conn) (untrack func(), ok bool) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	if g.draining {
-		return func() {}, false, "gateway is shutting down"
+		return func() {}, false
 	}
 	g.wg.Add(1)
 	g.conns[conn] = struct{}{}
-	admit = g.cfg.MaxSessions <= 0 || g.active < g.cfg.MaxSessions
-	if admit {
-		g.active++
-	} else {
-		reason = fmt.Sprintf("gateway session limit of %d reached", g.cfg.MaxSessions)
-	}
 	var once sync.Once
 	return func() {
 		once.Do(func() {
 			g.mu.Lock()
-			if admit {
-				g.active--
-			}
 			delete(g.conns, conn)
 			g.mu.Unlock()
 			g.wg.Done()
 		})
-	}, admit, reason
+	}, true
 }
 
 // replyBusy sends the unauthenticated gateway status frame. Clients
-// classify it as transient and retry with backoff.
-func (g *Gateway) replyBusy(conn net.Conn, reason string) {
-	payload, err := json.Marshal(ccaas.GatewayStatus{GatewayBusy: true, Error: reason})
+// classify it as transient and retry with backoff; retryAfter > 0 becomes
+// the retry_after_ms shaping hint (a floor on the client's next backoff).
+func (g *Gateway) replyBusy(conn net.Conn, reason string, retryAfter time.Duration) {
+	payload, err := json.Marshal(ccaas.GatewayStatus{
+		GatewayBusy:  true,
+		Error:        reason,
+		RetryAfterMS: retryAfter.Milliseconds(),
+	})
 	if err != nil {
 		return
 	}
@@ -428,36 +467,54 @@ func (g *Gateway) Handle(conn net.Conn) error {
 	start := time.Now()
 	g.m.Counter("gateway_sessions_total").Inc()
 
-	release, admit, reason := g.acquire(conn)
-	defer release()
-	if !admit {
+	untrack, accepting := g.track(conn)
+	defer untrack()
+	if !accepting {
 		g.m.Counter("gateway_sessions_rejected_busy_total").Inc()
 		// Drain the routing preamble before replying: closing a socket with
 		// unread bytes in its receive buffer turns the close into a RST,
 		// which can discard the busy frame before the client reads it.
 		_ = conn.SetReadDeadline(time.Now().Add(g.cfg.PreambleTimeout))
-		_, _, _ = readPreamble(conn)
+		_, _, _, _ = readPreamble(conn)
 		_ = conn.SetReadDeadline(time.Time{})
-		g.replyBusy(conn, reason)
-		return fmt.Errorf("gateway: session %d rejected: %s", sid, reason)
+		g.replyBusy(conn, "gateway is shutting down", 0)
+		return fmt.Errorf("gateway: session %d rejected: gateway is shutting down", sid)
+	}
+
+	// Read the preamble BEFORE taking an admission slot: a client that
+	// stalls mid-preamble holds only its own socket, never MaxSessions
+	// capacity that paying sessions need.
+	_ = conn.SetReadDeadline(time.Now().Add(g.cfg.PreambleTimeout))
+	route, tid, tenantTok, err := readPreamble(conn)
+	if err != nil {
+		g.m.Counter("gateway_preamble_errors_total").Inc()
+		g.replyBusy(conn, "bad routing preamble", 0)
+		return fmt.Errorf("gateway: session %d preamble: %w", sid, err)
+	}
+	_ = conn.SetReadDeadline(time.Time{})
+
+	dec, release, err := g.admission.Acquire(context.Background(), tenant.Normalize(tenantTok))
+	if err != nil {
+		g.m.Counter("gateway_sessions_rejected_busy_total").Inc()
+		reason, retryAfter := "gateway busy", time.Duration(0)
+		var shed *tenant.ShedError
+		if errors.As(err, &shed) {
+			reason, retryAfter = shed.Reason, shed.RetryAfter
+		}
+		g.replyBusy(conn, reason, retryAfter)
+		return fmt.Errorf("gateway: session %d rejected: %w", sid, err)
+	}
+	defer release()
+	if dec.Queued {
+		g.m.Histogram("gateway_admission_wait_seconds").ObserveDuration(dec.Wait)
 	}
 	g.m.Gauge("gateway_sessions_active").Add(1)
-	var tid obs.TraceID
 	defer func() {
 		g.m.Gauge("gateway_sessions_active").Add(-1)
 		g.m.Histogram("gateway_session_seconds").ObserveDuration(time.Since(start))
-		g.cfg.Spans.Observe(tid, "gateway/session", start, time.Since(start), "sid", sid)
+		g.cfg.Spans.Observe(tid, "gateway/session", start, time.Since(start),
+			"sid", sid, "tenant", dec.Tenant, "tier", dec.Tier)
 	}()
-
-	_ = conn.SetReadDeadline(time.Now().Add(g.cfg.PreambleTimeout))
-	route, ptid, err := readPreamble(conn)
-	if err != nil {
-		g.m.Counter("gateway_preamble_errors_total").Inc()
-		g.replyBusy(conn, "bad routing preamble")
-		return fmt.Errorf("gateway: session %d preamble: %w", sid, err)
-	}
-	tid = ptid
-	_ = conn.SetReadDeadline(time.Time{})
 
 	routeStart := time.Now()
 	var (
@@ -501,7 +558,9 @@ func (g *Gateway) Handle(conn net.Conn) error {
 	if lastErr != nil {
 		msg = fmt.Sprintf("%s: %v", msg, lastErr)
 	}
-	g.replyBusy(conn, msg)
+	// Hint the probe interval: a backend cannot be re-admitted faster than
+	// the next successful probe, so retrying sooner is wasted work.
+	g.replyBusy(conn, msg, g.cfg.ProbeInterval)
 	return fmt.Errorf("gateway: session %d: %s", sid, msg)
 }
 
@@ -628,6 +687,10 @@ func (g *Gateway) Shutdown(ctx context.Context) error {
 		_ = l.Close()
 	}
 	g.mu.Unlock()
+	// Shed queued waiters first: they hold no backend connection, and their
+	// Handle goroutines must unblock for the drain wait below to finish.
+	// Admitted sessions are untouched and drain normally.
+	g.admission.Close()
 	g.stopOnce.Do(func() { close(g.stopProbes) })
 	g.probeWG.Wait()
 

@@ -60,6 +60,7 @@ func DefaultConfig(root string) Config {
 			"internal/vplane",
 			"internal/gateway",
 			"internal/fleet",
+			"internal/tenant",
 			"net",
 			"os",
 		},

@@ -124,7 +124,7 @@ func TestForbiddenListPinned(t *testing.T) {
 	cfg := DefaultConfig(".")
 	want := []string{
 		"internal/obs", "internal/ccaas", "internal/vplane",
-		"internal/gateway", "internal/fleet", "net", "os",
+		"internal/gateway", "internal/fleet", "internal/tenant", "net", "os",
 	}
 	have := make(map[string]bool, len(cfg.Forbidden))
 	for _, f := range cfg.Forbidden {

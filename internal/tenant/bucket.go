@@ -1,0 +1,40 @@
+package tenant
+
+import (
+	"math"
+	"time"
+)
+
+// bucket is one tenant's token bucket. The rate and burst are NOT stored:
+// they are read from the tenant's tier at every take, so a config reload
+// (Registry.Swap) retunes live buckets without touching their state — a
+// tenant keeps its accumulated credit across reloads, clipped to the new
+// burst.
+type bucket struct {
+	tokens float64   // current credit, clipped to [0, burst]
+	last   time.Time // last refill instant
+}
+
+// take refills the bucket to now and, if at least one whole token is
+// available, spends it. On refusal it returns the wait until the next
+// token exists — the retry_after hint handed back to the client.
+func (b *bucket) take(now time.Time, rate, burst float64) (ok bool, retryAfter time.Duration) {
+	if rate <= 0 {
+		return true, 0 // unlimited tier: the bucket is disabled
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	if b.last.IsZero() {
+		b.tokens = burst
+	} else if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens = math.Min(burst, b.tokens+dt*rate)
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	need := 1 - b.tokens
+	return false, time.Duration(need / rate * float64(time.Second))
+}

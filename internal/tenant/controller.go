@@ -1,0 +1,502 @@
+package tenant
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"deflection/internal/obs"
+)
+
+// ControllerConfig parameterises admission.
+type ControllerConfig struct {
+	// Capacity is the total concurrently admitted session count — the
+	// gateway's MaxSessions (0 = unlimited, which disables queueing).
+	Capacity int
+	// MaxQueue bounds waiters across all tiers (0 = 256). When exceeded,
+	// the lowest-weight waiter is shed to make room for a higher one.
+	MaxQueue int
+	// MaxTenants bounds tracked per-tenant states (0 = 4096). Tokens beyond
+	// the cap share one overflow state, so an attacker minting labels can
+	// exhaust neither memory nor the default tier's aggregate budget.
+	MaxTenants int
+	// RetryHint is the retry_after handed to sheds that carry no better
+	// estimate (0 = 500ms).
+	RetryHint time.Duration
+	// Clock overrides time.Now for the token buckets (tests).
+	Clock func() time.Time
+	// Metrics receives gateway_tenant_* counters/gauges. Nil is valid.
+	Metrics *obs.Registry
+	// Log, if set, receives structured admission events.
+	Log func(event string, kv ...any)
+}
+
+// Decision reports how an admitted session got its slot.
+type Decision struct {
+	Tenant string
+	Tier   string
+	Queued bool          // the session waited for capacity
+	Wait   time.Duration // how long it waited
+}
+
+// ShedError is the admission refusal: the session was rate-limited, out of
+// queue room, or out of patience. RetryAfter is the shaping hint that ends
+// up in the busy reply's retry_after_ms.
+type ShedError struct {
+	Tenant     string
+	Tier       string
+	Reason     string
+	RetryAfter time.Duration
+}
+
+func (e *ShedError) Error() string {
+	return fmt.Sprintf("tenant %s (%s): %s (retry after %v)", e.Tenant, e.Tier, e.Reason, e.RetryAfter)
+}
+
+// state is one tenant's live accounting.
+type state struct {
+	tenant string
+	tier   string // last-resolved tier name, for reports
+	bucket bucket
+
+	active    int
+	queuedNow int
+
+	admitted    int64
+	queuedTotal int64
+	shed        int64
+	rateLimited int64
+}
+
+// waiter is one queued session.
+type waiter struct {
+	st    *state
+	tier  *Tier // policy resolved at arrival; reloads do not retier waiters
+	grant chan grantMsg
+	enq   time.Time
+}
+
+type grantMsg struct {
+	ok         bool
+	reason     string
+	retryAfter time.Duration
+}
+
+// Controller makes the gateway's admission decisions: token buckets, per
+// tenant concurrency caps, and a weighted-fair bounded wait queue over the
+// global capacity.
+type Controller struct {
+	reg   *Registry
+	cfg   ControllerConfig
+	clock func() time.Time
+	m     *obs.Registry
+
+	mu      sync.Mutex
+	closed  bool
+	active  int
+	queued  int
+	tenants map[string]*state
+	queues  map[string][]*waiter // tier name -> FIFO of waiters
+	tierOf  map[string]*Tier     // tier name -> policy of its current waiters
+	vtime   map[string]float64   // weighted-fair virtual finish times
+	vclock  float64              // high-water mark of granted virtual time
+}
+
+// NewController builds a controller over a tier registry.
+func NewController(reg *Registry, cfg ControllerConfig) *Controller {
+	if reg == nil {
+		reg = NewRegistry(nil)
+	}
+	clock := cfg.Clock
+	if clock == nil {
+		clock = time.Now
+	}
+	return &Controller{
+		reg:     reg,
+		cfg:     cfg,
+		clock:   clock,
+		m:       cfg.Metrics,
+		tenants: make(map[string]*state),
+		queues:  make(map[string][]*waiter),
+		tierOf:  make(map[string]*Tier),
+		vtime:   make(map[string]float64),
+	}
+}
+
+// Registry returns the tier registry admission resolves against (the
+// gateway's reload path swaps configs through it).
+func (c *Controller) Registry() *Registry { return c.reg }
+
+func (c *Controller) maxQueue() int {
+	if c.cfg.MaxQueue > 0 {
+		return c.cfg.MaxQueue
+	}
+	return 256
+}
+
+func (c *Controller) maxTenants() int {
+	if c.cfg.MaxTenants > 0 {
+		return c.cfg.MaxTenants
+	}
+	return 4096
+}
+
+func (c *Controller) retryHint(tier *Tier) time.Duration {
+	if tier.QueueDeadline > 0 {
+		return tier.QueueDeadline
+	}
+	if c.cfg.RetryHint > 0 {
+		return c.cfg.RetryHint
+	}
+	return 500 * time.Millisecond
+}
+
+func (c *Controller) log(event string, kv ...any) {
+	if c.cfg.Log != nil {
+		c.cfg.Log(event, kv...)
+	}
+}
+
+// overflowTenant labels the shared state for tokens beyond MaxTenants.
+const overflowTenant = "overflow"
+
+// stateFor returns (creating if needed) the tenant's accounting state.
+// Callers hold c.mu.
+func (c *Controller) stateFor(tenant, tierName string) *state {
+	st, ok := c.tenants[tenant]
+	if !ok {
+		if len(c.tenants) >= c.maxTenants() && tenant != overflowTenant {
+			c.m.Counter("gateway_tenant_overflow_total").Inc()
+			return c.stateFor(overflowTenant, tierName)
+		}
+		st = &state{tenant: tenant}
+		c.tenants[tenant] = st
+	}
+	st.tier = tierName
+	return st
+}
+
+// count bumps one tenant's per-tenant counter and the fleet aggregate.
+func (c *Controller) count(st *state, suffix string) {
+	c.m.Counter("gateway_tenant_" + suffix).Inc()
+	c.m.Counter(fmt.Sprintf("gateway_tenant_%s_%s", MetricName(st.tenant), suffix)).Inc()
+}
+
+func (c *Controller) setActiveGauges(st *state) {
+	c.m.Gauge(fmt.Sprintf("gateway_tenant_%s_active", MetricName(st.tenant))).Set(int64(st.active))
+	c.m.Gauge("gateway_tenant_queue_depth").Set(int64(c.queued))
+}
+
+// admitLocked books an admission for st. Callers hold c.mu.
+func (c *Controller) admitLocked(st *state) {
+	c.active++
+	st.active++
+	st.admitted++
+	c.count(st, "admitted_total")
+	c.setActiveGauges(st)
+}
+
+// shedLocked books a shed for st and returns the error. Callers hold c.mu.
+func (c *Controller) shedLocked(st *state, tier *Tier, reason string, retryAfter time.Duration) *ShedError {
+	st.shed++
+	c.count(st, "shed_total")
+	c.log("tenant_shed", "tenant", st.tenant, "tier", tier.Name, "reason", reason, "retry_after", retryAfter)
+	return &ShedError{Tenant: st.tenant, Tier: tier.Name, Reason: reason, RetryAfter: retryAfter}
+}
+
+// Acquire admits, queues or sheds one session for the given (raw, wire)
+// tenant token. On admission it returns a release closure that MUST be
+// called exactly when the session ends; releasing a slot is what grants the
+// next queued waiter. On refusal it returns a *ShedError carrying the retry
+// hint; ctx cancellation while queued returns ctx.Err() instead.
+func (c *Controller) Acquire(ctx context.Context, token string) (*Decision, func(), error) {
+	tenant, tier := c.reg.Lookup(token)
+	now := c.clock()
+
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, nil, &ShedError{Tenant: tenant, Tier: tier.Name,
+			Reason: "admission closed", RetryAfter: c.retryHint(tier)}
+	}
+	st := c.stateFor(tenant, tier.Name)
+
+	// 1. Token bucket: admission rate per tenant.
+	if ok, wait := st.bucket.take(now, tier.Rate, tier.Burst); !ok {
+		st.rateLimited++
+		c.count(st, "rate_limited_total")
+		err := c.shedLocked(st, tier, "tenant admission rate exceeded", wait)
+		c.mu.Unlock()
+		return nil, nil, err
+	}
+
+	// 2. Per-tenant concurrency cap: the isolation bound.
+	if tier.MaxConcurrent > 0 && st.active >= tier.MaxConcurrent {
+		err := c.shedLocked(st, tier, "tenant concurrency limit reached", c.retryHint(tier))
+		c.mu.Unlock()
+		return nil, nil, err
+	}
+
+	// 3. Global capacity: admit immediately while there is room.
+	if c.cfg.Capacity <= 0 || c.active < c.cfg.Capacity {
+		c.admitLocked(st)
+		c.mu.Unlock()
+		return &Decision{Tenant: tenant, Tier: tier.Name}, c.releaseFunc(st), nil
+	}
+
+	// 4. At capacity: queue if the tier queues at all and has room.
+	if tier.QueueDeadline <= 0 {
+		err := c.shedLocked(st, tier, "gateway at capacity", c.retryHint(tier))
+		c.mu.Unlock()
+		return nil, nil, err
+	}
+	if len(c.queues[tier.Name]) >= tier.queueDepth() {
+		err := c.shedLocked(st, tier, "tier queue full", c.retryHint(tier))
+		c.mu.Unlock()
+		return nil, nil, err
+	}
+	if c.queued >= c.maxQueue() {
+		// The global queue is full: shed the newest waiter of the lowest
+		// weight tier if it ranks strictly below the arrival; otherwise the
+		// arrival itself is the lowest and is shed.
+		if !c.evictLowestLocked(tier.weight()) {
+			err := c.shedLocked(st, tier, "admission queue full", c.retryHint(tier))
+			c.mu.Unlock()
+			return nil, nil, err
+		}
+	}
+	w := &waiter{st: st, tier: tier, grant: make(chan grantMsg, 1), enq: now}
+	if len(c.queues[tier.Name]) == 0 && c.vtime[tier.Name] < c.vclock {
+		// A tier going from idle to backlogged must not spend banked virtual
+		// time: it re-enters the weighted-fair race at the current clock.
+		c.vtime[tier.Name] = c.vclock
+	}
+	c.queues[tier.Name] = append(c.queues[tier.Name], w)
+	c.tierOf[tier.Name] = tier
+	c.queued++
+	st.queuedNow++
+	st.queuedTotal++
+	c.count(st, "queued_total")
+	c.setActiveGauges(st)
+	c.mu.Unlock()
+
+	// Wait outside the lock: a grant, the tier deadline, or the caller
+	// giving up — whichever comes first.
+	timer := time.NewTimer(tier.QueueDeadline)
+	defer timer.Stop()
+	var g grantMsg
+	select {
+	case g = <-w.grant:
+	case <-timer.C:
+		if c.abandon(w, true) {
+			return nil, nil, &ShedError{Tenant: tenant, Tier: tier.Name,
+				Reason: "queue deadline exceeded", RetryAfter: c.retryHint(tier)}
+		}
+		g = <-w.grant // the grant raced the deadline; honor it
+	case <-ctx.Done():
+		if c.abandon(w, false) {
+			return nil, nil, ctx.Err()
+		}
+		g = <-w.grant
+		if g.ok {
+			// Granted and cancelled concurrently: give the slot back.
+			c.releaseFunc(w.st)()
+		}
+		return nil, nil, ctx.Err()
+	}
+	if !g.ok {
+		return nil, nil, &ShedError{Tenant: tenant, Tier: tier.Name,
+			Reason: g.reason, RetryAfter: g.retryAfter}
+	}
+	return &Decision{Tenant: tenant, Tier: tier.Name, Queued: true, Wait: c.clock().Sub(w.enq)},
+		c.releaseFunc(st), nil
+}
+
+// abandon removes w from its queue if it is still there, booking the
+// outcome (timed out = shed, cancelled = abandoned). It returns false when
+// w was already granted or evicted — a message is then waiting on w.grant.
+func (c *Controller) abandon(w *waiter, timedOut bool) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	q := c.queues[w.tier.Name]
+	for i, qw := range q {
+		if qw == w {
+			c.queues[w.tier.Name] = append(q[:i], q[i+1:]...)
+			c.queued--
+			w.st.queuedNow--
+			if timedOut {
+				w.st.shed++
+				c.count(w.st, "shed_total")
+				c.m.Counter("gateway_tenant_queue_timeouts_total").Inc()
+				c.log("tenant_queue_timeout", "tenant", w.st.tenant, "tier", w.tier.Name,
+					"waited", c.clock().Sub(w.enq))
+			} else {
+				c.m.Counter("gateway_tenant_abandoned_total").Inc()
+			}
+			c.setActiveGauges(w.st)
+			return true
+		}
+	}
+	return false
+}
+
+// evictLowestLocked sheds the newest waiter of the lowest-weight backlogged
+// tier, provided it ranks strictly below arrivalWeight. Callers hold c.mu.
+func (c *Controller) evictLowestLocked(arrivalWeight int) bool {
+	victimTier := ""
+	victimWeight := arrivalWeight
+	for name, q := range c.queues {
+		if len(q) == 0 {
+			continue
+		}
+		if w := c.tierOf[name].weight(); w < victimWeight {
+			victimWeight, victimTier = w, name
+		}
+	}
+	if victimTier == "" {
+		return false
+	}
+	q := c.queues[victimTier]
+	v := q[len(q)-1]
+	c.queues[victimTier] = q[:len(q)-1]
+	c.queued--
+	v.st.queuedNow--
+	v.st.shed++
+	c.count(v.st, "shed_total")
+	c.m.Counter("gateway_tenant_evictions_total").Inc()
+	c.setActiveGauges(v.st)
+	c.log("tenant_evicted", "tenant", v.st.tenant, "tier", victimTier)
+	v.grant <- grantMsg{ok: false, reason: "displaced by higher-tier session",
+		retryAfter: c.retryHint(v.tier)}
+	return true
+}
+
+// releaseFunc returns the idempotent slot release for one admission.
+func (c *Controller) releaseFunc(st *state) func() {
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			c.mu.Lock()
+			c.active--
+			st.active--
+			c.setActiveGauges(st)
+			c.grantNextLocked()
+			c.mu.Unlock()
+		})
+	}
+}
+
+// grantNextLocked hands freed capacity to queued waiters in weighted-fair
+// order: among backlogged tiers, the one with the smallest virtual finish
+// time is served, and serving a tier advances its clock by 1/weight — so a
+// weight-8 tier drains eight sessions for each one a weight-1 tier drains.
+// Callers hold c.mu.
+func (c *Controller) grantNextLocked() {
+	for (c.cfg.Capacity <= 0 || c.active < c.cfg.Capacity) && c.queued > 0 {
+		best := ""
+		for name, q := range c.queues {
+			if len(q) == 0 {
+				continue
+			}
+			if best == "" || c.vtime[name] < c.vtime[best] {
+				best = name
+			}
+		}
+		if best == "" {
+			return
+		}
+		q := c.queues[best]
+		w := q[0]
+		c.queues[best] = q[1:]
+		c.queued--
+		w.st.queuedNow--
+		c.vtime[best] += 1 / float64(c.tierOf[best].weight())
+		if c.vtime[best] > c.vclock {
+			c.vclock = c.vtime[best]
+		}
+		// Re-check the per-tenant cap at grant time: several waiters of one
+		// tenant may have queued while it was below its cap.
+		if w.tier.MaxConcurrent > 0 && w.st.active >= w.tier.MaxConcurrent {
+			w.st.shed++
+			c.count(w.st, "shed_total")
+			c.setActiveGauges(w.st)
+			w.grant <- grantMsg{ok: false, reason: "tenant concurrency limit reached",
+				retryAfter: c.retryHint(w.tier)}
+			continue
+		}
+		c.admitLocked(w.st)
+		w.grant <- grantMsg{ok: true}
+	}
+}
+
+// Close sheds every queued waiter and refuses all future admissions.
+// Admitted sessions are untouched: the gateway drains them itself.
+func (c *Controller) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return
+	}
+	c.closed = true
+	for name, q := range c.queues {
+		for _, w := range q {
+			c.queued--
+			w.st.queuedNow--
+			w.st.shed++
+			c.count(w.st, "shed_total")
+			w.grant <- grantMsg{ok: false, reason: "gateway is shutting down",
+				retryAfter: c.retryHint(w.tier)}
+		}
+		c.queues[name] = nil
+	}
+	c.m.Gauge("gateway_tenant_queue_depth").Set(0)
+}
+
+// Active reports currently admitted sessions.
+func (c *Controller) Active() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.active
+}
+
+// Queued reports currently queued sessions.
+func (c *Controller) Queued() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.queued
+}
+
+// Stat is one tenant's admission accounting, as served on /fleet.
+type Stat struct {
+	Tenant      string `json:"tenant"`
+	Tier        string `json:"tier"`
+	Active      int64  `json:"active"`
+	Queued      int64  `json:"queued"`
+	Admitted    int64  `json:"admitted_total"`
+	QueuedTotal int64  `json:"queued_total"`
+	Shed        int64  `json:"shed_total"`
+	RateLimited int64  `json:"rate_limited_total"`
+}
+
+// Stats snapshots every tracked tenant, sorted by tenant label.
+func (c *Controller) Stats() []Stat {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Stat, 0, len(c.tenants))
+	for _, st := range c.tenants {
+		out = append(out, Stat{
+			Tenant:      st.tenant,
+			Tier:        st.tier,
+			Active:      int64(st.active),
+			Queued:      int64(st.queuedNow),
+			Admitted:    st.admitted,
+			QueuedTotal: st.queuedTotal,
+			Shed:        st.shed,
+			RateLimited: st.rateLimited,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Tenant < out[j].Tenant })
+	return out
+}

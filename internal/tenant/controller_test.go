@@ -1,0 +1,527 @@
+package tenant
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"deflection/internal/obs"
+)
+
+func mustConfig(t *testing.T, src string) *Config {
+	t.Helper()
+	cfg, err := ParseConfig(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg
+}
+
+func acquire(t *testing.T, c *Controller, token string) func() {
+	t.Helper()
+	_, release, err := c.Acquire(context.Background(), token)
+	if err != nil {
+		t.Fatalf("Acquire(%q): %v", token, err)
+	}
+	return release
+}
+
+func TestControllerAdmitsWithinCapacity(t *testing.T) {
+	c := NewController(nil, ControllerConfig{Capacity: 2})
+	r1 := acquire(t, c, "a")
+	r2 := acquire(t, c, "b")
+	if c.Active() != 2 {
+		t.Fatalf("active = %d", c.Active())
+	}
+	r1()
+	r1() // idempotent
+	r2()
+	if c.Active() != 0 {
+		t.Fatalf("active after release = %d", c.Active())
+	}
+}
+
+func TestControllerDefaultTierShedsAtCapacity(t *testing.T) {
+	// No config: behave exactly like the pre-tenant gateway — immediate shed.
+	reg := obs.NewRegistry()
+	c := NewController(nil, ControllerConfig{Capacity: 1, Metrics: reg})
+	release := acquire(t, c, "")
+	defer release()
+	_, _, err := c.Acquire(context.Background(), "")
+	var shed *ShedError
+	if !errors.As(err, &shed) {
+		t.Fatalf("err = %v, want ShedError", err)
+	}
+	if shed.RetryAfter <= 0 {
+		t.Fatal("shed carries no retry hint")
+	}
+	if shed.Tenant != AnonymousTenant {
+		t.Fatalf("tenant label %q", shed.Tenant)
+	}
+	if n := reg.Counter("gateway_tenant_shed_total").Value(); n != 1 {
+		t.Fatalf("gateway_tenant_shed_total = %d", n)
+	}
+	if n := reg.Counter("gateway_tenant_anonymous_shed_total").Value(); n != 1 {
+		t.Fatalf("per-tenant shed counter = %d", n)
+	}
+}
+
+func TestControllerTokenBucketRateLimits(t *testing.T) {
+	now := time.Unix(0, 0)
+	clock := func() time.Time { return now }
+	cfg := mustConfig(t, "tier default rate=1 burst=2\n")
+	reg := obs.NewRegistry()
+	c := NewController(NewRegistry(cfg), ControllerConfig{Capacity: 100, Clock: clock, Metrics: reg})
+
+	acquire(t, c, "x")()
+	acquire(t, c, "x")()
+	_, _, err := c.Acquire(context.Background(), "x")
+	var shed *ShedError
+	if !errors.As(err, &shed) {
+		t.Fatalf("third burst admission err = %v, want rate-limit shed", err)
+	}
+	if shed.RetryAfter <= 0 || shed.RetryAfter > time.Second {
+		t.Fatalf("rate-limit retry hint %v, want (0, 1s]", shed.RetryAfter)
+	}
+	// Another tenant has its own bucket.
+	acquire(t, c, "y")()
+	// A second of refill restores x.
+	now = now.Add(time.Second)
+	acquire(t, c, "x")()
+	if n := reg.Counter("gateway_tenant_rate_limited_total").Value(); n != 1 {
+		t.Fatalf("rate_limited_total = %d", n)
+	}
+}
+
+func TestControllerPerTenantConcurrencyCap(t *testing.T) {
+	cfg := mustConfig(t, "tier default max_sessions=2\n")
+	c := NewController(NewRegistry(cfg), ControllerConfig{Capacity: 100})
+	r1 := acquire(t, c, "x")
+	r2 := acquire(t, c, "x")
+	if _, _, err := c.Acquire(context.Background(), "x"); err == nil {
+		t.Fatal("third concurrent session admitted past max_sessions=2")
+	}
+	// The cap is per tenant, not global.
+	acquire(t, c, "y")()
+	r1()
+	r2()
+	acquire(t, c, "x")()
+}
+
+func TestControllerQueueGrantsOnRelease(t *testing.T) {
+	cfg := mustConfig(t, "tier default queue_deadline=5s\n")
+	c := NewController(NewRegistry(cfg), ControllerConfig{Capacity: 1})
+	release := acquire(t, c, "a")
+
+	got := make(chan error, 1)
+	go func() {
+		dec, rel, err := c.Acquire(context.Background(), "b")
+		if err == nil {
+			if !dec.Queued {
+				err = errors.New("decision not marked queued")
+			}
+			rel()
+		}
+		got <- err
+	}()
+	// The waiter must be queued, not shed.
+	deadline := time.Now().Add(2 * time.Second)
+	for c.Queued() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	release()
+	if err := <-got; err != nil {
+		t.Fatalf("queued session: %v", err)
+	}
+}
+
+func TestControllerQueueDeadlineSheds(t *testing.T) {
+	cfg := mustConfig(t, "tier default queue_deadline=30ms\n")
+	reg := obs.NewRegistry()
+	c := NewController(NewRegistry(cfg), ControllerConfig{Capacity: 1, Metrics: reg})
+	release := acquire(t, c, "a")
+	defer release()
+
+	start := time.Now()
+	_, _, err := c.Acquire(context.Background(), "b")
+	var shed *ShedError
+	if !errors.As(err, &shed) {
+		t.Fatalf("err = %v, want deadline shed", err)
+	}
+	if waited := time.Since(start); waited < 25*time.Millisecond {
+		t.Fatalf("shed after %v, before the deadline", waited)
+	}
+	if c.Queued() != 0 {
+		t.Fatalf("queued = %d after deadline shed", c.Queued())
+	}
+	if n := reg.Counter("gateway_tenant_queue_timeouts_total").Value(); n != 1 {
+		t.Fatalf("queue_timeouts_total = %d", n)
+	}
+}
+
+func TestControllerContextCancelAbandonsQueue(t *testing.T) {
+	cfg := mustConfig(t, "tier default queue_deadline=10s\n")
+	c := NewController(NewRegistry(cfg), ControllerConfig{Capacity: 1})
+	release := acquire(t, c, "a")
+	defer release()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	got := make(chan error, 1)
+	go func() {
+		_, _, err := c.Acquire(ctx, "b")
+		got <- err
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for c.Queued() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-got; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if c.Queued() != 0 {
+		t.Fatalf("queued = %d after cancellation", c.Queued())
+	}
+}
+
+// TestControllerWeightedFairDrain: with premium weight 4 and free weight 1
+// both backlogged, releases drain premium waiters about four times as fast.
+func TestControllerWeightedFairDrain(t *testing.T) {
+	cfg := mustConfig(t, `
+tier premium weight=4 queue_deadline=10s
+tier free weight=1 queue_deadline=10s
+tenant vip premium
+default free
+`)
+	c := NewController(NewRegistry(cfg), ControllerConfig{Capacity: 1, MaxQueue: 64})
+	holder := acquire(t, c, "vip")
+
+	const perTier = 10
+	type done struct {
+		tier string
+		err  error
+	}
+	order := make(chan string, 2*perTier)
+	var wg sync.WaitGroup
+	enqueue := func(token, tier string) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, rel, err := c.Acquire(context.Background(), token)
+			if err != nil {
+				t.Errorf("%s waiter: %v", tier, err)
+				return
+			}
+			order <- tier
+			rel() // instant release: each grant frees the slot for the next
+		}()
+	}
+	for i := 0; i < perTier; i++ {
+		enqueue("vip", "premium")
+		enqueue(fmt.Sprintf("free-%d", i), "free")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Queued() != 2*perTier {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d waiters queued", c.Queued(), 2*perTier)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	holder() // start the drain
+	wg.Wait()
+	close(order)
+
+	// In the first 10 grants, premium must take roughly its 4:1 share — at
+	// least 7 — because WFQ serves 4 premium per free while both backlog.
+	var premiumEarly int
+	for i := 0; i < 10; i++ {
+		if <-order == "premium" {
+			premiumEarly++
+		}
+	}
+	if premiumEarly < 7 {
+		t.Fatalf("premium got %d of the first 10 grants, want >= 7 (weighted drain)", premiumEarly)
+	}
+}
+
+// TestControllerShedsLowestTierFirst: a full queue sheds a free waiter to
+// make room for an arriving premium session, never the other way around.
+func TestControllerShedsLowestTierFirst(t *testing.T) {
+	cfg := mustConfig(t, `
+tier premium weight=8 queue_deadline=10s
+tier free weight=1 queue_deadline=10s
+tenant vip premium
+default free
+`)
+	reg := obs.NewRegistry()
+	c := NewController(NewRegistry(cfg), ControllerConfig{Capacity: 1, MaxQueue: 2, Metrics: reg})
+	holder := acquire(t, c, "vip")
+	defer holder()
+
+	freeErrs := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func(i int) {
+			_, rel, err := c.Acquire(context.Background(), fmt.Sprintf("free-%d", i))
+			if err == nil {
+				rel()
+			}
+			freeErrs <- err
+		}(i)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for c.Queued() != 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("free waiters never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Queue is full (MaxQueue=2). A premium arrival displaces a free waiter.
+	premiumDone := make(chan error, 1)
+	go func() {
+		_, rel, err := c.Acquire(context.Background(), "vip")
+		if err == nil {
+			rel()
+		}
+		premiumDone <- err
+	}()
+	var evicted error
+	select {
+	case evicted = <-freeErrs:
+	case <-time.After(2 * time.Second):
+		t.Fatal("no free waiter was displaced")
+	}
+	var shed *ShedError
+	if !errors.As(evicted, &shed) || shed.RetryAfter <= 0 {
+		t.Fatalf("displaced waiter got %v, want ShedError with retry hint", evicted)
+	}
+	if n := reg.Counter("gateway_tenant_evictions_total").Value(); n != 1 {
+		t.Fatalf("evictions_total = %d", n)
+	}
+
+	// Draining the holder admits premium first (weighted-fair would too, but
+	// here it simply queued successfully where free was displaced).
+	holder()
+	if err := <-premiumDone; err != nil {
+		t.Fatalf("premium waiter: %v", err)
+	}
+	if err := <-freeErrs; err != nil {
+		t.Fatalf("surviving free waiter: %v", err)
+	}
+
+	// A free arrival into a full queue of its own tier is itself shed.
+	h2 := acquire(t, c, "vip")
+	defer h2()
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, rel, err := c.Acquire(context.Background(), fmt.Sprintf("refill-%d", i))
+			if err == nil {
+				rel()
+			}
+		}(i)
+	}
+	deadline = time.Now().Add(2 * time.Second)
+	for c.Queued() != 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("refill waiters never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, _, err := c.Acquire(context.Background(), "late-free"); !errors.As(err, &shed) {
+		t.Fatalf("lowest-tier arrival into full queue: %v, want immediate shed", err)
+	}
+	h2()
+	wg.Wait()
+}
+
+func TestControllerTierQueueDepthBound(t *testing.T) {
+	cfg := mustConfig(t, "tier default queue_deadline=10s queue_depth=1\n")
+	c := NewController(NewRegistry(cfg), ControllerConfig{Capacity: 1, MaxQueue: 100})
+	release := acquire(t, c, "a")
+	defer release()
+	queued := make(chan error, 1)
+	go func() {
+		_, rel, err := c.Acquire(context.Background(), "b")
+		if err == nil {
+			rel()
+		}
+		queued <- err
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for c.Queued() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("first waiter never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	var shed *ShedError
+	if _, _, err := c.Acquire(context.Background(), "c"); !errors.As(err, &shed) {
+		t.Fatalf("second waiter err = %v, want tier-queue-full shed", err)
+	} else if shed.Reason != "tier queue full" {
+		t.Fatalf("reason %q", shed.Reason)
+	}
+	release()
+	if err := <-queued; err != nil {
+		t.Fatalf("queued waiter: %v", err)
+	}
+}
+
+func TestControllerGrantRechecksTenantCap(t *testing.T) {
+	cfg := mustConfig(t, "tier default max_sessions=1 queue_deadline=10s\n")
+	c := NewController(NewRegistry(cfg), ControllerConfig{Capacity: 2})
+	h1 := acquire(t, c, "holder-one")
+	h2 := acquire(t, c, "holder-two")
+
+	// Tenant x has no active sessions, so two waiters both pass the arrival
+	// check. Granted one at a time — while the first still holds its slot —
+	// the grant-time re-check must shed the second.
+	type outcome struct {
+		rel func()
+		err error
+	}
+	got := make(chan outcome, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			_, rel, err := c.Acquire(context.Background(), "x")
+			got <- outcome{rel, err}
+		}()
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for c.Queued() != 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiters never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	h1() // grants the first x waiter, which keeps holding its slot
+	first := <-got
+	if first.err != nil {
+		t.Fatalf("first x waiter: %v", first.err)
+	}
+	h2() // grants the second x waiter while the first is still active
+	second := <-got
+	var shed *ShedError
+	if !errors.As(second.err, &shed) {
+		t.Fatalf("second x waiter err = %v, want grant-time cap shed", second.err)
+	}
+	first.rel()
+}
+
+func TestControllerCloseShedsWaiters(t *testing.T) {
+	cfg := mustConfig(t, "tier default queue_deadline=10s\n")
+	c := NewController(NewRegistry(cfg), ControllerConfig{Capacity: 1})
+	release := acquire(t, c, "a")
+	defer release()
+	got := make(chan error, 1)
+	go func() {
+		_, _, err := c.Acquire(context.Background(), "b")
+		got <- err
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for c.Queued() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	c.Close()
+	var shed *ShedError
+	if err := <-got; !errors.As(err, &shed) {
+		t.Fatalf("err = %v, want shutdown shed", err)
+	}
+	if _, _, err := c.Acquire(context.Background(), "c"); !errors.As(err, &shed) {
+		t.Fatal("closed controller admitted a session")
+	}
+	c.Close() // idempotent
+}
+
+func TestControllerReloadKeepsLiveSessions(t *testing.T) {
+	reg := NewRegistry(mustConfig(t, "tier default max_sessions=8 rate=100 burst=100\n"))
+	c := NewController(reg, ControllerConfig{Capacity: 10})
+	r1 := acquire(t, c, "x")
+	r2 := acquire(t, c, "x")
+
+	// Reload to a tighter policy mid-flight.
+	reg.Swap(mustConfig(t, "tier default max_sessions=1 rate=100 burst=100\n"))
+
+	// Live sessions stay; their releases still balance the books.
+	if c.Active() != 2 {
+		t.Fatalf("active = %d after reload", c.Active())
+	}
+	// New admissions see the new cap (2 active >= 1).
+	if _, _, err := c.Acquire(context.Background(), "x"); err == nil {
+		t.Fatal("post-reload admission ignored the new cap")
+	}
+	r1()
+	r2()
+	if c.Active() != 0 {
+		t.Fatalf("active = %d after releases", c.Active())
+	}
+	// Below the new cap again: admitted.
+	acquire(t, c, "x")()
+}
+
+func TestControllerTenantOverflowShares(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := NewController(nil, ControllerConfig{Capacity: 0, MaxTenants: 2, Metrics: reg})
+	acquire(t, c, "a")()
+	acquire(t, c, "b")()
+	acquire(t, c, "c")() // beyond MaxTenants: lands in the shared overflow state
+	if n := reg.Counter("gateway_tenant_overflow_total").Value(); n != 1 {
+		t.Fatalf("overflow_total = %d", n)
+	}
+	stats := c.Stats()
+	if len(stats) != 3 {
+		t.Fatalf("stats = %+v, want a, b and overflow", stats)
+	}
+	if stats[len(stats)-1].Tenant != overflowTenant {
+		t.Fatalf("no overflow stat in %+v", stats)
+	}
+}
+
+func TestControllerStatsAccountForEverything(t *testing.T) {
+	cfg := mustConfig(t, `
+tier premium weight=8 queue_deadline=1s
+tier free weight=1
+tenant vip premium
+default free
+`)
+	c := NewController(NewRegistry(cfg), ControllerConfig{Capacity: 1})
+	hold := acquire(t, c, "vip")
+	if _, _, err := c.Acquire(context.Background(), "pleb"); err == nil {
+		t.Fatal("free session admitted past capacity (free has no queue)")
+	}
+	hold()
+	stats := c.Stats()
+	if len(stats) != 2 {
+		t.Fatalf("stats %+v", stats)
+	}
+	var vip, pleb Stat
+	for _, s := range stats {
+		switch s.Tenant {
+		case "vip":
+			vip = s
+		case "pleb":
+			pleb = s
+		}
+	}
+	if vip.Tier != "premium" || vip.Admitted != 1 || vip.Shed != 0 || vip.Active != 0 {
+		t.Fatalf("vip stat %+v", vip)
+	}
+	if pleb.Tier != "free" || pleb.Admitted != 0 || pleb.Shed != 1 {
+		t.Fatalf("pleb stat %+v", pleb)
+	}
+}

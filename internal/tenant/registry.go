@@ -1,0 +1,63 @@
+package tenant
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Registry resolves tenant tokens to tiers and supports atomic hot reload:
+// Swap installs a new Config without disturbing sessions admitted under the
+// old one (admission counts live in the Controller, keyed by tenant token,
+// and release decrements are config-independent).
+type Registry struct {
+	mu  sync.RWMutex
+	cfg *Config
+	gen atomic.Int64 // bumped on every Swap, for logs and tests
+}
+
+// NewRegistry wraps a config (nil = DefaultConfig).
+func NewRegistry(cfg *Config) *Registry {
+	if cfg == nil {
+		cfg = DefaultConfig()
+	}
+	return &Registry{cfg: cfg}
+}
+
+// Lookup normalises the token and resolves its tier. Unknown tokens get
+// the default tier: the config's job is to privilege known tenants, not to
+// reject strangers (rejection is the admission controller's job, by
+// policy of the tier they land in).
+func (r *Registry) Lookup(token string) (tenant string, tier *Tier) {
+	tenant = Normalize(token)
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	name, ok := r.cfg.Tenants[tenant]
+	if !ok {
+		name = r.cfg.DefaultTier
+	}
+	tier, ok = r.cfg.Tiers[name]
+	if !ok {
+		tier = r.cfg.Tiers[r.cfg.DefaultTier]
+	}
+	return tenant, tier
+}
+
+// Swap atomically installs a new config and returns the reload generation.
+// In-flight and queued sessions keep the tier they resolved at arrival;
+// only future lookups see the new table.
+func (r *Registry) Swap(cfg *Config) int64 {
+	r.mu.Lock()
+	r.cfg = cfg
+	r.mu.Unlock()
+	return r.gen.Add(1)
+}
+
+// Generation reports how many Swaps have been applied.
+func (r *Registry) Generation() int64 { return r.gen.Load() }
+
+// Snapshot returns the current config (callers must not mutate it).
+func (r *Registry) Snapshot() *Config {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.cfg
+}

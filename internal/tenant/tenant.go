@@ -1,0 +1,299 @@
+// Package tenant is the gateway's admission-shaping layer: it decides, for
+// every arriving session, whether the session is admitted now, queued until
+// capacity frees, or shed with retry guidance — by declared per-tenant
+// policy instead of arrival order.
+//
+// The CCaaS deployment model is many mutually-distrusting code providers
+// sharing one verification fleet. Without shaping, overload degrades by
+// accident: whoever arrives 601st eats the busy reply, so one misbehaving
+// provider's flood starves everyone else. This package makes degradation a
+// matter of configuration:
+//
+//   - tenants are grouped into tiers (tenants.conf), each declaring a
+//     token-bucket admission rate, a per-tenant concurrency cap, a queue
+//     weight and a bounded queueing deadline;
+//   - at capacity, sessions wait in a weighted-fair queue (premium drains
+//     before free in proportion to tier weight) instead of being rejected
+//     outright;
+//   - when the queue itself overflows, the lowest-weight waiter is shed
+//     first, and every shed carries a retry_after hint sized to when
+//     capacity is likely to exist again.
+//
+// Tenant tokens are SHAPING LABELS, NOT IDENTITIES. They arrive in the
+// cleartext gateway preamble, unauthenticated — exactly like trace IDs. A
+// client can claim any token; the worst a forged token buys is a different
+// queueing class, never access to another tenant's data (sessions are
+// end-to-end attested past the gateway, which cannot read a byte of them).
+// Admission policy must therefore be written as "limit the damage any one
+// label can do", not "trust the label".
+package tenant
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// DefaultTierName is the tier assigned to tenants absent from the config
+// (and to all traffic when no config is loaded at all).
+const DefaultTierName = "default"
+
+// AnonymousTenant is the label under which sessions with no tenant token at
+// all are accounted. Legacy clients that predate the preamble field land
+// here, sharing one bucket — which is the conservative choice: unlabelled
+// traffic cannot crowd out labelled tenants.
+const AnonymousTenant = "anonymous"
+
+// MaxTokenLen bounds a tenant token. Longer tokens are truncated at the
+// gateway: tokens are unauthenticated shaping labels, so truncation can
+// only merge an attacker's labels together, never split a victim's.
+const MaxTokenLen = 64
+
+// Tier declares the admission policy for one class of tenants.
+type Tier struct {
+	// Name identifies the tier in config, metrics and reports.
+	Name string
+	// Weight is the tier's share of weighted-fair dequeueing (>= 1). A
+	// weight-8 tier drains eight queued sessions for every one a weight-1
+	// tier drains while both have waiters.
+	Weight int
+	// MaxConcurrent caps concurrently admitted sessions PER TENANT of this
+	// tier (0 = unlimited). This is the isolation knob: one flooding label
+	// can hold at most this many slots.
+	MaxConcurrent int
+	// Rate is the per-tenant token-bucket refill in session admissions per
+	// second (0 = unlimited, bucket disabled).
+	Rate float64
+	// Burst is the bucket depth: how many admissions a quiet tenant may
+	// save up (0 with Rate > 0 = Rate, i.e. one second of credit).
+	Burst float64
+	// QueueDeadline bounds how long a session of this tier may wait for a
+	// slot before it is shed (0 = no queueing: at capacity, shed at once).
+	QueueDeadline time.Duration
+	// QueueDepth caps this tier's queued sessions (0 = 64). Arrivals
+	// beyond it are shed even before the global queue bound is hit.
+	QueueDepth int
+}
+
+// queueDepth returns the effective per-tier queue bound.
+func (t *Tier) queueDepth() int {
+	if t.QueueDepth > 0 {
+		return t.QueueDepth
+	}
+	return 64
+}
+
+// weight returns the effective weighted-fair share.
+func (t *Tier) weight() int {
+	if t.Weight > 0 {
+		return t.Weight
+	}
+	return 1
+}
+
+// Config is a parsed tenants.conf: the tier table plus the tenant → tier
+// assignment and the default tier for unlisted tenants.
+type Config struct {
+	Tiers       map[string]*Tier
+	Tenants     map[string]string // tenant token -> tier name
+	DefaultTier string
+}
+
+// DefaultConfig is the policy used when no tenants file is given: a single
+// unlimited tier with no queueing, which reproduces the pre-tenant gateway
+// behavior exactly (at capacity, shed immediately).
+func DefaultConfig() *Config {
+	return &Config{
+		Tiers:       map[string]*Tier{DefaultTierName: {Name: DefaultTierName, Weight: 1}},
+		Tenants:     map[string]string{},
+		DefaultTier: DefaultTierName,
+	}
+}
+
+// ParseConfig reads the tenants.conf format:
+//
+//	# comment
+//	tier <name> weight=<n> max_sessions=<n> rate=<f> burst=<f> \
+//	     queue_deadline=<dur> queue_depth=<n>
+//	tenant <token> <tier>
+//	default <tier>
+//
+// Every key of a tier line is optional. A malformed line aborts the parse:
+// an admission policy that half-loads is worse than one that fails loudly.
+func ParseConfig(r io.Reader) (*Config, error) {
+	cfg := &Config{
+		Tiers:   map[string]*Tier{},
+		Tenants: map[string]string{},
+	}
+	sc := bufio.NewScanner(r)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "tier":
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("tenant: line %d: tier needs a name", lineno)
+			}
+			tier, err := parseTier(fields[1], fields[2:])
+			if err != nil {
+				return nil, fmt.Errorf("tenant: line %d: %w", lineno, err)
+			}
+			if _, dup := cfg.Tiers[tier.Name]; dup {
+				return nil, fmt.Errorf("tenant: line %d: duplicate tier %q", lineno, tier.Name)
+			}
+			cfg.Tiers[tier.Name] = tier
+		case "tenant":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("tenant: line %d: want `tenant <token> <tier>`", lineno)
+			}
+			if _, dup := cfg.Tenants[fields[1]]; dup {
+				return nil, fmt.Errorf("tenant: line %d: duplicate tenant %q", lineno, fields[1])
+			}
+			cfg.Tenants[fields[1]] = fields[2]
+		case "default":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("tenant: line %d: want `default <tier>`", lineno)
+			}
+			cfg.DefaultTier = fields[1]
+		default:
+			return nil, fmt.Errorf("tenant: line %d: unknown directive %q", lineno, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("tenant: %w", err)
+	}
+	if len(cfg.Tiers) == 0 {
+		return nil, fmt.Errorf("tenant: config declares no tiers")
+	}
+	if cfg.DefaultTier == "" {
+		// No explicit default: use the "default" tier if declared, else fail —
+		// unlisted tenants must land somewhere deliberate.
+		if _, ok := cfg.Tiers[DefaultTierName]; !ok {
+			return nil, fmt.Errorf("tenant: no `default <tier>` directive and no tier named %q", DefaultTierName)
+		}
+		cfg.DefaultTier = DefaultTierName
+	}
+	if _, ok := cfg.Tiers[cfg.DefaultTier]; !ok {
+		return nil, fmt.Errorf("tenant: default tier %q not declared", cfg.DefaultTier)
+	}
+	for tok, tier := range cfg.Tenants {
+		if _, ok := cfg.Tiers[tier]; !ok {
+			return nil, fmt.Errorf("tenant: tenant %q assigned to undeclared tier %q", tok, tier)
+		}
+		if len(tok) > MaxTokenLen {
+			return nil, fmt.Errorf("tenant: tenant token %q exceeds %d bytes", tok, MaxTokenLen)
+		}
+	}
+	return cfg, nil
+}
+
+// parseTier parses one tier line's key=value fields.
+func parseTier(name string, kvs []string) (*Tier, error) {
+	t := &Tier{Name: name, Weight: 1}
+	for _, kv := range kvs {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return nil, fmt.Errorf("tier %s: bad field %q", name, kv)
+		}
+		var err error
+		switch k {
+		case "weight":
+			t.Weight, err = strconv.Atoi(v)
+			if err == nil && t.Weight < 1 {
+				err = fmt.Errorf("must be >= 1")
+			}
+		case "max_sessions":
+			t.MaxConcurrent, err = strconv.Atoi(v)
+		case "rate":
+			t.Rate, err = strconv.ParseFloat(v, 64)
+		case "burst":
+			t.Burst, err = strconv.ParseFloat(v, 64)
+		case "queue_deadline":
+			t.QueueDeadline, err = time.ParseDuration(v)
+		case "queue_depth":
+			t.QueueDepth, err = strconv.Atoi(v)
+		default:
+			return nil, fmt.Errorf("tier %s: unknown key %q", name, k)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("tier %s: %s: %v", name, k, err)
+		}
+	}
+	if t.Rate > 0 && t.Burst <= 0 {
+		t.Burst = t.Rate
+	}
+	return t, nil
+}
+
+// LoadConfig parses the tenants.conf at path.
+func LoadConfig(path string) (*Config, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("tenant: %w", err)
+	}
+	defer f.Close()
+	cfg, err := ParseConfig(f)
+	if err != nil {
+		return nil, fmt.Errorf("tenant: %s: %w", path, err)
+	}
+	return cfg, nil
+}
+
+// TierNames lists the config's tiers in sorted order (reports, logs).
+func (c *Config) TierNames() []string {
+	out := make([]string, 0, len(c.Tiers))
+	for name := range c.Tiers {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Normalize canonicalises a wire tenant token: empty becomes the anonymous
+// label, overlong tokens are truncated (see MaxTokenLen).
+func Normalize(token string) string {
+	if token == "" {
+		return AnonymousTenant
+	}
+	if len(token) > MaxTokenLen {
+		token = token[:MaxTokenLen]
+	}
+	return token
+}
+
+// MetricName sanitises a tenant or tier label into a metrics-safe
+// lowercase snake_case fragment, so per-tenant counters survive the
+// Prometheus exposition. Distinct tokens can collide after sanitisation;
+// that only merges their accounting, never their admission state.
+func MetricName(label string) string {
+	var b strings.Builder
+	b.Grow(len(label))
+	for _, r := range label {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9':
+			b.WriteRune(r)
+		case r >= 'A' && r <= 'Z':
+			b.WriteRune(r + ('a' - 'A'))
+		default:
+			b.WriteRune('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	s := b.String()
+	if s[0] >= '0' && s[0] <= '9' {
+		s = "_" + s
+	}
+	return s
+}

@@ -1,0 +1,181 @@
+package tenant
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+const sampleConf = `
+# two tiers, two named tenants
+tier premium weight=8 max_sessions=64 rate=50 burst=100 queue_deadline=5s queue_depth=128
+tier free weight=1 max_sessions=4 rate=2 burst=4 queue_deadline=250ms
+
+tenant acme premium
+tenant hobbyist free
+default free
+`
+
+func TestParseConfig(t *testing.T) {
+	cfg, err := ParseConfig(strings.NewReader(sampleConf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := cfg.Tiers["premium"]
+	if p == nil || p.Weight != 8 || p.MaxConcurrent != 64 || p.Rate != 50 ||
+		p.Burst != 100 || p.QueueDeadline != 5*time.Second || p.QueueDepth != 128 {
+		t.Fatalf("premium tier parsed as %+v", p)
+	}
+	f := cfg.Tiers["free"]
+	if f == nil || f.Weight != 1 || f.QueueDeadline != 250*time.Millisecond {
+		t.Fatalf("free tier parsed as %+v", f)
+	}
+	if cfg.Tenants["acme"] != "premium" || cfg.Tenants["hobbyist"] != "free" {
+		t.Fatalf("tenants parsed as %+v", cfg.Tenants)
+	}
+	if cfg.DefaultTier != "free" {
+		t.Fatalf("default tier %q", cfg.DefaultTier)
+	}
+	if names := cfg.TierNames(); len(names) != 2 || names[0] != "free" || names[1] != "premium" {
+		t.Fatalf("tier names %v", names)
+	}
+}
+
+func TestParseConfigBurstDefaultsToRate(t *testing.T) {
+	cfg, err := ParseConfig(strings.NewReader("tier default rate=7\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cfg.Tiers["default"].Burst; got != 7 {
+		t.Fatalf("burst = %v, want rate (7)", got)
+	}
+}
+
+func TestParseConfigRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"tier",                         // missing name
+		"tier x weight=zero",           // non-numeric
+		"tier x weight=0",              // weight below 1
+		"tier x bogus=1",               // unknown key
+		"frobnicate y z",               // unknown directive
+		"tenant a",                     // missing tier
+		"tier default\ntenant a ghost", // undeclared tier
+		"tier gold\n",                  // no default resolvable
+		"tier default\ndefault ghost",  // undeclared default
+		"tier default\ntier default",   // duplicate tier
+		"tier default\ntenant a default\ntenant a default", // duplicate tenant
+	}
+	for _, src := range bad {
+		if _, err := ParseConfig(strings.NewReader(src)); err == nil {
+			t.Errorf("config %q parsed without error", src)
+		}
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	if got := Normalize(""); got != AnonymousTenant {
+		t.Fatalf("empty token -> %q", got)
+	}
+	long := strings.Repeat("x", 3*MaxTokenLen)
+	if got := Normalize(long); len(got) != MaxTokenLen {
+		t.Fatalf("overlong token kept %d bytes", len(got))
+	}
+	if got := Normalize("acme"); got != "acme" {
+		t.Fatalf("plain token mangled to %q", got)
+	}
+}
+
+func TestMetricName(t *testing.T) {
+	cases := map[string]string{
+		"acme":        "acme",
+		"Acme-Corp.1": "acme_corp_1",
+		"9lives":      "_9lives",
+		"":            "_",
+		"日本":          "__",
+	}
+	for in, want := range cases {
+		if got := MetricName(in); got != want {
+			t.Errorf("MetricName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestRegistryLookupAndSwap(t *testing.T) {
+	cfg, err := ParseConfig(strings.NewReader(sampleConf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRegistry(cfg)
+	if tenant, tier := r.Lookup("acme"); tenant != "acme" || tier.Name != "premium" {
+		t.Fatalf("acme -> %s/%s", tenant, tier.Name)
+	}
+	if tenant, tier := r.Lookup("stranger"); tenant != "stranger" || tier.Name != "free" {
+		t.Fatalf("unknown tenant -> %s/%s, want default tier", tenant, tier.Name)
+	}
+	if tenant, tier := r.Lookup(""); tenant != AnonymousTenant || tier.Name != "free" {
+		t.Fatalf("empty token -> %s/%s", tenant, tier.Name)
+	}
+
+	// Reload: demote acme, keep everyone else.
+	cfg2, err := ParseConfig(strings.NewReader(
+		"tier premium weight=8\ntier free weight=1\ntenant acme free\ndefault free\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen := r.Swap(cfg2); gen != 1 {
+		t.Fatalf("generation = %d", gen)
+	}
+	if _, tier := r.Lookup("acme"); tier.Name != "free" {
+		t.Fatalf("post-reload acme tier %s", tier.Name)
+	}
+}
+
+func TestRegistryNilConfigIsUnlimitedDefault(t *testing.T) {
+	r := NewRegistry(nil)
+	_, tier := r.Lookup("anyone")
+	if tier.Name != DefaultTierName || tier.Rate != 0 || tier.MaxConcurrent != 0 || tier.QueueDeadline != 0 {
+		t.Fatalf("default tier %+v, want unlimited no-queue tier", tier)
+	}
+}
+
+func TestBucketRefill(t *testing.T) {
+	var b bucket
+	now := time.Unix(1000, 0)
+	// Fresh bucket starts full at burst.
+	for i := 0; i < 3; i++ {
+		if ok, _ := b.take(now, 1, 3); !ok {
+			t.Fatalf("take %d refused on a full bucket", i)
+		}
+	}
+	ok, wait := b.take(now, 1, 3)
+	if ok {
+		t.Fatal("empty bucket granted a token")
+	}
+	if wait <= 0 || wait > time.Second {
+		t.Fatalf("retry hint %v, want (0, 1s]", wait)
+	}
+	// Half a second refills half a token: still refused, hint shrinks.
+	if ok, wait2 := b.take(now.Add(500*time.Millisecond), 1, 3); ok || wait2 >= wait {
+		t.Fatalf("after 500ms: ok=%v wait=%v (was %v)", ok, wait2, wait)
+	}
+	// A full second refills a whole token.
+	if ok, _ := b.take(now.Add(1600*time.Millisecond), 1, 3); !ok {
+		t.Fatal("refilled bucket refused")
+	}
+	// Credit never exceeds burst.
+	if ok, _ := b.take(now.Add(time.Hour), 1, 1); !ok {
+		t.Fatal("bucket refused after long idle")
+	}
+	if ok, _ := b.take(now.Add(time.Hour), 1, 1); ok {
+		t.Fatal("burst=1 bucket held more than one token")
+	}
+}
+
+func TestBucketUnlimited(t *testing.T) {
+	var b bucket
+	for i := 0; i < 1000; i++ {
+		if ok, _ := b.take(time.Unix(0, 0), 0, 0); !ok {
+			t.Fatal("rate=0 bucket must never refuse")
+		}
+	}
+}
