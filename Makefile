@@ -1,11 +1,11 @@
 GO ?= go
 
-.PHONY: check build fmt vet lint metric-lint fuzz-disasm test race race-vplane race-gateway race-tenant chaos bench metrics-smoke
+.PHONY: check build fmt vet lint metric-lint fuzz-disasm fuzz-taint test race race-vplane race-gateway race-tenant race-taint chaos bench metrics-smoke
 
 # Tier-1 gate: what CI must keep green. race is the full -race sweep and
-# subsumes race-vplane/race-gateway/race-tenant; the focused targets exist
-# for fast iteration.
-check: build fmt vet lint metric-lint race race-vplane race-gateway race-tenant fuzz-disasm
+# subsumes race-vplane/race-gateway/race-tenant/race-taint; the focused
+# targets exist for fast iteration.
+check: build fmt vet lint metric-lint race race-vplane race-gateway race-tenant race-taint fuzz-disasm fuzz-taint
 
 build:
 	$(GO) build ./...
@@ -35,6 +35,11 @@ FUZZTIME ?= 5s
 fuzz-disasm:
 	$(GO) test -fuzz=FuzzDisassemble -fuzztime=$(FUZZTIME) -run '^$$' ./internal/disasm/
 
+# Short coverage-guided smoke of the P7 taint pass over arbitrary decodable
+# machine code (no panics, declared errors only, deterministic reports).
+fuzz-taint:
+	$(GO) test -fuzz=FuzzTaintPass -fuzztime=$(FUZZTIME) -run '^$$' ./internal/taint/
+
 test:
 	$(GO) test ./...
 
@@ -58,6 +63,11 @@ race-gateway:
 race-tenant:
 	$(GO) test -race -count=2 ./internal/tenant/
 	$(GO) test -race -count=2 -run 'TestTenant|TestGatewayTenant|TestGatewayStalled' ./internal/gateway/
+
+# Focused race gate for the P7 taint pass and its verifier/runtime wiring
+# (the analysis itself is pure, but concurrent verifications share it).
+race-taint:
+	$(GO) test -race -count=2 ./internal/taint/ ./internal/verifier/ ./internal/apps/
 
 # The fault-injection suite on its own (always runs under -race: the point
 # is that injected faults surface as clean errors, not data races).

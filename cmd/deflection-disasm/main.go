@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"deflection/internal/cfa"
 	"deflection/internal/disasm"
@@ -24,6 +25,8 @@ import (
 	"deflection/internal/loader"
 	"deflection/internal/obj"
 	"deflection/internal/policy"
+	"deflection/internal/runtime"
+	"deflection/internal/taint"
 	"deflection/internal/verifier"
 )
 
@@ -33,8 +36,9 @@ func main() {
 
 func run() int {
 	var (
-		verify = flag.String("verify", "", "also run the verifier with this policy set (p1|p1+p2|p1-p5|p1-p6)")
+		verify = flag.String("verify", "", "also run the verifier with this policy set (p1|p1+p2|p1-p5|p1-p6|p1-p7|full)")
 		cfg    = flag.String("cfg", "", "print the recovered control-flow graph instead of a listing (dot|text)")
+		taintF = flag.Bool("taint", false, "annotate the -cfg output with the P7 pass: per-block register taint-in/out masks and findings (loads and verifies the object under p1-p7)")
 		dump   = flag.Bool("d", true, "print disassembly")
 	)
 	flag.Parse()
@@ -45,6 +49,10 @@ func run() int {
 	}
 	if *cfg != "" && *cfg != "dot" && *cfg != "text" {
 		fmt.Fprintf(os.Stderr, "deflection-disasm: -cfg must be dot or text, got %q\n", *cfg)
+		return 2
+	}
+	if *taintF && *cfg == "" {
+		fmt.Fprintln(os.Stderr, "deflection-disasm: -taint requires -cfg dot or -cfg text")
 		return 2
 	}
 	raw, err := os.ReadFile(flag.Arg(0))
@@ -58,6 +66,9 @@ func run() int {
 		return 1
 	}
 
+	if *taintF {
+		return dumpTaintCFG(o, *cfg)
+	}
 	if *cfg != "" {
 		return dumpCFG(o, *cfg)
 	}
@@ -219,7 +230,157 @@ func parsePolicies(s string) (policy.Set, error) {
 		return policy.SetP1P5, nil
 	case "p1-p6":
 		return policy.SetP1P6, nil
+	case "p1-p7":
+		return policy.SetP1P7, nil
+	case "full":
+		return policy.SetAll, nil
 	default:
 		return 0, fmt.Errorf("deflection-disasm: unknown policy set %q", s)
 	}
+}
+
+// dumpTaintCFG loads and relocates the object exactly as the runtime
+// would, runs a full p1-p7 verification capturing the P7 taint report,
+// and renders the CFG over the relocated text with per-block register
+// taint-in/out masks and inline findings. The verdict goes to stderr so
+// dot output on stdout stays valid graphviz.
+func dumpTaintCFG(o *obj.Object, format string) int {
+	e, err := enclave.New(enclave.DefaultConfig(), []byte("disasm"))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	ld, err := loader.Load(e, o)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "load: %v\n", err)
+		return 1
+	}
+	text, err := ld.TextBytes()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	entryOff := int64(ld.Entry - ld.TextBase)
+	var offs []int64
+	for _, t := range ld.BranchTargets {
+		offs = append(offs, int64(t-ld.TextBase))
+	}
+	var rep *taint.Report
+	_, verr := verifier.Verify(text, verifier.Options{
+		Required:            policy.SetP1P7,
+		EntryOffset:         entryOff,
+		BranchTargetOffsets: offs,
+		Taint:               runtime.TaintConfig(ld),
+		TaintObserver:       func(r *taint.Report) { rep = r },
+	})
+	switch {
+	case verr != nil:
+		fmt.Fprintf(os.Stderr, "verifier: REJECTED: %v\n", verr)
+	case rep != nil && rep.Trivial:
+		fmt.Fprintln(os.Stderr, "verifier: ACCEPTED (no secret buffers tagged; P7 holds trivially)")
+	default:
+		fmt.Fprintln(os.Stderr, "verifier: ACCEPTED")
+	}
+	if rep == nil {
+		fmt.Fprintln(os.Stderr, "deflection-disasm: taint annotations unavailable (an earlier pass rejected the binary before P7 ran)")
+	}
+
+	dis, err := disasm.Disassemble(text, append([]int64{entryOff}, offs...))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "deflection-disasm: %v\n", err)
+		return 1
+	}
+	g := cfa.Build(dis, entryOff, offs)
+	findings := make(map[int64]taint.Finding)
+	if rep != nil {
+		for _, f := range rep.Findings {
+			findings[f.Off] = f
+		}
+	}
+	switch format {
+	case "dot":
+		renderTaintDot(g, rep, findings)
+	case "text":
+		renderTaintText(g, rep, findings)
+	}
+	if verr != nil {
+		return 1
+	}
+	return 0
+}
+
+// regMask renders a register-taint bitmask as a comma list ("-" = clean).
+func regMask(m uint16) string {
+	if m == 0 {
+		return "-"
+	}
+	var parts []string
+	for r := isa.Reg(0); r < isa.NumRegs; r++ {
+		if m&(1<<r) != 0 {
+			parts = append(parts, r.String())
+		}
+	}
+	return strings.Join(parts, ",")
+}
+
+func renderTaintText(g *cfa.Graph, rep *taint.Report, findings map[int64]taint.Finding) {
+	fmt.Printf("cfg: %d blocks, %d edges, entry %#x, %d listed targets\n",
+		len(g.Blocks)-1, g.Edges, g.Entry, len(g.Targets))
+	for _, b := range g.Blocks[1:] {
+		fmt.Printf("block %d [%#06x, %#06x) succs=%v", b.ID, b.Start, b.End, b.Succs)
+		if rep != nil {
+			if bt, ok := rep.Blocks[b.ID]; ok {
+				fmt.Printf(" taint-in=%s taint-out=%s", regMask(bt.In), regMask(bt.Out))
+			} else {
+				fmt.Print(" taint: unreached")
+			}
+		}
+		fmt.Println()
+		for _, in := range b.Insts {
+			fmt.Printf("  %#06x  %s", in.Off, in.Inst.String())
+			if f, ok := findings[in.Off]; ok {
+				fmt.Printf("   ; TAINT %s: %s", f.Kind, f.Msg)
+			}
+			fmt.Println()
+		}
+	}
+}
+
+func renderTaintDot(g *cfa.Graph, rep *taint.Report, findings map[int64]taint.Finding) {
+	fmt.Println("digraph cfg {\n  node [shape=box fontname=\"monospace\"];")
+	fmt.Println("  root [label=\"root\" shape=ellipse];")
+	for _, b := range g.Blocks[1:] {
+		var lbl strings.Builder
+		fmt.Fprintf(&lbl, "[%#06x, %#06x)\\l", b.Start, b.End)
+		tainted := false
+		if rep != nil {
+			if bt, ok := rep.Blocks[b.ID]; ok {
+				fmt.Fprintf(&lbl, "taint in=%s out=%s\\l", regMask(bt.In), regMask(bt.Out))
+				tainted = bt.In != 0 || bt.Out != 0
+			}
+		}
+		for _, in := range b.Insts {
+			fmt.Fprintf(&lbl, "%#06x  %s\\l", in.Off, in.Inst.String())
+			if f, ok := findings[in.Off]; ok {
+				fmt.Fprintf(&lbl, "  !! TAINT %s\\l", f.Kind)
+			}
+		}
+		attr := ""
+		if tainted {
+			attr = " color=red"
+		}
+		fmt.Printf("  b%d [label=\"%s\"%s];\n", b.ID, lbl.String(), attr)
+	}
+	name := func(id int) string {
+		if id == cfa.Root {
+			return "root"
+		}
+		return fmt.Sprintf("b%d", id)
+	}
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			fmt.Printf("  %s -> %s;\n", name(b.ID), name(s))
+		}
+	}
+	fmt.Println("}")
 }

@@ -58,12 +58,14 @@ const (
 	PolicyP1P2 Policies = policy.SetP1P2
 	PolicyP1P5 Policies = policy.SetP1P5
 	PolicyP1P6 Policies = policy.SetP1P6
-	// PolicyFull is P0-P6: everything, including the interface policies.
+	// PolicyP1P7 adds the P7 secret-taint pass on top of P1-P6.
+	PolicyP1P7 Policies = policy.SetP1P7
+	// PolicyFull is P0-P7: everything, including the interface policies.
 	PolicyFull Policies = policy.SetAll
 )
 
 // ParsePolicies parses a policy-set name as used by the CLI tools:
-// "none", "p1", "p1+p2", "p1-p5", "p1-p6" or "full".
+// "none", "p1", "p1+p2", "p1-p5", "p1-p6", "p1-p7" or "full".
 func ParsePolicies(s string) (Policies, error) {
 	switch s {
 	case "none":
@@ -76,6 +78,8 @@ func ParsePolicies(s string) (Policies, error) {
 		return PolicyP1P5, nil
 	case "p1-p6":
 		return PolicyP1P6, nil
+	case "p1-p7":
+		return PolicyP1P7, nil
 	case "full":
 		return PolicyFull, nil
 	default:

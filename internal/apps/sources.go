@@ -10,8 +10,8 @@ package apps
 // O(N^2) dynamic-programming matrix, as the paper notes ("it takes N^2
 // memory space").
 const NWSource = `
-char seqa[1024];
-char seqb[1024];
+secret char seqa[1024];
+secret char seqb[1024];
 int dp[491401]; // (700+1)^2
 
 int main() {
@@ -75,8 +75,8 @@ int main() {
 // fast rational sigmoid so throughput is dominated by array/float traffic,
 // matching the original workload's profile.
 const CreditSource = `
-float w1[24];
-float w2[6];
+secret float w1[24];
+secret float w2[6];
 float feat[4];
 float hidden[6];
 

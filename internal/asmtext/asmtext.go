@@ -12,6 +12,7 @@
 //	.words tbl 1, 2, -3      ; initialised data (8-byte little-endian ints)
 //	.bss   buf 128           ; zero-initialised data
 //	.ptrtable jt lbl1, lbl2  ; table of code addresses (registers targets)
+//	.secret buf              ; tag a data/bss object as a P7 taint source
 //
 //	loop:                    ; label (local to the object, must be unique)
 //	  mov  rax, 42           ; register <- immediate
@@ -145,6 +146,12 @@ func (a *assembler) directive(line string) error {
 			return fmt.Errorf(".target needs a label")
 		}
 		a.out.AddBranchTarget(fields[1])
+		return nil
+	case ".secret":
+		if len(fields) != 2 {
+			return fmt.Errorf(".secret needs a data symbol")
+		}
+		a.out.AddSecret(fields[1])
 		return nil
 	case ".data":
 		if len(fields) < 3 {

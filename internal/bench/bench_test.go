@@ -238,3 +238,31 @@ func TestCacheBenchQuick(t *testing.T) {
 		t.Error("empty render")
 	}
 }
+
+func TestTaintQuick(t *testing.T) {
+	res, err := Taint(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) < 3 {
+		t.Fatalf("only %d rows", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		switch row.Name {
+		case "nw-secret", "credit-secret":
+			if row.Secrets != 2 || row.Trivial || row.Funcs == 0 {
+				t.Errorf("%s: secrets=%d trivial=%v funcs=%d, want full analysis of 2 secrets",
+					row.Name, row.Secrets, row.Trivial, row.Funcs)
+			}
+		default:
+			// Untagged kernels must ride the trivial fast path.
+			if row.Secrets != 0 || !row.Trivial {
+				t.Errorf("%s: secrets=%d trivial=%v, want trivial", row.Name, row.Secrets, row.Trivial)
+			}
+		}
+	}
+	t.Logf("aggregate taint overhead %+.1f%% (budget +%.0f%%)", res.Overhead()*100, res.Budget*100)
+	if !strings.Contains(res.String(), "P7 secret-taint") {
+		t.Error("render missing title")
+	}
+}

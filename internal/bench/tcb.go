@@ -49,6 +49,7 @@ var trustedPackages = []struct {
 	{"verifier", "Policy verifier"},
 	{"disasm", "Clipped disassembler"},
 	{"cfa", "CFG recovery + dominators"},
+	{"taint", "P7 secret-taint pass"},
 	{"isa", "Instruction decoder"},
 	{"enclave", "Enclave memory model"},
 	{"policy", "Policy/annotation ABI"},

@@ -127,6 +127,9 @@ func annot(in isa.Inst) obj.Item { return obj.Item{Inst: in, Annot: true} }
 
 func (g *progGen) emitGlobal(gv *lang.GlobalVar) error {
 	size := gv.Ty.Size()
+	if gv.Secret {
+		g.asm.AddSecret(gv.Name)
+	}
 	if !gv.HasInit {
 		return g.asm.AddBSS(gv.Name, size)
 	}

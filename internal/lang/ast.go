@@ -330,6 +330,11 @@ type GlobalVar struct {
 	InitStr  string    // char array from string literal
 	HasInit  bool
 
+	// Secret marks the variable as a P7 taint source: the compiled object
+	// lists it in the secret table and the verifier's taint pass proves
+	// its bytes only leave through the sealed output.
+	Secret bool
+
 	Sym *SymbolInfo
 }
 

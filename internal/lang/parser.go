@@ -99,6 +99,10 @@ func (p *parser) parseType() (*Type, error) {
 }
 
 func (p *parser) parseTopLevel(prog *Program) error {
+	secret := p.atKeyword("secret")
+	if secret {
+		p.pos++
+	}
 	ty, err := p.parseType()
 	if err != nil {
 		return err
@@ -108,6 +112,9 @@ func (p *parser) parseTopLevel(prog *Program) error {
 		return err
 	}
 	if p.atPunct("(") {
+		if secret {
+			return p.errf("'secret' qualifies global data, not functions")
+		}
 		fn, err := p.parseFuncRest(ty, name)
 		if err != nil {
 			return err
@@ -119,6 +126,7 @@ func (p *parser) parseTopLevel(prog *Program) error {
 	if err != nil {
 		return err
 	}
+	g.Secret = secret
 	prog.Globals = append(prog.Globals, g)
 	return nil
 }

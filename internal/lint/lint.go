@@ -49,6 +49,7 @@ func DefaultConfig(root string) Config {
 		TCB: []string{
 			"internal/verifier",
 			"internal/cfa",
+			"internal/taint",
 			"internal/disasm",
 			"internal/loader",
 			"internal/isa",

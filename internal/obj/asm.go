@@ -54,6 +54,8 @@ type Assembler struct {
 	dataRelocs    []Reloc
 	branchTargets []string
 	btSet         map[string]bool
+	secrets       []string
+	secretSet     map[string]bool
 
 	entry string
 }
@@ -66,8 +68,9 @@ type funcSpan struct {
 // NewAssembler returns an empty assembler.
 func NewAssembler() *Assembler {
 	return &Assembler{
-		symset: make(map[string]bool),
-		btSet:  make(map[string]bool),
+		symset:    make(map[string]bool),
+		btSet:     make(map[string]bool),
+		secretSet: make(map[string]bool),
 	}
 }
 
@@ -187,6 +190,14 @@ func (a *Assembler) AddBranchTarget(label string) {
 // BranchTargetSet reports whether label is already registered.
 func (a *Assembler) BranchTargetSet(label string) bool { return a.btSet[label] }
 
+// AddSecret tags a previously defined data/bss object as a P7 taint source.
+func (a *Assembler) AddSecret(name string) {
+	if !a.secretSet[name] {
+		a.secretSet[name] = true
+		a.secrets = append(a.secrets, name)
+	}
+}
+
 // Assemble resolves labels and produces the final object. policyMask
 // declares which policies the generator instrumented.
 func (a *Assembler) Assemble(policyMask uint8) (*Object, error) {
@@ -284,6 +295,12 @@ func (a *Assembler) Assemble(policyMask uint8) (*Object, error) {
 			return nil, fmt.Errorf("obj: branch target %q is not a code label", bt)
 		}
 		o.BranchTargets = append(o.BranchTargets, BranchTarget{Symbol: bt})
+	}
+	for _, s := range a.secrets {
+		if !a.symset[s] {
+			return nil, fmt.Errorf("obj: secret %q is not a defined data object", s)
+		}
+		o.Secrets = append(o.Secrets, s)
 	}
 	if err := o.validate(); err != nil {
 		return nil, err

@@ -105,6 +105,14 @@ type Object struct {
 	Symbols       []Symbol
 	Relocs        []Reloc
 	BranchTargets []BranchTarget
+
+	// Secrets names the data/bss objects whose contents are secret inputs
+	// (the P7 taint sources). The verifier's taint pass proves they can
+	// only leave the enclave through the sealed-output routine. The table
+	// is part of the proof: omitting a tag weakens nothing for the
+	// provider (the manifest's P7 bit still forces the pass), it only
+	// changes which buffers count as sources.
+	Secrets []string
 }
 
 // Symbol returns the named symbol, if present.
@@ -252,6 +260,15 @@ func (o *Object) Marshal() []byte {
 	for _, bt := range o.BranchTargets {
 		w.str(bt.Symbol)
 	}
+	// The secret table is appended only when non-empty so objects without
+	// tagged buffers keep the exact byte encoding of the previous format
+	// revision (and its digests/cache keys).
+	if len(o.Secrets) > 0 {
+		w.u64(uint64(len(o.Secrets)))
+		for _, s := range o.Secrets {
+			w.str(s)
+		}
+	}
 	return w.buf.Bytes()
 }
 
@@ -304,6 +321,15 @@ func Unmarshal(b []byte) (*Object, error) {
 	}
 	for i := 0; i < nbt && r.err == nil; i++ {
 		o.BranchTargets = append(o.BranchTargets, BranchTarget{Symbol: r.str()})
+	}
+	if r.err == nil && r.off < len(b) {
+		nsec := r.count("secret")
+		if r.err == nil {
+			o.Secrets = make([]string, 0, nsec)
+		}
+		for i := 0; i < nsec && r.err == nil; i++ {
+			o.Secrets = append(o.Secrets, r.str())
+		}
 	}
 	if r.err != nil {
 		return nil, r.err
@@ -365,6 +391,20 @@ func (o *Object) validate() error {
 	if o.Entry != "" {
 		if _, ok := o.Symbol(o.Entry); !ok {
 			return fmt.Errorf("%w: entry symbol %q undefined", ErrBadObject, o.Entry)
+		}
+	}
+	seen := make(map[string]bool, len(o.Secrets))
+	for _, name := range o.Secrets {
+		if seen[name] {
+			return fmt.Errorf("%w: secret %q listed twice", ErrBadObject, name)
+		}
+		seen[name] = true
+		s, ok := o.Symbol(name)
+		if !ok {
+			return fmt.Errorf("%w: secret references undefined symbol %q", ErrBadObject, name)
+		}
+		if s.Kind != SymObj || (s.Section != SecData && s.Section != SecBSS) {
+			return fmt.Errorf("%w: secret %q is not a data object", ErrBadObject, name)
 		}
 	}
 	return nil

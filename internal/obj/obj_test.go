@@ -342,3 +342,73 @@ func TestUnmarshalFuzzGarbage(t *testing.T) {
 		_, _ = Unmarshal(buf[:n]) // error or success; no panic
 	}
 }
+
+// TestSecretTableRoundTrip: the P7 secret table survives the wire format,
+// an object without secrets marshals byte-identically to the pre-P7 layout
+// (the table is appended only when non-empty), and ill-formed tables are
+// rejected at Unmarshal time.
+func TestSecretTableRoundTrip(t *testing.T) {
+	base := sampleObject(t)
+	b0 := base.Marshal()
+
+	o, err := Unmarshal(b0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Secrets = []string{"greeting", "scratch"}
+	got, err := Unmarshal(o.Marshal())
+	if err != nil {
+		t.Fatalf("object with secret table rejected: %v", err)
+	}
+	if len(got.Secrets) != 2 || got.Secrets[0] != "greeting" || got.Secrets[1] != "scratch" {
+		t.Fatalf("secret table did not round trip: %v", got.Secrets)
+	}
+
+	got.Secrets = nil
+	if !bytes.Equal(got.Marshal(), b0) {
+		t.Error("object without secrets must marshal byte-identically to the legacy layout")
+	}
+
+	for name, secrets := range map[string][]string{
+		"duplicate entry":  {"greeting", "greeting"},
+		"undefined symbol": {"ghost"},
+		"function symbol":  {"main"},
+	} {
+		o.Secrets = secrets
+		if _, err := Unmarshal(o.Marshal()); err == nil {
+			t.Errorf("%s in secret table should be rejected", name)
+		}
+	}
+}
+
+// TestAssemblerSecretValidation: AddSecret of an undefined object fails at
+// Assemble time, and duplicate tags collapse to one entry.
+func TestAssemblerSecretValidation(t *testing.T) {
+	a := NewAssembler()
+	if err := a.AddBSS("key", 32); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.AddFunc("main", []Item{InstItem(isa.Inst{Op: isa.OpHlt})}); err != nil {
+		t.Fatal(err)
+	}
+	a.SetEntry("main")
+	a.AddSecret("key")
+	a.AddSecret("key")
+	o, err := a.Assemble(0xff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(o.Secrets) != 1 || o.Secrets[0] != "key" {
+		t.Fatalf("secret table = %v, want [key]", o.Secrets)
+	}
+
+	b := NewAssembler()
+	if err := b.AddFunc("main", []Item{InstItem(isa.Inst{Op: isa.OpHlt})}); err != nil {
+		t.Fatal(err)
+	}
+	b.SetEntry("main")
+	b.AddSecret("missing")
+	if _, err := b.Assemble(0xff); err == nil {
+		t.Error("secret tag on an undefined object should fail Assemble")
+	}
+}

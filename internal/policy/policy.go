@@ -31,6 +31,13 @@ const (
 	P5
 	// P6: AEX-frequency monitoring (side/covert channel mitigation).
 	P6
+	// P7: secret-taint confinement. Buffers tagged `secret` in the source
+	// may flow to the outside world only through the sealed-output routine
+	// (OcallSend); the verifier's static taint pass rejects binaries where
+	// tainted bytes can reach an unsealed output, an untracked store, or an
+	// indirect-branch target. Extends the paper's P0-P6 along the
+	// STELLA/Guardian direction (see ROADMAP).
+	P7
 
 	numIDs
 )
@@ -50,17 +57,20 @@ type Set uint8
 func Bit(id ID) Set { return Set(1) << id }
 
 // Predefined policy sets matching the columns of the paper's evaluation
-// (Table II): P1 alone, P1+P2, P1-P5, and P1-P6.
+// (Table II): P1 alone, P1+P2, P1-P5, and P1-P6. SetP1P7 adds the
+// secret-taint policy on top of P1-P6; SetAll is everything including the
+// interface policy P0.
 const (
 	SetNone Set = 0
 	SetP1   Set = 1 << P1
 	SetP1P2 Set = SetP1 | 1<<P2
 	SetP1P5 Set = SetP1P2 | 1<<P3 | 1<<P4 | 1<<P5
 	SetP1P6 Set = SetP1P5 | 1<<P6
-	SetAll  Set = SetP1P6 | 1<<P0
+	SetP1P7 Set = SetP1P6 | 1<<P7
+	SetAll  Set = SetP1P7 | 1<<P0
 )
 
-// All lists every policy ID in ascending order (P0 through P6), for code
+// All lists every policy ID in ascending order (P0 through P7), for code
 // that iterates the policy space (audit trails, trace rendering).
 func All() []ID {
 	out := make([]ID, 0, numIDs)

@@ -17,14 +17,17 @@ func TestSetMembership(t *testing.T) {
 	if SetP1P5.Has(P6) || !SetP1P6.Has(P6) {
 		t.Error("P6 membership wrong")
 	}
-	if !SetAll.Has(P0) || SetP1P6.Has(P0) {
+	if SetP1P6.Has(P7) || !SetP1P7.Has(P7) || !SetAll.Has(P7) {
+		t.Error("P7 membership wrong")
+	}
+	if !SetAll.Has(P0) || SetP1P7.Has(P0) {
 		t.Error("P0 membership wrong")
 	}
 }
 
 func TestSetMonotone(t *testing.T) {
 	// Each evaluation column is a superset of the previous.
-	chain := []Set{SetNone, SetP1, SetP1P2, SetP1P5, SetP1P6, SetAll}
+	chain := []Set{SetNone, SetP1, SetP1P2, SetP1P5, SetP1P6, SetP1P7, SetAll}
 	for i := 1; i < len(chain); i++ {
 		if chain[i]&chain[i-1] != chain[i-1] {
 			t.Errorf("set %v is not a superset of %v", chain[i], chain[i-1])
@@ -52,8 +55,23 @@ func TestStrings(t *testing.T) {
 	if P6.String() != "P6" {
 		t.Errorf("P6 = %q", P6.String())
 	}
+	if P7.String() != "P7" {
+		t.Errorf("P7 = %q", P7.String())
+	}
+	if got := SetP1P7.String(); got != "P1+P2+P3+P4+P5+P6+P7" {
+		t.Errorf("SetP1P7 = %q", got)
+	}
 	if ID(99).String() == "" {
 		t.Error("invalid id must render")
+	}
+	// String() is injective over the named sets: rendered names are cache
+	// keys and must not collide when P7 toggles.
+	seen := map[string]Set{}
+	for _, s := range []Set{SetNone, SetP1, SetP1P2, SetP1P5, SetP1P6, SetP1P7, SetAll} {
+		if prev, dup := seen[s.String()]; dup {
+			t.Errorf("sets %v and %v render identically as %q", prev, s, s.String())
+		}
+		seen[s.String()] = s
 	}
 }
 

@@ -24,6 +24,7 @@ import (
 	"deflection/internal/obj"
 	"deflection/internal/obs"
 	"deflection/internal/policy"
+	"deflection/internal/taint"
 	"deflection/internal/verifier"
 )
 
@@ -95,7 +96,7 @@ type LoadReport struct {
 	// load, disasm, per-policy verification, discipline closure, rewrite.
 	Trace *obs.Trace
 	// Audit is the per-policy verdict trail, P0 first then the verifier's
-	// P1-P6 entries.
+	// P1-P7 entries.
 	Audit []verifier.PolicyAudit
 }
 
@@ -276,6 +277,7 @@ func (b *Bootstrap) ReceiveBinary(objBytes []byte) (*LoadReport, error) {
 		AEXCheckMaxGap:      b.manifest.AEXCheckMaxGap,
 		EntryOffset:         int64(ld.Entry - ld.TextBase),
 		BranchTargetOffsets: offsets,
+		Taint:               TaintConfig(ld),
 	})
 	if err != nil {
 		tr.Add("verify", 0, "error", err.Error())
@@ -294,6 +296,8 @@ func (b *Bootstrap) ReceiveBinary(objBytes []byte) (*LoadReport, error) {
 	tr.Add("cfa/targets", vr.CFADur.Targets, "targets", vr.CFA.Targets)
 	tr.Add("cfa/deadbyte", vr.CFADur.DeadByte, "dead_bytes", vr.CFA.DeadBytes)
 	tr.Add("cfa/dominance", vr.CFADur.Dominance, "anchors", vr.CFA.Anchors)
+	tr.Add("cfa/taint", vr.CFADur.Taint,
+		"secrets", vr.CFA.Secrets, "funcs", vr.CFA.TaintFuncs, "tainted_ranges", vr.CFA.TaintedRanges)
 
 	rw, err := loader.RewriteImmediates(ld, vr.Dis)
 	if err != nil {
@@ -354,6 +358,28 @@ type RunConfig struct {
 	FlatAnnotationCost bool
 	// Trace observes every retired instruction (debugging aid).
 	Trace func(rip uint64, in isa.Inst)
+}
+
+// TaintConfig builds the P7 taint-pass geometry for a loaded binary: the
+// secret table resolved to absolute address ranges, the store window and
+// its stack subrange. Exposed for benchmarks and tools that call the
+// verifier directly on a loaded image.
+func TaintConfig(ld *loader.Loaded) taint.Config {
+	l := ld.Enclave.Layout
+	cfg := taint.Config{
+		DataLo:  l.StoreLo(),
+		DataHi:  l.StoreHi(),
+		StackLo: l.StackLo,
+		StackHi: l.StackHi,
+	}
+	for _, name := range ld.Object.Secrets {
+		// Unmarshal validated that every secret names a defined data
+		// object; a zero-size range is rejected later by Config.validate.
+		s, _ := ld.Object.Symbol(name)
+		base := ld.Symbols[name]
+		cfg.Secrets = append(cfg.Secrets, taint.Range{Lo: base, Hi: base + uint64(s.Size)})
+	}
+	return cfg
 }
 
 // AnnotRangeSet converts the verifier's annotation spans to absolute

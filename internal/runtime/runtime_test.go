@@ -355,6 +355,22 @@ func TestMeasurementBindsManifest(t *testing.T) {
 	}
 }
 
+// TestFingerprintBindsPolicySet: the manifest fingerprint keys the verdict
+// cache, so toggling P7 (or any policy) must change it — otherwise a
+// binary accepted under P1-P6 would satisfy a P1-P7 manifest from cache.
+func TestFingerprintBindsPolicySet(t *testing.T) {
+	seen := map[string]policy.Set{}
+	for _, pols := range []policy.Set{policy.SetP1P6, policy.SetP1P7, policy.SetAll} {
+		m := runtime.DefaultManifest()
+		m.Policies = pols
+		fp := string(m.Fingerprint())
+		if prev, dup := seen[fp]; dup {
+			t.Errorf("policy sets %v and %v share a fingerprint", prev, pols)
+		}
+		seen[fp] = pols
+	}
+}
+
 func TestGasBoundedRun(t *testing.T) {
 	b := newBootstrap(t, policy.SetNone)
 	compileAndLoad(t, b, `int main() { while (1) {} return 0; }`, policy.SetNone)

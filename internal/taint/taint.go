@@ -1,0 +1,525 @@
+// Package taint implements the P7 secret-taint verification pass: a
+// whole-program, flow-sensitive static taint analysis over the CFG that
+// internal/cfa recovers. Sources are the secret buffer ranges declared in
+// the object's proof (tagged with the `secret` storage qualifier at the
+// source level); the only sanctioned sink is the sealed-output routine
+// (OcallSend). The pass rejects binaries where tainted bytes can reach an
+// unsealed output (OcallPrint or an unknown ocall index), an indirect
+// branch with a tainted target, or a store whose destination cannot be
+// tracked.
+//
+// The package is part of the in-enclave TCB: like internal/cfa it may
+// depend only on internal/isa, internal/disasm, internal/cfa,
+// internal/policy and the standard library (enforced by internal/lint),
+// and the analysis is a pure function of the CFG plus the configuration —
+// no I/O, no global state.
+//
+// # Abstract domain
+//
+// Per program point the analysis tracks, for each register, a taint bit
+// and an abstract value: an exact immediate, a pointer into the P1 store
+// window (with a possible-base interval, widened to the whole window when
+// an unknown index is added), an RSP-relative stack offset, the shadow-
+// stack pointer (R14), or unknown. Stack frames are tracked as sparse
+// slot maps keyed by the offset from the function-entry RSP; memory taint
+// over the data region is a global, monotonically growing interval set.
+// Taint on stack slots is sticky under partial overwrites (only a full
+// aligned 8-byte store performs a strong update), so laundering a secret
+// by partially overwriting a tainted slot is caught.
+//
+// # Interprocedural model
+//
+// Functions are analyzed separately and composed through summaries: the
+// join of entry register taint over all call sites, taint of caller-frame
+// slots visible to the callee (arguments), the register taint at return,
+// and the callee's writes into the caller frame. Call/return transfer
+// uses the hardware convention (call pushes the return address, so callee
+// offset d maps to caller offset d + delta(call) - 8) and assumes callees
+// are stack-balanced, which P5's shadow stack pins at run time. The whole
+// program iterates to a fixpoint (chaotic iteration from bottom over a
+// monotone domain), with a generous step budget; exceeding the budget is
+// a conservative rejection, never an acceptance.
+//
+// # Known over-approximations
+//
+// Only explicit flows are tracked: compare/branch results do not carry
+// taint, so a binary can in principle launder one bit per branch through
+// the flag register (the classic implicit-flow limitation of taint
+// tracking; the paper's P0 output budget bounds the resulting channel).
+// Conversely the analysis over-taints: loads through tainted or widened
+// indices taint the result, a tainted store through a widened pointer
+// taints the whole window, and indirect calls havoc all registers.
+// Program exit status (HLT/RAX) is a declared interface output and not a
+// P7 sink.
+package taint
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"deflection/internal/cfa"
+	"deflection/internal/disasm"
+	"deflection/internal/isa"
+)
+
+// Range is a half-open [Lo, Hi) span of absolute addresses.
+type Range struct{ Lo, Hi uint64 }
+
+// Config parametrises an analysis with the loaded binary's memory geometry.
+type Config struct {
+	// Secrets are the absolute address ranges of the tagged secret
+	// buffers (the taint sources). Empty means the pass holds trivially.
+	Secrets []Range
+	// DataLo/DataHi bound the P1 store window [StoreLo, StoreHi): the
+	// only region target stores may reach, spanning globals, heap and
+	// stack (enclave.Layout.StoreLo/StoreHi).
+	DataLo, DataHi uint64
+	// StackLo/StackHi bound the stack subrange of the window. Absolute
+	// stores overlapping it additionally smear the tracked stack frames.
+	StackLo, StackHi uint64
+	// Guarded lists text offsets of store instructions whose target address
+	// the P1 template and dominance passes proved confined to the data
+	// window (the run-time guard traps otherwise). When the analysis loses
+	// track of the address at such a store — e.g. a pointer spilled across
+	// a smearing call — it degrades to a window-wide store instead of
+	// rejecting it as untracked.
+	Guarded []int64
+}
+
+// Finding kinds.
+const (
+	// KindUnsealedOutput: a tainted value reaches an ocall other than the
+	// sealed-output routine.
+	KindUnsealedOutput = "unsealed-output"
+	// KindIndirectTarget: an indirect jump or call through a tainted
+	// register.
+	KindIndirectTarget = "indirect-target"
+	// KindUntrackedStore: a tainted value is stored through an address
+	// the analysis cannot bound to the data window or a tracked slot.
+	KindUntrackedStore = "untracked-store"
+)
+
+// Finding is one taint-rule violation at a specific instruction.
+type Finding struct {
+	Off  int64  // text offset of the violating instruction
+	Kind string // one of the Kind* constants
+	Msg  string
+}
+
+// BlockTaint is the register-taint summary of one basic block, for
+// debugging renderings (deflection-disasm -taint).
+type BlockTaint struct {
+	In, Out uint16 // register bitmasks, bit i = isa.Reg(i)
+}
+
+// Report is the analysis outcome. A binary complies with P7 iff Findings
+// is empty.
+type Report struct {
+	// Trivial is set when the pass held without analysis (no secrets).
+	Trivial bool
+	// Findings lists rule violations in deterministic (address) order.
+	Findings []Finding
+	// Blocks maps block IDs to their register-taint in/out masks (joined
+	// over every function context the block was analyzed in).
+	Blocks map[int]BlockTaint
+	// Funcs is the number of functions partitioned and analyzed.
+	Funcs int
+	// MemRanges is the number of tracked tainted data intervals at the
+	// fixpoint.
+	MemRanges int
+	// Steps counts block-transfer applications (analysis effort).
+	Steps int
+}
+
+// Analysis failure modes. Both reject the binary: the verifier treats any
+// error from Analyze as a conservative violation.
+var (
+	// ErrConfig reports an ill-formed configuration (malformed secret
+	// ranges or window bounds).
+	ErrConfig = errors.New("taint: invalid configuration")
+	// ErrBudget reports that the fixpoint did not stabilise within the
+	// analysis budget.
+	ErrBudget = errors.New("taint: analysis budget exceeded")
+)
+
+const (
+	maxSecrets   = 1 << 12
+	maxOuter     = 256     // outer chaotic-iteration rounds
+	maxSteps     = 1 << 21 // total block-transfer applications
+	maxSlots     = 1 << 12 // tracked stack slots per state before smearing
+	maxIntervals = 1 << 10 // tracked tainted data intervals before hulling
+)
+
+func (c Config) validate() error {
+	if c.DataLo > c.DataHi {
+		return fmt.Errorf("%w: data window [%#x, %#x)", ErrConfig, c.DataLo, c.DataHi)
+	}
+	if c.StackLo > c.StackHi {
+		return fmt.Errorf("%w: stack range [%#x, %#x)", ErrConfig, c.StackLo, c.StackHi)
+	}
+	if len(c.Secrets) > maxSecrets {
+		return fmt.Errorf("%w: %d secret ranges", ErrConfig, len(c.Secrets))
+	}
+	for _, s := range c.Secrets {
+		if s.Lo >= s.Hi {
+			return fmt.Errorf("%w: secret range [%#x, %#x)", ErrConfig, s.Lo, s.Hi)
+		}
+	}
+	return nil
+}
+
+// Analyze runs the taint pass over a recovered CFG. It returns a non-nil
+// Report unless the configuration is invalid or the analysis budget is
+// exhausted; either error must be treated as rejection by callers.
+func Analyze(g *cfa.Graph, cfg Config) (*Report, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	rep := &Report{Blocks: make(map[int]BlockTaint)}
+	if len(cfg.Secrets) == 0 {
+		// No sources: no instruction can introduce taint, so every sink
+		// is trivially clean.
+		rep.Trivial = true
+		return rep, nil
+	}
+	if g == nil || len(g.Blocks) <= 1 {
+		rep.Trivial = true
+		return rep, nil
+	}
+	a := &analysis{g: g, cfg: cfg, funcs: make(map[int64]*fn), guarded: make(map[int64]bool, len(cfg.Guarded)), version: 1}
+	for _, off := range cfg.Guarded {
+		a.guarded[off] = true
+	}
+	a.partition()
+	if err := a.fixpoint(); err != nil {
+		return nil, err
+	}
+	a.sweep(rep)
+	rep.Funcs = len(a.funcs)
+	rep.MemRanges = len(a.mem.r)
+	rep.Steps = a.steps
+	return rep, nil
+}
+
+// fn is one function under analysis: the blocks reachable from its entry
+// without crossing call edges, the join of its calling contexts, and its
+// effect summary.
+type fn struct {
+	entry   int64
+	blocks  map[int]bool
+	order   []int // block IDs in ascending start order
+	inRegs  uint16
+	args    map[int64]bool // callee-relative slot offset (>= 8) -> taint
+	argsSmr bool
+	sum     summary
+	in      []*state // block in-states, indexed by block ID (nil = unreached)
+	seen    int      // analysis.version at the start of the last local fixpoint
+}
+
+// summary is a function's externally visible effect (memory-taint growth
+// is applied directly to the global interval set, not summarised).
+type summary struct {
+	retTaint uint16
+	// writes records caller-frame slot writes by callee-relative offset;
+	// the value is the written taint (false = clean write, which still
+	// invalidates the caller's tracked slot value).
+	writes map[int64]bool
+	wild   bool // callee performed an untracked clean store
+	smear  bool // callee may have tainted any stack address
+}
+
+type analysis struct {
+	g       *cfa.Graph
+	cfg     Config
+	mem     intervals // tainted absolute data addresses (global, monotone)
+	funcs   map[int64]*fn
+	guarded map[int64]bool // store offsets proved window-confined by P1
+	order   []int64
+	steps   int
+	dirty   bool // a global (mem, funcIn, summary) changed this round
+	version int  // bumped on every global change; lets fixpoint skip settled functions
+	err     error
+}
+
+// mark records a change to the global lattice state (memory taint, a
+// calling context, or a summary). Everything a block transfer reads
+// besides the local in-state flows through here, so a function whose
+// in-states are stable and whose last analysis saw the current version
+// cannot produce anything new.
+func (a *analysis) mark() {
+	a.dirty = true
+	a.version++
+}
+
+// partition discovers function entries (program entry, direct-call
+// targets, and — when an indirect call exists — every listed branch
+// target) and assigns each its intraprocedural block set.
+func (a *analysis) partition() {
+	entries := map[int64]bool{a.g.Entry: true}
+	hasCallR := false
+	for _, b := range a.g.Blocks[1:] {
+		for _, in := range b.Insts {
+			switch in.Op {
+			case isa.OpCall:
+				entries[disasm.DirectTarget(in)] = true
+			case isa.OpCallR:
+				hasCallR = true
+			}
+		}
+	}
+	if hasCallR {
+		// Any listed target may be invoked with any arguments through a
+		// guarded indirect call: analyze each as a fully tainted entry.
+		for _, t := range a.g.Targets {
+			entries[t] = true
+		}
+	}
+	for e := range entries {
+		if a.g.BlockAt(e) == nil {
+			continue
+		}
+		f := &fn{entry: e, blocks: make(map[int]bool), args: make(map[int64]bool), in: make([]*state, len(a.g.Blocks))}
+		f.sum.writes = make(map[int64]bool)
+		if hasCallR && e != a.g.Entry {
+			f.inRegs = 0xffff
+			f.argsSmr = true
+		}
+		a.collectBlocks(f)
+		a.funcs[e] = f
+		a.order = append(a.order, e)
+	}
+	sort.Slice(a.order, func(i, j int) bool { return a.order[i] < a.order[j] })
+}
+
+// collectBlocks walks intraprocedural edges from the function entry:
+// every CFG edge except the call->callee edge (calls continue at their
+// fall-through block; the callee is handled via its summary).
+func (a *analysis) collectBlocks(f *fn) {
+	start := a.g.BlockAt(f.entry)
+	work := []int{start.ID}
+	f.blocks[start.ID] = true
+	for len(work) > 0 {
+		id := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, s := range a.funcSuccIDs(a.g.Blocks[id]) {
+			if !f.blocks[s] {
+				f.blocks[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	for id := range f.blocks {
+		f.order = append(f.order, id)
+	}
+	sort.Slice(f.order, func(i, j int) bool {
+		return a.g.Blocks[f.order[i]].Start < a.g.Blocks[f.order[j]].Start
+	})
+}
+
+// funcSuccIDs returns a block's intraprocedural successors.
+func (a *analysis) funcSuccIDs(b *cfa.Block) []int {
+	last := b.Last()
+	switch last.Op {
+	case isa.OpCall, isa.OpCallR:
+		if nb := a.g.BlockAt(last.End()); nb != nil {
+			return []int{nb.ID}
+		}
+		return nil
+	case isa.OpRet, isa.OpHlt, isa.OpTrap:
+		return nil
+	default:
+		return b.Succs
+	}
+}
+
+// fixpoint iterates every function to global stability. A function is
+// re-analyzed only when the global version moved since its last local
+// fixpoint: its in-states are stable by construction (analyzeFn runs its
+// worklist dry), so with unchanged globals its transfers are settled too.
+func (a *analysis) fixpoint() error {
+	for round := 0; round < maxOuter; round++ {
+		a.dirty = false
+		changed := false
+		for _, e := range a.order {
+			f := a.funcs[e]
+			if f.seen == a.version {
+				continue
+			}
+			if a.analyzeFn(f) {
+				changed = true
+			}
+			if a.err != nil {
+				return a.err
+			}
+		}
+		if !changed && !a.dirty {
+			return nil
+		}
+	}
+	return ErrBudget
+}
+
+// analyzeFn runs the intraprocedural worklist to local stability under the
+// current global state. It reports whether any in-state changed.
+func (a *analysis) analyzeFn(f *fn) bool {
+	// Record the version we analyze under before starting: if our own
+	// transfers move the global state (growing memory taint a block we
+	// already visited would read), the mismatch forces another local round.
+	f.seen = a.version
+	entryID := a.g.BlockAt(f.entry).ID
+	changed := false
+	es := a.entryState(f)
+	if old := f.in[entryID]; old == nil {
+		f.in[entryID] = es
+		changed = true
+	} else if old.join(es) {
+		changed = true
+	}
+
+	// Seed with every block that already has an in-state (globals the
+	// transfer reads — memory taint, summaries — may have changed since
+	// the last round), in address order for determinism.
+	var work []int
+	queued := make([]bool, len(a.g.Blocks))
+	for _, id := range f.order {
+		if f.in[id] != nil {
+			work = append(work, id)
+			queued[id] = true
+		}
+	}
+	for len(work) > 0 {
+		a.steps++
+		if a.steps > maxSteps {
+			a.err = ErrBudget
+			return changed
+		}
+		id := work[0]
+		work = work[1:]
+		queued[id] = false
+		st := f.in[id].clone()
+		b := a.g.Blocks[id]
+		a.transfer(f, b, st, nil)
+		for _, s := range a.funcSuccIDs(b) {
+			if old := f.in[s]; old == nil {
+				f.in[s] = st.clone()
+			} else if !old.join(st) {
+				continue
+			}
+			changed = true
+			if !queued[s] {
+				queued[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return changed
+}
+
+// entryState is the abstract state at a function's first instruction.
+func (a *analysis) entryState(f *fn) *state {
+	st := newState()
+	st.regs[isa.RSP] = val{k: kStack}
+	st.regs[isa.RegShadow] = val{k: kShadow}
+	st.taint = f.inRegs &^ (1<<isa.RSP | 1<<isa.RegShadow)
+	st.smear = f.argsSmr
+	// The cell at entry RSP holds the return address the call instruction
+	// itself just pushed: always a clean code address, even when the
+	// caller's frame is smeared. Seeding it tracked keeps the P5
+	// shadow-push annotation's [rsp+8] reload clean.
+	st.slots.set(0, slot{v: val{k: kUnknown}})
+	return st
+}
+
+// sweep replays every block once over the final in-states, recording
+// findings and per-block taint masks deterministically.
+func (a *analysis) sweep(rep *Report) {
+	rec := &recorder{seen: make(map[string]bool)}
+	for _, e := range a.order {
+		f := a.funcs[e]
+		for _, id := range f.order {
+			in := f.in[id]
+			if in == nil {
+				continue
+			}
+			st := in.clone()
+			a.transfer(f, a.g.Blocks[id], st, rec)
+			bt := rep.Blocks[id]
+			bt.In |= in.taint
+			bt.Out |= st.taint
+			rep.Blocks[id] = bt
+		}
+	}
+	rep.Findings = rec.findings
+}
+
+type recorder struct {
+	seen     map[string]bool
+	findings []Finding
+}
+
+func (r *recorder) add(off int64, kind, format string, args ...any) {
+	key := fmt.Sprintf("%d/%s", off, kind)
+	if r.seen[key] {
+		return
+	}
+	r.seen[key] = true
+	r.findings = append(r.findings, Finding{Off: off, Kind: kind, Msg: fmt.Sprintf(format, args...)})
+}
+
+// intervals is a sorted, disjoint set of address ranges.
+type intervals struct {
+	r []Range
+}
+
+// add inserts [lo, hi) and reports whether the set grew.
+func (iv *intervals) add(lo, hi uint64) bool {
+	if lo >= hi {
+		return false
+	}
+	if iv.covers(lo, hi) {
+		return false
+	}
+	// Merge with every overlapping or adjacent range.
+	var out []Range
+	for _, r := range iv.r {
+		if r.Hi < lo || r.Lo > hi {
+			out = append(out, r)
+			continue
+		}
+		if r.Lo < lo {
+			lo = r.Lo
+		}
+		if r.Hi > hi {
+			hi = r.Hi
+		}
+	}
+	out = append(out, Range{Lo: lo, Hi: hi})
+	sort.Slice(out, func(i, j int) bool { return out[i].Lo < out[j].Lo })
+	if len(out) > maxIntervals {
+		// Collapse to the hull: strictly coarser, still sound.
+		out = []Range{{Lo: out[0].Lo, Hi: out[len(out)-1].Hi}}
+	}
+	iv.r = out
+	return true
+}
+
+// covers reports whether [lo, hi) is entirely contained in one range.
+func (iv *intervals) covers(lo, hi uint64) bool {
+	for _, r := range iv.r {
+		if r.Lo <= lo && hi <= r.Hi {
+			return true
+		}
+	}
+	return false
+}
+
+// overlaps reports whether [lo, hi) intersects any range.
+func (iv *intervals) overlaps(lo, hi uint64) bool {
+	for _, r := range iv.r {
+		if lo < r.Hi && r.Lo < hi {
+			return true
+		}
+	}
+	return false
+}

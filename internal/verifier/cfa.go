@@ -21,12 +21,14 @@ package verifier
 // TCB-resident and depends only on isa, disasm and the standard library.
 
 import (
+	"fmt"
 	"time"
 
 	"deflection/internal/cfa"
 	"deflection/internal/disasm"
 	"deflection/internal/isa"
 	"deflection/internal/policy"
+	"deflection/internal/taint"
 )
 
 // CFAStats summarises the control-flow-analysis passes of an acceptance.
@@ -41,6 +43,15 @@ type CFAStats struct {
 	DeadBytes int
 	// Targets counts the proof-listed indirect targets cross-checked.
 	Targets int
+	// Secrets counts the declared P7 taint sources the taint pass analysed
+	// (0 when the pass was skipped or nothing was tagged).
+	Secrets int
+	// TaintFuncs and TaintedRanges summarise the taint fixpoint: functions
+	// analysed and distinct tainted data intervals at convergence.
+	TaintFuncs, TaintedRanges int
+	// TaintTrivial is set when P7 held without analysis (no secret buffers
+	// tagged, so no instruction can introduce taint).
+	TaintTrivial bool
 }
 
 // CFADurations times the CFA stages.
@@ -49,6 +60,7 @@ type CFADurations struct {
 	Dominance time.Duration
 	DeadByte  time.Duration
 	Targets   time.Duration
+	Taint     time.Duration
 }
 
 // cfaViolation builds a structured rejection attributed to a CFA pass.
@@ -86,7 +98,57 @@ func (v *verifier) runCFA(req policy.Set, res *Result) error {
 	start = time.Now()
 	err := v.dominancePass(g, res)
 	res.CFADur.Dominance = time.Since(start)
+	if err != nil {
+		return err
+	}
+	if req.Has(policy.P7) && !v.opts.DisableTaint {
+		// Unlike the other CFA stages, the taint pass is the entirety of
+		// one policy's check, so its time is billed to P7's audit entry as
+		// well as to the CFA stage timings.
+		start = time.Now()
+		err = v.timed(policy.P7, func() error { return v.taintPass(g, res) })
+		res.CFADur.Taint = time.Since(start)
+	}
 	return err
+}
+
+// taintPass runs the P7 secret-taint analysis over the recovered CFG and
+// converts its first finding (or any analysis failure) into a structured
+// rejection. Analysis errors — ill-formed configuration, budget blow-up —
+// are conservative rejections, never acceptances.
+func (v *verifier) taintPass(g *cfa.Graph, res *Result) error {
+	cfg := v.opts.Taint
+	for _, a := range v.storeAnchors {
+		cfg.Guarded = append(cfg.Guarded, a.store)
+	}
+	rep, err := taint.Analyze(g, cfg)
+	if err != nil {
+		return v.cfaViolation("taint", policy.P7, 0, "taint analysis failed: %v", err)
+	}
+	if v.opts.TaintObserver != nil {
+		v.opts.TaintObserver(rep)
+	}
+	res.CFA.Secrets = len(v.opts.Taint.Secrets)
+	res.CFA.TaintFuncs = rep.Funcs
+	res.CFA.TaintedRanges = rep.MemRanges
+	res.CFA.TaintTrivial = rep.Trivial
+	if len(rep.Findings) > 0 {
+		f := rep.Findings[0]
+		return v.cfaViolation("taint", policy.P7, f.Off, "%s: %s", f.Kind, f.Msg)
+	}
+	return nil
+}
+
+// taintDetail renders the P7 audit line.
+func taintDetail(s *CFAStats, ran bool) string {
+	if !ran {
+		return "taint pass skipped (ablation); secret confinement not proved"
+	}
+	if s.TaintTrivial || s.Secrets == 0 {
+		return "no secret buffers tagged; P7 holds trivially"
+	}
+	return fmt.Sprintf("%d secret buffers confined to the sealed output across %d functions (%d tainted data intervals at fixpoint)",
+		s.Secrets, s.TaintFuncs, s.TaintedRanges)
 }
 
 // targetListPass cross-checks the proof's indirect-branch target list

@@ -232,6 +232,9 @@ func TestBogusTargetListRejected(t *testing.T) {
 		if !errors.As(err, &vio) || vio.Policy != policy.P5 {
 			t.Fatalf("rejection not attributed to P5: %v", err)
 		}
+		if vio.Pass != "decode" {
+			t.Errorf("disassembly failure attributed to pass %q, want \"decode\"", vio.Pass)
+		}
 	})
 	t.Run("target listed twice", func(t *testing.T) {
 		err := verifyAsmTargets(t, src, policy.SetP1P5, func(offs []int64) []int64 {

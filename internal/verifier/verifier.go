@@ -26,6 +26,7 @@ import (
 	"deflection/internal/disasm"
 	"deflection/internal/isa"
 	"deflection/internal/policy"
+	"deflection/internal/taint"
 )
 
 // ErrViolation is wrapped by every policy rejection.
@@ -45,9 +46,9 @@ type Violation struct {
 	Instr string
 	// Msg describes the failed check.
 	Msg string
-	// Pass names the control-flow-analysis pass that rejected the binary
-	// ("dominance", "reaching-defs", "dead-byte" or "target-list"); empty
-	// for the template-matching checks.
+	// Pass names the analysis pass that rejected the binary ("decode",
+	// "dominance", "reaching-defs", "dead-byte", "target-list" or
+	// "taint"); empty for the template-matching checks.
 	Pass string
 }
 
@@ -83,9 +84,21 @@ type Options struct {
 	// target list.
 	BranchTargetOffsets []int64
 	// DisableCFA skips the control-flow-analysis passes (CFG recovery,
-	// dominance, dead-byte, target-list), leaving only the template
+	// dominance, dead-byte, target-list, taint), leaving only the template
 	// checks — the pre-CFA verifier, kept for ablation benchmarks.
 	DisableCFA bool
+	// DisableTaint skips only the P7 taint pass while keeping the other
+	// CFA passes, for ablation benchmarks of the taint cost.
+	DisableTaint bool
+	// Taint carries the loaded memory geometry of the P7 taint pass: the
+	// absolute secret-buffer ranges plus the store-window and stack
+	// bounds. Ignored unless Required includes P7.
+	Taint taint.Config
+	// TaintObserver, when non-nil, receives the P7 taint report whenever
+	// the pass runs — including when its findings reject the binary, which
+	// Verify otherwise discards with the Result. Debugging hook for
+	// deflection-disasm -taint; never influences the verdict.
+	TaintObserver func(*taint.Report)
 }
 
 // Stats counts verified annotations.
@@ -120,7 +133,7 @@ type Result struct {
 	// annotations (including their trap stubs), used by the CPU timing
 	// model and excluded from user-code policy anchors.
 	AnnotRanges []Range
-	// Audit holds one verdict per policy P1-P6 in ascending order.
+	// Audit holds one verdict per policy P1-P7 in ascending order.
 	Audit []PolicyAudit
 	// DisasmDuration and DisciplineDuration time the shared stages that
 	// are not attributable to a single policy: the recursive-descent
@@ -220,8 +233,8 @@ func Verify(text []byte, opts Options) (*Result, error) {
 	disDur := time.Since(disStart)
 	if err != nil {
 		// Undecodable or overlapping control flow defeats the CFI trust
-		// argument, so rejection is attributed to P5.
-		return nil, &Violation{Policy: policy.P5, Msg: err.Error()}
+		// argument, so rejection is attributed to P5's decode stage.
+		return nil, &Violation{Policy: policy.P5, Pass: "decode", Msg: err.Error()}
 	}
 	v := &verifier{
 		text:       text,
@@ -384,9 +397,10 @@ func (v *verifier) buildAudit(req policy.Set, cfaStats *CFAStats) []PolicyAudit 
 				v.stats.CFIGuards, v.stats.ShadowChecks, v.stats.ShadowPushes, v.stats.Beacons),
 			fmt.Sprintf("%d listed targets cross-checked against the %d-block CFG", cfaStats.Targets, cfaStats.Blocks))},
 		policy.P6: {v.stats.AEXChecks, fmt.Sprintf("entry arming verified, %d SSA-marker checks, max straight-line gap %d", v.stats.AEXChecks, v.opts.AEXCheckMaxGap)},
+		policy.P7: {cfaStats.Secrets, taintDetail(cfaStats, cfaOn && !v.opts.DisableTaint)},
 	}
 	var audit []PolicyAudit
-	for id := policy.P1; id <= policy.P6; id++ {
+	for id := policy.P1; id <= policy.P7; id++ {
 		a := PolicyAudit{Policy: id, Required: req.Has(id), Passed: true, Duration: v.durs[id]}
 		if !a.Required {
 			a.Detail = "not required by manifest; skipped"
