@@ -1,11 +1,11 @@
 GO ?= go
 
-.PHONY: check build fmt vet lint metric-lint fuzz-disasm fuzz-taint test race race-vplane race-gateway race-tenant race-taint chaos bench metrics-smoke
+.PHONY: check build fmt vet lint metric-lint fuzz-disasm fuzz-taint fuzz-order test race race-vplane race-gateway race-tenant race-taint race-order chaos bench metrics-smoke
 
 # Tier-1 gate: what CI must keep green. race is the full -race sweep and
-# subsumes race-vplane/race-gateway/race-tenant/race-taint; the focused
+# subsumes race-vplane/race-gateway/race-tenant/race-taint/race-order; the focused
 # targets exist for fast iteration.
-check: build fmt vet lint metric-lint race race-vplane race-gateway race-tenant race-taint fuzz-disasm fuzz-taint
+check: build fmt vet lint metric-lint race race-vplane race-gateway race-tenant race-taint race-order fuzz-disasm fuzz-taint fuzz-order
 
 build:
 	$(GO) build ./...
@@ -17,8 +17,9 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-# TCB import hygiene: the verification packages (verifier, cfa, disasm,
-# loader, isa, policy) must not import the observability or service planes,
+# TCB import hygiene: the verification packages (verifier, cfa, taint,
+# order, disasm, loader, isa, policy) must not import the observability or
+# service planes,
 # nor anything under net/ or os/. Fails with the offending import chain.
 lint:
 	$(GO) run ./cmd/deflection-lint -root .
@@ -39,6 +40,11 @@ fuzz-disasm:
 # machine code (no panics, declared errors only, deterministic reports).
 fuzz-taint:
 	$(GO) test -fuzz=FuzzTaintPass -fuzztime=$(FUZZTIME) -run '^$$' ./internal/taint/
+
+# Short coverage-guided smoke of the P8 order pass over perturbed protocol
+# automata (no panics, declared errors only, deterministic reports).
+fuzz-order:
+	$(GO) test -fuzz=FuzzOrderPass -fuzztime=$(FUZZTIME) -run '^$$' ./internal/order/
 
 test:
 	$(GO) test ./...
@@ -68,6 +74,11 @@ race-tenant:
 # (the analysis itself is pure, but concurrent verifications share it).
 race-taint:
 	$(GO) test -race -count=2 ./internal/taint/ ./internal/verifier/ ./internal/apps/
+
+# Focused race gate for the P8 interface-orderliness pass and its
+# verifier/runtime wiring (pure analysis shared by concurrent verifications).
+race-order:
+	$(GO) test -race -count=2 ./internal/order/ ./internal/verifier/ ./internal/apps/
 
 # The fault-injection suite on its own (always runs under -race: the point
 # is that injected faults surface as clean errors, not data races).

@@ -23,7 +23,7 @@ func main() {
 
 func run() int {
 	var (
-		exp     = flag.String("exp", "all", "experiment: table1|table2|fig7|fig8|fig9|fig10|fig11|coloc|micro|stages|cfa|taint|cache|obs|tenant|ablation-annot|ablation-q|all")
+		exp     = flag.String("exp", "all", "experiment: table1|table2|fig7|fig8|fig9|fig10|fig11|coloc|micro|stages|cfa|taint|order|cache|obs|tenant|ablation-annot|ablation-q|all")
 		quick   = flag.Bool("quick", false, "smaller workloads (smoke run)")
 		jsonDir = flag.String("json-dir", "", "append each experiment's result to <dir>/BENCH_<exp>.json trajectory files (empty = off)")
 	)
@@ -54,13 +54,14 @@ func run() int {
 		"stages":         func() (fmt.Stringer, error) { return bench.Stages() },
 		"cfa":            func() (fmt.Stringer, error) { return bench.CFA(*quick) },
 		"taint":          func() (fmt.Stringer, error) { return bench.Taint(*quick) },
+		"order":          func() (fmt.Stringer, error) { return bench.Order(*quick) },
 		"cache":          func() (fmt.Stringer, error) { return bench.CacheBench(*quick) },
 		"obs":            func() (fmt.Stringer, error) { return bench.ObsOverhead(*quick) },
 		"tenant":         func() (fmt.Stringer, error) { return bench.TenantOverhead(*quick) },
 		"ablation-annot": func() (fmt.Stringer, error) { return bench.AnnotCostAblation(*quick) },
 		"ablation-q":     func() (fmt.Stringer, error) { return bench.QSweep(nil, *quick) },
 	}
-	order := []string{"table1", "table2", "fig7", "fig8", "fig9", "fig10", "fig11", "coloc", "micro", "stages", "cfa", "taint", "cache", "obs", "tenant", "ablation-annot", "ablation-q"}
+	order := []string{"table1", "table2", "fig7", "fig8", "fig9", "fig10", "fig11", "coloc", "micro", "stages", "cfa", "taint", "order", "cache", "obs", "tenant", "ablation-annot", "ablation-q"}
 
 	runOne := func(name string) int {
 		fn, ok := experiments[name]

@@ -24,6 +24,7 @@ import (
 	"deflection/internal/isa"
 	"deflection/internal/loader"
 	"deflection/internal/obj"
+	"deflection/internal/order"
 	"deflection/internal/policy"
 	"deflection/internal/runtime"
 	"deflection/internal/taint"
@@ -36,9 +37,10 @@ func main() {
 
 func run() int {
 	var (
-		verify = flag.String("verify", "", "also run the verifier with this policy set (p1|p1+p2|p1-p5|p1-p6|p1-p7|full)")
+		verify = flag.String("verify", "", "also run the verifier with this policy set (p1|p1+p2|p1-p5|p1-p6|p1-p7|p1-p8|full)")
 		cfg    = flag.String("cfg", "", "print the recovered control-flow graph instead of a listing (dot|text)")
 		taintF = flag.Bool("taint", false, "annotate the -cfg output with the P7 pass: per-block register taint-in/out masks and findings (loads and verifies the object under p1-p7)")
+		orderF = flag.Bool("order", false, "annotate the -cfg output with the P8 pass: per-block reachable protocol-state sets and findings (loads and verifies the object under p1-p8)")
 		dump   = flag.Bool("d", true, "print disassembly")
 	)
 	flag.Parse()
@@ -51,8 +53,12 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "deflection-disasm: -cfg must be dot or text, got %q\n", *cfg)
 		return 2
 	}
-	if *taintF && *cfg == "" {
-		fmt.Fprintln(os.Stderr, "deflection-disasm: -taint requires -cfg dot or -cfg text")
+	if (*taintF || *orderF) && *cfg == "" {
+		fmt.Fprintln(os.Stderr, "deflection-disasm: -taint and -order require -cfg dot or -cfg text")
+		return 2
+	}
+	if *taintF && *orderF {
+		fmt.Fprintln(os.Stderr, "deflection-disasm: -taint and -order are mutually exclusive")
 		return 2
 	}
 	raw, err := os.ReadFile(flag.Arg(0))
@@ -68,6 +74,9 @@ func run() int {
 
 	if *taintF {
 		return dumpTaintCFG(o, *cfg)
+	}
+	if *orderF {
+		return dumpOrderCFG(o, *cfg)
 	}
 	if *cfg != "" {
 		return dumpCFG(o, *cfg)
@@ -87,7 +96,7 @@ func run() int {
 	rejected := false
 	var annot map[int64]bool
 	if *verify != "" {
-		pols, perr := parsePolicies(*verify)
+		pols, perr := policy.ParseSet(*verify)
 		if perr != nil {
 			fmt.Fprintln(os.Stderr, perr)
 			return 2
@@ -220,25 +229,6 @@ func dumpCFG(o *obj.Object, format string) int {
 	return 0
 }
 
-func parsePolicies(s string) (policy.Set, error) {
-	switch s {
-	case "p1":
-		return policy.SetP1, nil
-	case "p1+p2":
-		return policy.SetP1P2, nil
-	case "p1-p5":
-		return policy.SetP1P5, nil
-	case "p1-p6":
-		return policy.SetP1P6, nil
-	case "p1-p7":
-		return policy.SetP1P7, nil
-	case "full":
-		return policy.SetAll, nil
-	default:
-		return 0, fmt.Errorf("deflection-disasm: unknown policy set %q", s)
-	}
-}
-
 // dumpTaintCFG loads and relocates the object exactly as the runtime
 // would, runs a full p1-p7 verification capturing the P7 taint report,
 // and renders the CFG over the relocated text with per-block register
@@ -307,6 +297,152 @@ func dumpTaintCFG(o *obj.Object, format string) int {
 		return 1
 	}
 	return 0
+}
+
+// dumpOrderCFG loads and relocates the object exactly as the runtime
+// would, runs a full p1-p8 verification capturing the P8 orderliness
+// report, and renders the CFG over the relocated text with per-block
+// reachable protocol-state sets and inline findings. The verdict goes to
+// stderr so dot output on stdout stays valid graphviz.
+func dumpOrderCFG(o *obj.Object, format string) int {
+	e, err := enclave.New(enclave.DefaultConfig(), []byte("disasm"))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	ld, err := loader.Load(e, o)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "load: %v\n", err)
+		return 1
+	}
+	text, err := ld.TextBytes()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	entryOff := int64(ld.Entry - ld.TextBase)
+	var offs []int64
+	for _, t := range ld.BranchTargets {
+		offs = append(offs, int64(t-ld.TextBase))
+	}
+	proto := runtime.OrderProtocol(ld)
+	var rep *order.Report
+	_, verr := verifier.Verify(text, verifier.Options{
+		Required:            policy.SetP1P8,
+		EntryOffset:         entryOff,
+		BranchTargetOffsets: offs,
+		Taint:               runtime.TaintConfig(ld),
+		Order:               proto,
+		OrderObserver:       func(r *order.Report) { rep = r },
+	})
+	switch {
+	case verr != nil:
+		fmt.Fprintf(os.Stderr, "verifier: REJECTED: %v\n", verr)
+	case rep != nil && rep.Trivial:
+		fmt.Fprintln(os.Stderr, "verifier: ACCEPTED (no interface protocol declared; P8 holds trivially)")
+	default:
+		fmt.Fprintln(os.Stderr, "verifier: ACCEPTED")
+	}
+	if rep == nil {
+		fmt.Fprintln(os.Stderr, "deflection-disasm: order annotations unavailable (an earlier pass rejected the binary before P8 ran)")
+	}
+
+	dis, err := disasm.Disassemble(text, append([]int64{entryOff}, offs...))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "deflection-disasm: %v\n", err)
+		return 1
+	}
+	g := cfa.Build(dis, entryOff, offs)
+	findings := make(map[int64]order.Finding)
+	if rep != nil {
+		for _, f := range rep.Findings {
+			findings[f.Off] = f
+		}
+	}
+	switch format {
+	case "dot":
+		renderOrderDot(g, proto, rep, findings)
+	case "text":
+		renderOrderText(g, proto, rep, findings)
+	}
+	if verr != nil {
+		return 1
+	}
+	return 0
+}
+
+// stateMask renders a protocol-state bitmask with the protocol's state
+// names; without a protocol there are no states to name.
+func stateMask(p *order.Protocol, m uint64) string {
+	if p == nil {
+		return "-"
+	}
+	return p.StateNames(m)
+}
+
+func renderOrderText(g *cfa.Graph, p *order.Protocol, rep *order.Report, findings map[int64]order.Finding) {
+	fmt.Printf("cfg: %d blocks, %d edges, entry %#x, %d listed targets\n",
+		len(g.Blocks)-1, g.Edges, g.Entry, len(g.Targets))
+	if p != nil {
+		fmt.Printf("protocol: %d states, start %q\n", len(p.States), p.States[p.Start].Name)
+	}
+	for _, b := range g.Blocks[1:] {
+		fmt.Printf("block %d [%#06x, %#06x) succs=%v", b.ID, b.Start, b.End, b.Succs)
+		if rep != nil && !rep.Trivial {
+			if bs, ok := rep.Blocks[b.ID]; ok {
+				fmt.Printf(" states-in={%s} states-out={%s}", stateMask(p, bs.In), stateMask(p, bs.Out))
+			} else {
+				fmt.Print(" states: unreached")
+			}
+		}
+		fmt.Println()
+		for _, in := range b.Insts {
+			fmt.Printf("  %#06x  %s", in.Off, in.Inst.String())
+			if f, ok := findings[in.Off]; ok {
+				fmt.Printf("   ; ORDER %s: %s", f.Kind, f.Msg)
+			}
+			fmt.Println()
+		}
+	}
+}
+
+func renderOrderDot(g *cfa.Graph, p *order.Protocol, rep *order.Report, findings map[int64]order.Finding) {
+	fmt.Println("digraph cfg {\n  node [shape=box fontname=\"monospace\"];")
+	fmt.Println("  root [label=\"root\" shape=ellipse];")
+	for _, b := range g.Blocks[1:] {
+		var lbl strings.Builder
+		fmt.Fprintf(&lbl, "[%#06x, %#06x)\\l", b.Start, b.End)
+		violated := false
+		if rep != nil && !rep.Trivial {
+			if bs, ok := rep.Blocks[b.ID]; ok {
+				fmt.Fprintf(&lbl, "states in={%s} out={%s}\\l", stateMask(p, bs.In), stateMask(p, bs.Out))
+			}
+		}
+		for _, in := range b.Insts {
+			fmt.Fprintf(&lbl, "%#06x  %s\\l", in.Off, in.Inst.String())
+			if f, ok := findings[in.Off]; ok {
+				fmt.Fprintf(&lbl, "  !! ORDER %s\\l", f.Kind)
+				violated = true
+			}
+		}
+		attr := ""
+		if violated {
+			attr = " color=red"
+		}
+		fmt.Printf("  b%d [label=\"%s\"%s];\n", b.ID, lbl.String(), attr)
+	}
+	name := func(id int) string {
+		if id == cfa.Root {
+			return "root"
+		}
+		return fmt.Sprintf("b%d", id)
+	}
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			fmt.Printf("  %s -> %s;\n", name(b.ID), name(s))
+		}
+	}
+	fmt.Println("}")
 }
 
 // regMask renders a register-taint bitmask as a comma list ("-" = clean).

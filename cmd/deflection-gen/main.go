@@ -24,7 +24,7 @@ func main() {
 func run() int {
 	var (
 		out       = flag.String("o", "a.dfo", "output object file")
-		policies  = flag.String("policies", "p1-p6", "policy set: none|p1|p1+p2|p1-p5|p1-p6|p1-p7|full")
+		policies  = flag.String("policies", "p1-p6", "policy set: none|p1|p1+p2|p1-p5|p1-p6|p1-p7|p1-p8|full")
 		threshold = flag.Int64("aex-threshold", 0, "P6 abort threshold (0 = default)")
 		interval  = flag.Int("aex-interval", 0, "P6 check spacing q (0 = default)")
 		noStdlib  = flag.Bool("nostdlib", false, "do not link the DC support library")
@@ -49,7 +49,7 @@ func run() int {
 	if strings.HasSuffix(flag.Arg(0), ".s") || strings.HasSuffix(flag.Arg(0), ".asm") {
 		// Hand-written assembly: no instrumentation passes run; the object
 		// claims whatever policy annotations the author wrote by hand.
-		o, err := asmtext.Assemble(string(src), uint8(pols))
+		o, err := asmtext.Assemble(string(src), uint16(pols))
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "deflection-gen: %v\n", err)
 			return 1

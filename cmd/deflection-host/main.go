@@ -63,7 +63,7 @@ func main() {
 func run() int {
 	var params intList
 	var (
-		policies = flag.String("policies", "p1-p6", "required policy set: none|p1|p1+p2|p1-p5|p1-p6|p1-p7|full")
+		policies = flag.String("policies", "p1-p6", "required policy set: none|p1|p1+p2|p1-p5|p1-p6|p1-p7|p1-p8|full")
 		dataFile = flag.String("data", "", "file whose contents are queued as one input message")
 		gas      = flag.Uint64("gas", 0, "instruction budget (0 = default)")
 		aex      = flag.Uint64("aex-interval", 0, "inject an AEX every ~N instructions (0 = off)")

@@ -1,6 +1,6 @@
 // Command deflection-lint gates the build on TCB import hygiene: the
-// in-enclave verification packages (verifier, cfa, disasm, loader, isa,
-// policy) must not reach the observability plane, the service plane, or
+// in-enclave verification packages (verifier, cfa, taint, order, disasm,
+// loader, isa, policy) must not reach the observability plane, the service plane, or
 // the net/os standard-library trees. Exit status 1 means the TCB grew a
 // forbidden dependency; the offending import chains are printed.
 //

@@ -60,31 +60,16 @@ const (
 	PolicyP1P6 Policies = policy.SetP1P6
 	// PolicyP1P7 adds the P7 secret-taint pass on top of P1-P6.
 	PolicyP1P7 Policies = policy.SetP1P7
-	// PolicyFull is P0-P7: everything, including the interface policies.
+	// PolicyP1P8 adds the P8 interface-orderliness pass on top of P1-P7.
+	PolicyP1P8 Policies = policy.SetP1P8
+	// PolicyFull is P0-P8: everything, including the interface policies.
 	PolicyFull Policies = policy.SetAll
 )
 
 // ParsePolicies parses a policy-set name as used by the CLI tools:
-// "none", "p1", "p1+p2", "p1-p5", "p1-p6", "p1-p7" or "full".
+// "none", "p1", "p1+p2", "p1-p5", "p1-p6", "p1-p7", "p1-p8" or "full".
 func ParsePolicies(s string) (Policies, error) {
-	switch s {
-	case "none":
-		return PolicyNone, nil
-	case "p1":
-		return PolicyP1, nil
-	case "p1+p2":
-		return PolicyP1P2, nil
-	case "p1-p5":
-		return PolicyP1P5, nil
-	case "p1-p6":
-		return PolicyP1P6, nil
-	case "p1-p7":
-		return PolicyP1P7, nil
-	case "full":
-		return PolicyFull, nil
-	default:
-		return 0, fmt.Errorf("deflection: unknown policy set %q", s)
-	}
+	return policy.ParseSet(s)
 }
 
 // GeneratorOptions configures the untrusted code generator.

@@ -13,6 +13,10 @@
 //	.bss   buf 128           ; zero-initialised data
 //	.ptrtable jt lbl1, lbl2  ; table of code addresses (registers targets)
 //	.secret buf              ; tag a data/bss object as a P7 taint source
+//	.pstate init             ; declare a protocol state (first = start)
+//	.pstate done attested    ; attestation-complete state
+//	.pedge init 2 done       ; edge: in init, event 2 (ocall index) -> done
+//	.pedge done -1 end       ; -1 is the hlt event
 //
 //	loop:                    ; label (local to the object, must be unique)
 //	  mov  rax, 42           ; register <- immediate
@@ -58,13 +62,16 @@ type assembler struct {
 	out     *obj.Assembler
 	curName string
 	curBody []obj.Item
-	mask    uint8
+	mask    uint16
+
+	proto  *obj.Protocol
+	states map[string]int64
 }
 
 // Assemble parses source and produces an object. policyMask is the policy
 // set the object claims (hand-written binaries usually claim what they
 // carry).
-func Assemble(source string, policyMask uint8) (*obj.Object, error) {
+func Assemble(source string, policyMask uint16) (*obj.Object, error) {
 	a := &assembler{out: obj.NewAssembler(), mask: policyMask}
 	for i, raw := range strings.Split(source, "\n") {
 		line := raw
@@ -81,6 +88,9 @@ func Assemble(source string, policyMask uint8) (*obj.Object, error) {
 	}
 	if err := a.flushFunc(); err != nil {
 		return nil, &Error{Line: 0, Msg: err.Error()}
+	}
+	if a.proto != nil {
+		a.out.SetProtocol(a.proto)
 	}
 	return a.out.Assemble(a.mask)
 }
@@ -191,6 +201,45 @@ func (a *assembler) directive(line string) error {
 			return fmt.Errorf("bad .bss size %q", fields[2])
 		}
 		return a.out.AddBSS(fields[1], size)
+	case ".pstate":
+		if len(fields) != 2 && !(len(fields) == 3 && fields[2] == "attested") {
+			return fmt.Errorf(".pstate needs a name and optionally 'attested'")
+		}
+		if a.proto == nil {
+			a.proto = &obj.Protocol{}
+			a.states = make(map[string]int64)
+		}
+		name := fields[1]
+		if _, dup := a.states[name]; dup {
+			return fmt.Errorf("duplicate protocol state %q", name)
+		}
+		a.states[name] = int64(len(a.proto.States))
+		a.proto.States = append(a.proto.States, obj.ProtocolState{
+			Name:     name,
+			Attested: len(fields) == 3,
+		})
+		return nil
+	case ".pedge":
+		if len(fields) != 4 {
+			return fmt.Errorf(".pedge needs <from> <event> <to>")
+		}
+		if a.proto == nil {
+			return fmt.Errorf(".pedge before any .pstate")
+		}
+		from, ok := a.states[fields[1]]
+		if !ok {
+			return fmt.Errorf(".pedge references unknown state %q", fields[1])
+		}
+		to, ok := a.states[fields[3]]
+		if !ok {
+			return fmt.Errorf(".pedge references unknown state %q", fields[3])
+		}
+		ev, err := parseImm(fields[2])
+		if err != nil {
+			return fmt.Errorf("bad .pedge event %q", fields[2])
+		}
+		a.proto.Edges = append(a.proto.Edges, obj.ProtocolEdge{From: from, Event: ev, To: to})
+		return nil
 	case ".ptrtable":
 		if len(fields) < 3 {
 			return fmt.Errorf(".ptrtable needs a name and labels")

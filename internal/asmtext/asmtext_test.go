@@ -161,7 +161,7 @@ func TestHandWrittenAttackRejected(t *testing.T) {
   mov [rbx], rax       ; unguarded store
   hlt
 `
-	o, err := asmtext.Assemble(src, uint8(policy.SetP1))
+	o, err := asmtext.Assemble(src, uint16(policy.SetP1))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -50,6 +50,7 @@ var trustedPackages = []struct {
 	{"disasm", "Clipped disassembler"},
 	{"cfa", "CFG recovery + dominators"},
 	{"taint", "P7 secret-taint pass"},
+	{"order", "P8 interface-order pass"},
 	{"isa", "Instruction decoder"},
 	{"enclave", "Enclave memory model"},
 	{"policy", "Policy/annotation ABI"},

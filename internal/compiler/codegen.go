@@ -75,7 +75,31 @@ func Generate(prog *lang.Program, opts Options) (*obj.Object, error) {
 	// one behind an unreferenced label (e.g. a P6 check after the end label
 	// of a switch whose arms all return), where it is unreachable.
 	g.asm.PruneDeadCode()
-	return g.asm.Assemble(uint8(opts.Policies))
+	if p := protocolTable(prog.Protocol); p != nil {
+		g.asm.SetProtocol(p)
+	}
+	return g.asm.Assemble(uint16(opts.Policies))
+}
+
+// protocolTable lowers a checked protocol declaration to the object-file
+// table the verifier's order pass consumes. Indices were resolved by
+// lang.Check.
+func protocolTable(d *lang.ProtocolDecl) *obj.Protocol {
+	if d == nil {
+		return nil
+	}
+	p := &obj.Protocol{Start: 0}
+	for _, st := range d.States {
+		p.States = append(p.States, obj.ProtocolState{Name: st.Name, Attested: st.Attested})
+	}
+	for _, e := range d.Edges {
+		p.Edges = append(p.Edges, obj.ProtocolEdge{
+			From:  int64(e.FromIdx),
+			Event: e.EventIndex,
+			To:    int64(e.ToIdx),
+		})
+	}
+	return p
 }
 
 type progGen struct {

@@ -338,8 +338,45 @@ type GlobalVar struct {
 	Sym *SymbolInfo
 }
 
+// ProtocolStateDecl is one state of a declared interface protocol.
+type ProtocolStateDecl struct {
+	Name string
+	// Attested marks the state as attestation-complete: output events
+	// (send, print) become admissible only in attested states.
+	Attested bool
+}
+
+// ProtocolEdgeDecl is one transition: in state From, interface event Event
+// is admitted and moves the automaton to state To. Event is one of "send",
+// "recv", "print", "tid", "hlt" or "ocall" (generic, with Index carrying
+// the explicit OCall number). FromIdx/ToIdx/EventIndex are resolved by
+// Check.
+type ProtocolEdgeDecl struct {
+	From  string
+	Event string
+	Index int64
+	To    string
+
+	FromIdx, ToIdx int
+	EventIndex     int64 // resolved OCall index, or -1 for hlt
+
+	Line, Col int
+}
+
+// ProtocolDecl is a declared interface protocol (the P8 proof): a small DFA
+// over interface events. The first declared state is the start state. The
+// compiled object carries the table; the verifier's order pass proves every
+// interface event on every path is admitted by it.
+type ProtocolDecl struct {
+	States []*ProtocolStateDecl
+	Edges  []*ProtocolEdgeDecl
+}
+
 // Program is a parsed translation unit.
 type Program struct {
 	Globals []*GlobalVar
 	Funcs   []*FuncDecl
+	// Protocol is the declared interface protocol, or nil when the unit
+	// declares none (P8 then holds trivially).
+	Protocol *ProtocolDecl
 }

@@ -80,10 +80,85 @@ func Check(prog *Program) error {
 	if _, ok := c.funcs["main"]; !ok {
 		return &CheckError{Msg: "program has no main function"}
 	}
+	if err := checkProtocol(prog.Protocol); err != nil {
+		return err
+	}
 	for _, f := range prog.Funcs {
 		if err := c.checkFunc(f); err != nil {
 			return err
 		}
+	}
+	return nil
+}
+
+// MaxProtocolStates bounds declared protocols so the verifier's order pass
+// can represent reachable-state sets as a single 64-bit mask.
+const MaxProtocolStates = 64
+
+// protocolEvents maps event keywords to OCall indices (hlt is -1; the
+// generic "ocall" form carries its own index).
+var protocolEvents = map[string]int64{
+	"send":  1, // OcallSend
+	"recv":  2, // OcallRecv
+	"print": 3, // OcallPrint
+	"tid":   4, // OcallThreadID
+	"hlt":   -1,
+}
+
+// checkProtocol resolves state and event names in a protocol declaration,
+// filling FromIdx/ToIdx/EventIndex on every edge. Structural automaton
+// properties (determinism, output gating, terminal closure) are enforced
+// later by the verifier's order pass; here we only reject what can never
+// assemble into a table.
+func checkProtocol(d *ProtocolDecl) error {
+	if d == nil {
+		return nil
+	}
+	if len(d.States) == 0 {
+		return &CheckError{Msg: "protocol declares no states"}
+	}
+	if len(d.States) > MaxProtocolStates {
+		return &CheckError{Msg: fmt.Sprintf("protocol declares %d states; at most %d supported", len(d.States), MaxProtocolStates)}
+	}
+	idx := make(map[string]int, len(d.States))
+	for i, st := range d.States {
+		if _, dup := idx[st.Name]; dup {
+			return &CheckError{Msg: fmt.Sprintf("duplicate protocol state %q", st.Name)}
+		}
+		idx[st.Name] = i
+	}
+	type key struct {
+		from int
+		ev   int64
+	}
+	seen := make(map[key]bool)
+	for _, e := range d.Edges {
+		from, ok := idx[e.From]
+		if !ok {
+			return &CheckError{Line: e.Line, Col: e.Col, Msg: fmt.Sprintf("protocol edge references unknown state %q", e.From)}
+		}
+		to, ok := idx[e.To]
+		if !ok {
+			return &CheckError{Line: e.Line, Col: e.Col, Msg: fmt.Sprintf("protocol edge references unknown state %q", e.To)}
+		}
+		var ev int64
+		if e.Event == "ocall" {
+			if e.Index <= 0 {
+				return &CheckError{Line: e.Line, Col: e.Col, Msg: fmt.Sprintf("ocall event index must be positive, have %d", e.Index)}
+			}
+			ev = e.Index
+		} else {
+			ev, ok = protocolEvents[e.Event]
+			if !ok {
+				return &CheckError{Line: e.Line, Col: e.Col, Msg: fmt.Sprintf("unknown protocol event %q (want send, recv, print, tid, hlt or ocall <n>)", e.Event)}
+			}
+		}
+		k := key{from, ev}
+		if seen[k] {
+			return &CheckError{Line: e.Line, Col: e.Col, Msg: fmt.Sprintf("duplicate protocol edge from %q on event %q", e.From, e.Event)}
+		}
+		seen[k] = true
+		e.FromIdx, e.ToIdx, e.EventIndex = from, to, ev
 	}
 	return nil
 }

@@ -99,7 +99,7 @@ func isIdentCont(c byte) bool { return isIdentStart(c) || isDigit(c) }
 var puncts = []string{
 	"<<=", ">>=",
 	"==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
-	"+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--",
+	"+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--", "->",
 	"+", "-", "*", "/", "%", "&", "|", "^", "~", "!", "<", ">", "=",
 	"(", ")", "{", "}", "[", "]", ";", ",", "?", ":",
 }

@@ -99,6 +99,9 @@ func (p *parser) parseType() (*Type, error) {
 }
 
 func (p *parser) parseTopLevel(prog *Program) error {
+	if p.atKeyword("protocol") {
+		return p.parseProtocol(prog)
+	}
 	secret := p.atKeyword("secret")
 	if secret {
 		p.pos++
@@ -128,6 +131,79 @@ func (p *parser) parseTopLevel(prog *Program) error {
 	}
 	g.Secret = secret
 	prog.Globals = append(prog.Globals, g)
+	return nil
+}
+
+// parseProtocol parses a top-level interface-protocol declaration:
+//
+//	protocol {
+//	    state init;
+//	    state ready attested;
+//	    init:  recv -> ready;
+//	    ready: send -> done;
+//	    done:  hlt  -> end;
+//	}
+//
+// The first declared state is the start state; events are send, recv,
+// print, tid, hlt, or "ocall <n>" for a generic OCall index.
+func (p *parser) parseProtocol(prog *Program) error {
+	if prog.Protocol != nil {
+		return p.errf("duplicate protocol declaration")
+	}
+	p.pos++ // 'protocol'
+	if err := p.expectPunct("{"); err != nil {
+		return err
+	}
+	d := &ProtocolDecl{}
+	for !p.eatPunct("}") {
+		if p.at(TokEOF) {
+			return p.errf("unterminated protocol block")
+		}
+		t := p.cur()
+		name, err := p.expectIdent()
+		if err != nil {
+			return err
+		}
+		if name == "state" {
+			st := &ProtocolStateDecl{}
+			if st.Name, err = p.expectIdent(); err != nil {
+				return err
+			}
+			if p.at(TokIdent) && p.cur().Text == "attested" {
+				p.pos++
+				st.Attested = true
+			}
+			if err := p.expectPunct(";"); err != nil {
+				return err
+			}
+			d.States = append(d.States, st)
+			continue
+		}
+		e := &ProtocolEdgeDecl{From: name, Line: t.Line, Col: t.Col}
+		if err := p.expectPunct(":"); err != nil {
+			return err
+		}
+		if e.Event, err = p.expectIdent(); err != nil {
+			return err
+		}
+		if e.Event == "ocall" {
+			if !p.at(TokInt) {
+				return p.errf("'ocall' event needs an integer index")
+			}
+			e.Index = p.next().Int
+		}
+		if err := p.expectPunct("->"); err != nil {
+			return err
+		}
+		if e.To, err = p.expectIdent(); err != nil {
+			return err
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return err
+		}
+		d.Edges = append(d.Edges, e)
+	}
+	prog.Protocol = d
 	return nil
 }
 

@@ -54,8 +54,8 @@ func (t Token) String() string {
 
 var keywords = map[string]bool{
 	"int": true, "float": true, "char": true, "void": true, "fnptr": true,
-	"secret": true,
-	"if":     true, "else": true, "while": true, "for": true, "do": true,
+	"secret": true, "protocol": true,
+	"if": true, "else": true, "while": true, "for": true, "do": true,
 	"return": true, "break": true, "continue": true,
 	"switch": true, "case": true, "default": true,
 }

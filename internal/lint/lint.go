@@ -50,6 +50,7 @@ func DefaultConfig(root string) Config {
 			"internal/verifier",
 			"internal/cfa",
 			"internal/taint",
+			"internal/order",
 			"internal/disasm",
 			"internal/loader",
 			"internal/isa",

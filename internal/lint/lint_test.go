@@ -18,8 +18,8 @@ func TestRepoTCBHygiene(t *testing.T) {
 	for _, f := range rep.Findings {
 		t.Errorf("%s", f)
 	}
-	// The six TCB roots plus their first-party closure (enclave, obj).
-	if len(rep.Packages) < 6 {
+	// The eight TCB roots plus their first-party closure (enclave, obj).
+	if len(rep.Packages) < 8 {
 		t.Fatalf("lint visited only %d packages: %v", len(rep.Packages), rep.Packages)
 	}
 }
@@ -195,5 +195,48 @@ import _ "net/http"
 	}
 	if len(rep.Findings) != 0 {
 		t.Fatalf("test-file imports flagged: %v", rep.Findings)
+	}
+}
+
+// TestTCBRootsPinned: the default TCB root set must include every
+// verification-plane analysis package — dropping internal/order (or any
+// other pass) here would let the P8 automaton analysis silently grow
+// service-plane or network dependencies.
+func TestTCBRootsPinned(t *testing.T) {
+	cfg := DefaultConfig(".")
+	want := []string{
+		"internal/verifier", "internal/cfa", "internal/taint",
+		"internal/order", "internal/disasm", "internal/loader",
+		"internal/isa", "internal/policy",
+	}
+	have := make(map[string]bool, len(cfg.TCB))
+	for _, r := range cfg.TCB {
+		have[r] = true
+	}
+	for _, w := range want {
+		if !have[w] {
+			t.Errorf("DefaultConfig.TCB is missing %q", w)
+		}
+	}
+}
+
+// TestDetectsOrderPassImport: the P8 order pass is in-enclave code; an
+// observability import reached from it must be flagged.
+func TestDetectsOrderPassImport(t *testing.T) {
+	root := t.TempDir()
+	write(t, root, "go.mod", "module example.test\n\ngo 1.22\n")
+	write(t, root, "internal/order/o.go", `package order
+
+import _ "example.test/internal/obs"
+`)
+	write(t, root, "internal/obs/m.go", "package obs\n")
+	cfg := DefaultConfig(root)
+	cfg.TCB = []string{"internal/order"}
+	rep, err := Check(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Findings) != 1 || rep.Findings[0].Import != "example.test/internal/obs" {
+		t.Fatalf("findings = %v, want one internal/obs", rep.Findings)
 	}
 }

@@ -56,6 +56,7 @@ type Assembler struct {
 	btSet         map[string]bool
 	secrets       []string
 	secretSet     map[string]bool
+	protocol      *Protocol
 
 	entry string
 }
@@ -76,6 +77,11 @@ func NewAssembler() *Assembler {
 
 // SetEntry records the entry symbol.
 func (a *Assembler) SetEntry(name string) { a.entry = name }
+
+// SetProtocol records the declared interface protocol (the P8 proof). The
+// assembler stores it as given; structural validation happens in Assemble
+// via Object.validate.
+func (a *Assembler) SetProtocol(p *Protocol) { a.protocol = p }
 
 func (a *Assembler) addSym(s Symbol) error {
 	if a.symset[s.Name] {
@@ -200,7 +206,7 @@ func (a *Assembler) AddSecret(name string) {
 
 // Assemble resolves labels and produces the final object. policyMask
 // declares which policies the generator instrumented.
-func (a *Assembler) Assemble(policyMask uint8) (*Object, error) {
+func (a *Assembler) Assemble(policyMask uint16) (*Object, error) {
 	// Pass 1: assign offsets. Instruction lengths do not depend on label
 	// values (branches always use rel32), so one sizing pass suffices.
 	offsets := make(map[string]int64, len(a.items))
@@ -302,6 +308,7 @@ func (a *Assembler) Assemble(policyMask uint8) (*Object, error) {
 		}
 		o.Secrets = append(o.Secrets, s)
 	}
+	o.Protocol = a.protocol
 	if err := o.validate(); err != nil {
 		return nil, err
 	}

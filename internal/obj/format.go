@@ -90,13 +90,53 @@ type BranchTarget struct {
 	Symbol string
 }
 
+// ProtocolState is one state of a declared interface protocol. Attested
+// marks states in which the attestation/provisioning exchange has completed
+// and sealed output is admissible.
+type ProtocolState struct {
+	Name     string
+	Attested bool
+}
+
+// ProtocolEdge is one transition of a declared interface protocol: in state
+// From, interface event Event (an OCall index, or EventHlt for the final
+// hlt) is admitted and moves the automaton to state To.
+type ProtocolEdge struct {
+	From  int64
+	Event int64
+	To    int64
+}
+
+// EventHlt is the pseudo-event index of the program's terminating hlt in a
+// protocol edge (real OCall indices are positive).
+const EventHlt int64 = -1
+
+// Protocol is the declared interface protocol carried by the object proof:
+// a small DFA over interface events that policy P8's order pass checks the
+// recovered CFG against. Like the secret table it is part of the proof —
+// a weaker table weakens nothing for the provider, because the verifier's
+// meta-validation (internal/order) rejects protocols that admit output from
+// unattested states.
+type Protocol struct {
+	Start  int64
+	States []ProtocolState
+	Edges  []ProtocolEdge
+}
+
+// MaxProtocolStates bounds the state count so reachable-state sets fit one
+// 64-bit word in the verifier's order pass.
+const MaxProtocolStates = 64
+
 // Object is a relocatable target binary plus its proof.
 type Object struct {
 	// Entry is the symbol where execution starts.
 	Entry string
 	// PolicyMask declares which policies the generator instrumented
-	// (a bitmask of 1<<policy for P1..P6). The verifier checks the claim.
-	PolicyMask uint8
+	// (a bitmask of 1<<policy for P1..P8). The verifier checks the claim.
+	// The wire format stores the low byte in the fixed header; the high
+	// byte rides in the optional extension tail so pre-P8 objects keep
+	// their exact historical encoding (and digests/cache keys).
+	PolicyMask uint16
 
 	Text    []byte
 	Data    []byte
@@ -113,6 +153,10 @@ type Object struct {
 	// provider (the manifest's P7 bit still forces the pass), it only
 	// changes which buffers count as sources.
 	Secrets []string
+
+	// Protocol is the declared interface protocol (the P8 proof), or nil
+	// when the generator declared none.
+	Protocol *Protocol
 }
 
 // Symbol returns the named symbol, if present.
@@ -235,7 +279,7 @@ func (o *Object) Marshal() []byte {
 	var w writer
 	w.buf.WriteString(objMagic)
 	w.str(o.Entry)
-	w.u8(o.PolicyMask)
+	w.u8(uint8(o.PolicyMask))
 	w.bytes(o.Text)
 	w.bytes(o.Data)
 	w.i64(o.BSSSize)
@@ -260,13 +304,40 @@ func (o *Object) Marshal() []byte {
 	for _, bt := range o.BranchTargets {
 		w.str(bt.Symbol)
 	}
-	// The secret table is appended only when non-empty so objects without
-	// tagged buffers keep the exact byte encoding of the previous format
-	// revision (and its digests/cache keys).
-	if len(o.Secrets) > 0 {
+	// The optional tails are appended only when needed so older objects
+	// keep the exact byte encoding of the previous format revisions (and
+	// their digests/cache keys). Layout: [secrets] [extension]. The
+	// extension (policy-mask high byte + protocol table) forces the secret
+	// count out even when zero, so a parser can tell the tails apart by
+	// position alone.
+	ext := o.PolicyMask > 0xff || o.Protocol != nil
+	if len(o.Secrets) > 0 || ext {
 		w.u64(uint64(len(o.Secrets)))
 		for _, s := range o.Secrets {
 			w.str(s)
+		}
+	}
+	if ext {
+		w.u8(uint8(o.PolicyMask >> 8))
+		if p := o.Protocol; p != nil {
+			w.u64(uint64(len(p.States)))
+			w.i64(p.Start)
+			for _, st := range p.States {
+				w.str(st.Name)
+				if st.Attested {
+					w.u8(1)
+				} else {
+					w.u8(0)
+				}
+			}
+			w.u64(uint64(len(p.Edges)))
+			for _, e := range p.Edges {
+				w.i64(e.From)
+				w.i64(e.Event)
+				w.i64(e.To)
+			}
+		} else {
+			w.u64(0)
 		}
 	}
 	return w.buf.Bytes()
@@ -281,7 +352,7 @@ func Unmarshal(b []byte) (*Object, error) {
 	r := &reader{b: b, off: len(objMagic)}
 	o := &Object{}
 	o.Entry = r.str()
-	o.PolicyMask = r.u8()
+	o.PolicyMask = uint16(r.u8())
 	o.Text = r.blob(".text")
 	o.Data = r.blob(".data")
 	o.BSSSize = r.i64()
@@ -324,11 +395,37 @@ func Unmarshal(b []byte) (*Object, error) {
 	}
 	if r.err == nil && r.off < len(b) {
 		nsec := r.count("secret")
-		if r.err == nil {
+		if r.err == nil && nsec > 0 {
 			o.Secrets = make([]string, 0, nsec)
 		}
 		for i := 0; i < nsec && r.err == nil; i++ {
 			o.Secrets = append(o.Secrets, r.str())
+		}
+	}
+	if r.err == nil && r.off < len(b) {
+		o.PolicyMask |= uint16(r.u8()) << 8
+		nst := r.count("protocol state")
+		if r.err == nil && nst > 0 {
+			p := &Protocol{Start: r.i64()}
+			p.States = make([]ProtocolState, 0, nst)
+			for i := 0; i < nst && r.err == nil; i++ {
+				var st ProtocolState
+				st.Name = r.str()
+				st.Attested = r.u8() != 0
+				p.States = append(p.States, st)
+			}
+			ne := r.count("protocol edge")
+			if r.err == nil {
+				p.Edges = make([]ProtocolEdge, 0, ne)
+			}
+			for i := 0; i < ne && r.err == nil; i++ {
+				var e ProtocolEdge
+				e.From = r.i64()
+				e.Event = r.i64()
+				e.To = r.i64()
+				p.Edges = append(p.Edges, e)
+			}
+			o.Protocol = p
 		}
 	}
 	if r.err != nil {
@@ -405,6 +502,35 @@ func (o *Object) validate() error {
 		}
 		if s.Kind != SymObj || (s.Section != SecData && s.Section != SecBSS) {
 			return fmt.Errorf("%w: secret %q is not a data object", ErrBadObject, name)
+		}
+	}
+	if p := o.Protocol; p != nil {
+		// Structural validation only: semantic meta-rules (determinism,
+		// attestation monotonicity, output gating) belong to the verifier's
+		// order pass, which must re-derive them inside the TCB anyway.
+		if len(p.States) == 0 || len(p.States) > MaxProtocolStates {
+			return fmt.Errorf("%w: protocol has %d states (want 1..%d)", ErrBadObject, len(p.States), MaxProtocolStates)
+		}
+		names := make(map[string]bool, len(p.States))
+		for _, st := range p.States {
+			if st.Name == "" {
+				return fmt.Errorf("%w: protocol state with empty name", ErrBadObject)
+			}
+			if names[st.Name] {
+				return fmt.Errorf("%w: protocol state %q declared twice", ErrBadObject, st.Name)
+			}
+			names[st.Name] = true
+		}
+		if p.Start < 0 || p.Start >= int64(len(p.States)) {
+			return fmt.Errorf("%w: protocol start state %d out of range", ErrBadObject, p.Start)
+		}
+		for _, e := range p.Edges {
+			if e.From < 0 || e.From >= int64(len(p.States)) || e.To < 0 || e.To >= int64(len(p.States)) {
+				return fmt.Errorf("%w: protocol edge %d-[%d]->%d references undefined state", ErrBadObject, e.From, e.Event, e.To)
+			}
+			if e.Event < EventHlt || e.Event == 0 {
+				return fmt.Errorf("%w: protocol edge event %d invalid (want an OCall index or %d for hlt)", ErrBadObject, e.Event, EventHlt)
+			}
 		}
 	}
 	return nil

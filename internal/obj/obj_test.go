@@ -281,7 +281,7 @@ func TestMarshalRoundTripQuick(t *testing.T) {
 	names := []string{"a", "bb", "ccc", "_d", "e.f", "long.symbol.name"}
 	f := func() bool {
 		o := &Object{
-			PolicyMask: uint8(rng.Intn(256)),
+			PolicyMask: uint16(rng.Intn(256)),
 			Text:       make([]byte, rng.Intn(64)),
 			Data:       make([]byte, rng.Intn(64)),
 			BSSSize:    int64(rng.Intn(512)),

@@ -1,0 +1,159 @@
+package obj
+
+import (
+	"bytes"
+	"testing"
+
+	"deflection/internal/isa"
+)
+
+func sampleProtocol() *Protocol {
+	return &Protocol{
+		Start: 0,
+		States: []ProtocolState{
+			{Name: "init"},
+			{Name: "ready", Attested: true},
+			{Name: "end", Attested: true},
+		},
+		Edges: []ProtocolEdge{
+			{From: 0, Event: 2, To: 1},
+			{From: 1, Event: 1, To: 1},
+			{From: 1, Event: EventHlt, To: 2},
+		},
+	}
+}
+
+func TestProtocolRoundTrip(t *testing.T) {
+	base := sampleObject(t)
+	b0 := base.Marshal()
+
+	o, err := Unmarshal(b0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Protocol = sampleProtocol()
+	got, err := Unmarshal(o.Marshal())
+	if err != nil {
+		t.Fatalf("object with protocol table rejected: %v", err)
+	}
+	p := got.Protocol
+	if p == nil {
+		t.Fatal("protocol table did not survive the round trip")
+	}
+	if p.Start != 0 || len(p.States) != 3 || len(p.Edges) != 3 {
+		t.Fatalf("round-tripped protocol = %+v", p)
+	}
+	if p.States[1].Name != "ready" || !p.States[1].Attested || p.States[0].Attested {
+		t.Errorf("states did not round trip: %+v", p.States)
+	}
+	if p.Edges[2] != (ProtocolEdge{From: 1, Event: EventHlt, To: 2}) {
+		t.Errorf("edges did not round trip: %+v", p.Edges)
+	}
+
+	// Byte-stability: dropping the protocol again must reproduce the exact
+	// pre-P8 encoding, so existing binary hashes, verdict-cache keys and
+	// certificate digests are unaffected by this TCB revision.
+	got.Protocol = nil
+	if !bytes.Equal(got.Marshal(), b0) {
+		t.Error("object without a protocol must marshal byte-identically to the legacy layout")
+	}
+}
+
+func TestProtocolWithSecretsRoundTrip(t *testing.T) {
+	o, err := Unmarshal(sampleObject(t).Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Secrets = []string{"greeting"}
+	o.Protocol = sampleProtocol()
+	got, err := Unmarshal(o.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Secrets) != 1 || got.Secrets[0] != "greeting" {
+		t.Errorf("secrets lost next to a protocol: %v", got.Secrets)
+	}
+	if got.Protocol == nil || len(got.Protocol.Edges) != 3 {
+		t.Errorf("protocol lost next to secrets: %+v", got.Protocol)
+	}
+}
+
+func TestHighPolicyMaskRoundTrip(t *testing.T) {
+	o, err := Unmarshal(sampleObject(t).Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// P8 claims force the extension tail even without secrets or protocol.
+	o.PolicyMask = 0x1ff
+	got, err := Unmarshal(o.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.PolicyMask != 0x1ff {
+		t.Fatalf("policy mask = %#x, want 0x1ff", got.PolicyMask)
+	}
+	if got.Protocol != nil || got.Secrets != nil {
+		t.Errorf("phantom tails appeared: secrets=%v protocol=%+v", got.Secrets, got.Protocol)
+	}
+}
+
+func TestProtocolValidation(t *testing.T) {
+	base, err := Unmarshal(sampleObject(t).Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]*Protocol{
+		"no states":       {},
+		"start range":     {Start: 5, States: []ProtocolState{{Name: "a"}}},
+		"empty name":      {States: []ProtocolState{{Name: ""}}},
+		"duplicate name":  {States: []ProtocolState{{Name: "a"}, {Name: "a"}}},
+		"edge state":      {States: []ProtocolState{{Name: "a"}}, Edges: []ProtocolEdge{{From: 0, Event: 2, To: 7}}},
+		"event zero":      {States: []ProtocolState{{Name: "a"}}, Edges: []ProtocolEdge{{From: 0, Event: 0, To: 0}}},
+		"event below hlt": {States: []ProtocolState{{Name: "a"}}, Edges: []ProtocolEdge{{From: 0, Event: -2, To: 0}}},
+	}
+	tooMany := &Protocol{}
+	for i := 0; i <= MaxProtocolStates; i++ {
+		tooMany.States = append(tooMany.States, ProtocolState{Name: string(rune('a'+i%26)) + string(rune('0'+i/26))})
+	}
+	cases["too many states"] = tooMany
+	for name, p := range cases {
+		base.Protocol = p
+		if _, err := Unmarshal(base.Marshal()); err == nil {
+			t.Errorf("%s in protocol table should be rejected", name)
+		}
+	}
+}
+
+func TestAssemblerSetProtocol(t *testing.T) {
+	a := NewAssembler()
+	if err := a.AddFunc("main", []Item{InstItem(isa.Inst{Op: isa.OpHlt})}); err != nil {
+		t.Fatal(err)
+	}
+	a.SetEntry("main")
+	a.SetProtocol(sampleProtocol())
+	o, err := a.Assemble(uint16(0x100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Protocol == nil || len(o.Protocol.States) != 3 {
+		t.Fatalf("assembled protocol = %+v", o.Protocol)
+	}
+	got, err := Unmarshal(o.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.PolicyMask != 0x100 || got.Protocol == nil {
+		t.Fatalf("mask=%#x protocol=%+v after round trip", got.PolicyMask, got.Protocol)
+	}
+
+	// An invalid protocol is caught at Assemble time.
+	a2 := NewAssembler()
+	if err := a2.AddFunc("main", []Item{InstItem(isa.Inst{Op: isa.OpHlt})}); err != nil {
+		t.Fatal(err)
+	}
+	a2.SetEntry("main")
+	a2.SetProtocol(&Protocol{States: []ProtocolState{{Name: ""}}})
+	if _, err := a2.Assemble(0); err == nil {
+		t.Fatal("invalid protocol accepted at Assemble time")
+	}
+}

@@ -38,6 +38,15 @@ const (
 	// indirect-branch target. Extends the paper's P0-P6 along the
 	// STELLA/Guardian direction (see ROADMAP).
 	P7
+	// P8: interface orderliness. The object proof declares a protocol — a
+	// small DFA over interface events (OCall indices and hlt) with an
+	// attestation-complete state set — and the verifier's order pass proves
+	// every event on every CFG path fires in a protocol state that admits
+	// it: no output before attestation completes, no event after the
+	// terminal state, no repeat of a single-shot exchange. Completes the
+	// P-family along the Guardian interface-orderliness direction the same
+	// way P7 completed data-flow compliance.
+	P8
 
 	numIDs
 )
@@ -50,16 +59,20 @@ func (id ID) String() string {
 	return fmt.Sprintf("P?(%d)", uint8(id))
 }
 
-// Set is a bitmask of policies.
-type Set uint8
+// Set is a bitmask of policies. It widened from uint8 when P8 arrived; the
+// object wire format still stores the low byte in its fixed header and
+// carries the high byte in an optional extension tail so pre-P8 encodings
+// stay byte-identical.
+type Set uint16
 
 // Bit returns the set containing only id.
 func Bit(id ID) Set { return Set(1) << id }
 
 // Predefined policy sets matching the columns of the paper's evaluation
 // (Table II): P1 alone, P1+P2, P1-P5, and P1-P6. SetP1P7 adds the
-// secret-taint policy on top of P1-P6; SetAll is everything including the
-// interface policy P0.
+// secret-taint policy on top of P1-P6, SetP1P8 the interface-orderliness
+// policy on top of that; SetAll is everything including the interface
+// policy P0.
 const (
 	SetNone Set = 0
 	SetP1   Set = 1 << P1
@@ -67,8 +80,35 @@ const (
 	SetP1P5 Set = SetP1P2 | 1<<P3 | 1<<P4 | 1<<P5
 	SetP1P6 Set = SetP1P5 | 1<<P6
 	SetP1P7 Set = SetP1P6 | 1<<P7
-	SetAll  Set = SetP1P7 | 1<<P0
+	SetP1P8 Set = SetP1P7 | 1<<P8
+	SetAll  Set = SetP1P8 | 1<<P0
 )
+
+// ParseSet parses the policy-set spellings shared by every CLI ("-policies"
+// flags) and config surface. Accepted forms: "none", "p1", "p1+p2" (alias
+// "p1-p2"), "p1-p5", "p1-p6", "p1-p7", "p1-p8", and "full" (alias "all").
+// Matching is case-insensitive.
+func ParseSet(s string) (Set, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "none":
+		return SetNone, nil
+	case "p1":
+		return SetP1, nil
+	case "p1+p2", "p1-p2":
+		return SetP1P2, nil
+	case "p1-p5":
+		return SetP1P5, nil
+	case "p1-p6":
+		return SetP1P6, nil
+	case "p1-p7":
+		return SetP1P7, nil
+	case "p1-p8":
+		return SetP1P8, nil
+	case "full", "all":
+		return SetAll, nil
+	}
+	return 0, fmt.Errorf("policy: unknown policy set %q (want none, p1, p1+p2, p1-p5, p1-p6, p1-p7, p1-p8 or full)", s)
+}
 
 // All lists every policy ID in ascending order (P0 through P7), for code
 // that iterates the policy space (audit trails, trace rendering).

@@ -20,14 +20,22 @@ func TestSetMembership(t *testing.T) {
 	if SetP1P6.Has(P7) || !SetP1P7.Has(P7) || !SetAll.Has(P7) {
 		t.Error("P7 membership wrong")
 	}
-	if !SetAll.Has(P0) || SetP1P7.Has(P0) {
+	if SetP1P7.Has(P8) || !SetP1P8.Has(P8) || !SetAll.Has(P8) {
+		t.Error("P8 membership wrong")
+	}
+	if !SetAll.Has(P0) || SetP1P8.Has(P0) {
 		t.Error("P0 membership wrong")
+	}
+	// P8 is the first policy bit past the old uint8 mask; the set type must
+	// actually hold it.
+	if Bit(P8)&0xff != 0 {
+		t.Error("P8 bit unexpectedly fits the low wire byte")
 	}
 }
 
 func TestSetMonotone(t *testing.T) {
 	// Each evaluation column is a superset of the previous.
-	chain := []Set{SetNone, SetP1, SetP1P2, SetP1P5, SetP1P6, SetP1P7, SetAll}
+	chain := []Set{SetNone, SetP1, SetP1P2, SetP1P5, SetP1P6, SetP1P7, SetP1P8, SetAll}
 	for i := 1; i < len(chain); i++ {
 		if chain[i]&chain[i-1] != chain[i-1] {
 			t.Errorf("set %v is not a superset of %v", chain[i], chain[i-1])
@@ -61,17 +69,52 @@ func TestStrings(t *testing.T) {
 	if got := SetP1P7.String(); got != "P1+P2+P3+P4+P5+P6+P7" {
 		t.Errorf("SetP1P7 = %q", got)
 	}
+	if got := SetP1P8.String(); got != "P1+P2+P3+P4+P5+P6+P7+P8" {
+		t.Errorf("SetP1P8 = %q", got)
+	}
+	if P8.String() != "P8" {
+		t.Errorf("P8 = %q", P8.String())
+	}
 	if ID(99).String() == "" {
 		t.Error("invalid id must render")
 	}
 	// String() is injective over the named sets: rendered names are cache
 	// keys and must not collide when P7 toggles.
 	seen := map[string]Set{}
-	for _, s := range []Set{SetNone, SetP1, SetP1P2, SetP1P5, SetP1P6, SetP1P7, SetAll} {
+	for _, s := range []Set{SetNone, SetP1, SetP1P2, SetP1P5, SetP1P6, SetP1P7, SetP1P8, SetAll} {
 		if prev, dup := seen[s.String()]; dup {
 			t.Errorf("sets %v and %v render identically as %q", prev, s, s.String())
 		}
 		seen[s.String()] = s
+	}
+}
+
+func TestParseSet(t *testing.T) {
+	good := map[string]Set{
+		"none":     SetNone,
+		"p1":       SetP1,
+		"p1+p2":    SetP1P2,
+		"p1-p2":    SetP1P2,
+		"p1-p5":    SetP1P5,
+		"p1-p6":    SetP1P6,
+		"p1-p7":    SetP1P7,
+		"p1-p8":    SetP1P8,
+		"full":     SetAll,
+		"all":      SetAll,
+		"P1-P8":    SetP1P8, // case-insensitive
+		" p1-p7 ":  SetP1P7, // surrounding whitespace
+		"  FULL\t": SetAll,
+	}
+	for in, want := range good {
+		got, err := ParseSet(in)
+		if err != nil || got != want {
+			t.Errorf("ParseSet(%q) = %v, %v; want %v, nil", in, got, err, want)
+		}
+	}
+	for _, in := range []string{"", "p2", "p1-p9", "p1..p8", "everything", "p1 p2"} {
+		if got, err := ParseSet(in); err == nil {
+			t.Errorf("ParseSet(%q) = %v, want error", in, got)
+		}
 	}
 }
 

@@ -23,6 +23,7 @@ import (
 	"deflection/internal/loader"
 	"deflection/internal/obj"
 	"deflection/internal/obs"
+	"deflection/internal/order"
 	"deflection/internal/policy"
 	"deflection/internal/taint"
 	"deflection/internal/verifier"
@@ -96,7 +97,7 @@ type LoadReport struct {
 	// load, disasm, per-policy verification, discipline closure, rewrite.
 	Trace *obs.Trace
 	// Audit is the per-policy verdict trail, P0 first then the verifier's
-	// P1-P7 entries.
+	// P1-P8 entries.
 	Audit []verifier.PolicyAudit
 }
 
@@ -278,6 +279,7 @@ func (b *Bootstrap) ReceiveBinary(objBytes []byte) (*LoadReport, error) {
 		EntryOffset:         int64(ld.Entry - ld.TextBase),
 		BranchTargetOffsets: offsets,
 		Taint:               TaintConfig(ld),
+		Order:               OrderProtocol(ld),
 	})
 	if err != nil {
 		tr.Add("verify", 0, "error", err.Error())
@@ -298,6 +300,8 @@ func (b *Bootstrap) ReceiveBinary(objBytes []byte) (*LoadReport, error) {
 	tr.Add("cfa/dominance", vr.CFADur.Dominance, "anchors", vr.CFA.Anchors)
 	tr.Add("cfa/taint", vr.CFADur.Taint,
 		"secrets", vr.CFA.Secrets, "funcs", vr.CFA.TaintFuncs, "tainted_ranges", vr.CFA.TaintedRanges)
+	tr.Add("cfa/order", vr.CFADur.Order,
+		"states", vr.CFA.OrderStates, "funcs", vr.CFA.OrderFuncs, "contexts", vr.CFA.OrderCtxs)
 
 	rw, err := loader.RewriteImmediates(ld, vr.Dis)
 	if err != nil {
@@ -380,6 +384,27 @@ func TaintConfig(ld *loader.Loaded) taint.Config {
 		cfg.Secrets = append(cfg.Secrets, taint.Range{Lo: base, Hi: base + uint64(s.Size)})
 	}
 	return cfg
+}
+
+// OrderProtocol converts the loaded object's declared interface protocol to
+// the P8 order pass's form (nil when none was declared — the pass then
+// holds trivially). The protocol needs no address resolution, only the
+// table carried by the proof; semantic meta-validation happens inside the
+// pass. Exposed for benchmarks and tools that call the verifier directly on
+// a loaded image.
+func OrderProtocol(ld *loader.Loaded) *order.Protocol {
+	op := ld.Object.Protocol
+	if op == nil {
+		return nil
+	}
+	p := &order.Protocol{Start: int(op.Start)}
+	for _, st := range op.States {
+		p.States = append(p.States, order.State{Name: st.Name, Attested: st.Attested})
+	}
+	for _, e := range op.Edges {
+		p.Edges = append(p.Edges, order.Edge{From: int(e.From), Event: e.Event, To: int(e.To)})
+	}
+	return p
 }
 
 // AnnotRangeSet converts the verifier's annotation spans to absolute

@@ -247,7 +247,7 @@ int main() { g = 1; return g; }`, compiler.Options{Policies: policy.SetNone})
 	if err != nil {
 		t.Fatal(err)
 	}
-	o.PolicyMask = uint8(policy.SetP1P5) // forge the claim
+	o.PolicyMask = uint16(policy.SetP1P5) // forge the claim
 	if _, err := b.ReceiveBinary(o.Marshal()); err == nil {
 		t.Fatal("forged policy mask must fail verification")
 	}

@@ -48,7 +48,7 @@ func TestTraceGolden(t *testing.T) {
 		ticks++
 		return time.Unix(0, ticks*int64(time.Millisecond))
 	})
-	rep := compileAndLoad(t, b, traceSrc, policy.SetP1P7)
+	rep := compileAndLoad(t, b, traceSrc, policy.SetP1P8)
 	if rep.Trace == nil {
 		t.Fatal("LoadReport carries no trace")
 	}
@@ -89,7 +89,7 @@ func TestTraceGolden(t *testing.T) {
 // records a strictly positive duration, and the audit trail is complete.
 func TestTraceDurationsAndAudit(t *testing.T) {
 	b := newBootstrap(t, policy.SetAll)
-	rep := compileAndLoad(t, b, traceSrc, policy.SetP1P7)
+	rep := compileAndLoad(t, b, traceSrc, policy.SetP1P8)
 
 	for _, stage := range []string{"parse", "load", "disasm", "rewrite"} {
 		if d := rep.Trace.Dur(stage); d <= 0 {

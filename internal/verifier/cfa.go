@@ -27,6 +27,7 @@ import (
 	"deflection/internal/cfa"
 	"deflection/internal/disasm"
 	"deflection/internal/isa"
+	"deflection/internal/order"
 	"deflection/internal/policy"
 	"deflection/internal/taint"
 )
@@ -52,6 +53,13 @@ type CFAStats struct {
 	// TaintTrivial is set when P7 held without analysis (no secret buffers
 	// tagged, so no instruction can introduce taint).
 	TaintTrivial bool
+	// OrderStates is the declared protocol's state count; OrderCtxs the
+	// number of (function, entry state) contexts the order fixpoint
+	// analysed; OrderFuncs the functions it partitioned.
+	OrderStates, OrderCtxs, OrderFuncs int
+	// OrderTrivial is set when P8 held without analysis (no interface
+	// protocol declared, so there is no order to violate).
+	OrderTrivial bool
 }
 
 // CFADurations times the CFA stages.
@@ -61,6 +69,7 @@ type CFADurations struct {
 	DeadByte  time.Duration
 	Targets   time.Duration
 	Taint     time.Duration
+	Order     time.Duration
 }
 
 // cfaViolation builds a structured rejection attributed to a CFA pass.
@@ -108,8 +117,54 @@ func (v *verifier) runCFA(req policy.Set, res *Result) error {
 		start = time.Now()
 		err = v.timed(policy.P7, func() error { return v.taintPass(g, res) })
 		res.CFADur.Taint = time.Since(start)
+		if err != nil {
+			return err
+		}
+	}
+	if req.Has(policy.P8) && !v.opts.DisableOrder {
+		// Like taint, the order pass is the entirety of P8's check: billed
+		// to its audit entry as well as the CFA stage timings.
+		start = time.Now()
+		err = v.timed(policy.P8, func() error { return v.orderPass(g, res) })
+		res.CFADur.Order = time.Since(start)
 	}
 	return err
+}
+
+// orderPass runs the P8 interface-orderliness analysis over the recovered
+// CFG and converts its first finding (or any analysis failure) into a
+// structured rejection. Analysis errors — a protocol failing meta-
+// validation, budget blow-up — are conservative rejections, never
+// acceptances.
+func (v *verifier) orderPass(g *cfa.Graph, res *Result) error {
+	rep, err := order.Analyze(g, v.opts.Order)
+	if err != nil {
+		return v.cfaViolation("order", policy.P8, 0, "order analysis failed: %v", err)
+	}
+	if v.opts.OrderObserver != nil {
+		v.opts.OrderObserver(rep)
+	}
+	res.CFA.OrderStates = rep.States
+	res.CFA.OrderCtxs = rep.Ctxs
+	res.CFA.OrderFuncs = rep.Funcs
+	res.CFA.OrderTrivial = rep.Trivial
+	if len(rep.Findings) > 0 {
+		f := rep.Findings[0]
+		return v.cfaViolation("order", policy.P8, f.Off, "%s: %s", f.Kind, f.Msg)
+	}
+	return nil
+}
+
+// orderDetail renders the P8 audit line.
+func orderDetail(s *CFAStats, ran bool) string {
+	if !ran {
+		return "order pass skipped (ablation); interface orderliness not proved"
+	}
+	if s.OrderTrivial || s.OrderStates == 0 {
+		return "no interface protocol declared; P8 holds trivially"
+	}
+	return fmt.Sprintf("every interface event admitted by the %d-state protocol on all paths (%d functions, %d analysis contexts at fixpoint)",
+		s.OrderStates, s.OrderFuncs, s.OrderCtxs)
 }
 
 // taintPass runs the P7 secret-taint analysis over the recovered CFG and

@@ -16,7 +16,7 @@ import (
 // target list rather than on the binary itself.
 func verifyAsmTargets(t *testing.T, src string, pols policy.Set, mangle func([]int64) []int64) error {
 	t.Helper()
-	o, err := asmtext.Assemble(src, uint8(pols))
+	o, err := asmtext.Assemble(src, uint16(pols))
 	if err != nil {
 		t.Fatalf("assemble: %v", err)
 	}

@@ -15,7 +15,7 @@ import (
 // given policy set.
 func verifyAsm(t *testing.T, src string, pols policy.Set) error {
 	t.Helper()
-	o, err := asmtext.Assemble(src, uint8(pols))
+	o, err := asmtext.Assemble(src, uint16(pols))
 	if err != nil {
 		t.Fatalf("assemble: %v", err)
 	}
@@ -275,7 +275,7 @@ trapstack:
 // TestVerifierIdempotent: verifying the same text twice yields identical
 // statistics (no hidden state).
 func TestVerifierIdempotent(t *testing.T) {
-	o, err := asmtext.Assemble(goodStoreGuard, uint8(policy.SetP1))
+	o, err := asmtext.Assemble(goodStoreGuard, uint16(policy.SetP1))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -17,7 +17,7 @@ import (
 // to absolute addresses, store window, stack bounds).
 func verifyAsmTaint(t *testing.T, src string, pols policy.Set) error {
 	t.Helper()
-	o, err := asmtext.Assemble(src, uint8(pols))
+	o, err := asmtext.Assemble(src, uint16(pols))
 	if err != nil {
 		t.Fatalf("assemble: %v", err)
 	}

@@ -25,6 +25,7 @@ import (
 
 	"deflection/internal/disasm"
 	"deflection/internal/isa"
+	"deflection/internal/order"
 	"deflection/internal/policy"
 	"deflection/internal/taint"
 )
@@ -47,8 +48,8 @@ type Violation struct {
 	// Msg describes the failed check.
 	Msg string
 	// Pass names the analysis pass that rejected the binary ("decode",
-	// "dominance", "reaching-defs", "dead-byte", "target-list" or
-	// "taint"); empty for the template-matching checks.
+	// "dominance", "reaching-defs", "dead-byte", "target-list", "taint"
+	// or "order"); empty for the template-matching checks.
 	Pass string
 }
 
@@ -84,7 +85,7 @@ type Options struct {
 	// target list.
 	BranchTargetOffsets []int64
 	// DisableCFA skips the control-flow-analysis passes (CFG recovery,
-	// dominance, dead-byte, target-list, taint), leaving only the template
+	// dominance, dead-byte, target-list, taint, order), leaving only the template
 	// checks — the pre-CFA verifier, kept for ablation benchmarks.
 	DisableCFA bool
 	// DisableTaint skips only the P7 taint pass while keeping the other
@@ -99,6 +100,18 @@ type Options struct {
 	// Verify otherwise discards with the Result. Debugging hook for
 	// deflection-disasm -taint; never influences the verdict.
 	TaintObserver func(*taint.Report)
+	// DisableOrder skips only the P8 interface-orderliness pass while
+	// keeping the other CFA passes, for ablation benchmarks of its cost.
+	DisableOrder bool
+	// Order is the declared interface protocol of the P8 orderliness pass
+	// (nil when the object declares none; the pass then holds trivially).
+	// Ignored unless Required includes P8.
+	Order *order.Protocol
+	// OrderObserver, when non-nil, receives the P8 order report whenever
+	// the pass runs — including when its findings reject the binary.
+	// Debugging hook for deflection-disasm -order; never influences the
+	// verdict.
+	OrderObserver func(*order.Report)
 }
 
 // Stats counts verified annotations.
@@ -133,7 +146,7 @@ type Result struct {
 	// annotations (including their trap stubs), used by the CPU timing
 	// model and excluded from user-code policy anchors.
 	AnnotRanges []Range
-	// Audit holds one verdict per policy P1-P7 in ascending order.
+	// Audit holds one verdict per policy P1-P8 in ascending order.
 	Audit []PolicyAudit
 	// DisasmDuration and DisciplineDuration time the shared stages that
 	// are not attributable to a single policy: the recursive-descent
@@ -171,7 +184,7 @@ type verifier struct {
 	storeAnchors []storeAnchor
 	rspAnchors   []rspAnchor
 
-	durs [8]time.Duration // per-policy check time, indexed by policy.ID
+	durs [9]time.Duration // per-policy check time, indexed by policy.ID
 }
 
 // storeAnchor is one template-verified store guard: the guarded store, the
@@ -398,9 +411,10 @@ func (v *verifier) buildAudit(req policy.Set, cfaStats *CFAStats) []PolicyAudit 
 			fmt.Sprintf("%d listed targets cross-checked against the %d-block CFG", cfaStats.Targets, cfaStats.Blocks))},
 		policy.P6: {v.stats.AEXChecks, fmt.Sprintf("entry arming verified, %d SSA-marker checks, max straight-line gap %d", v.stats.AEXChecks, v.opts.AEXCheckMaxGap)},
 		policy.P7: {cfaStats.Secrets, taintDetail(cfaStats, cfaOn && !v.opts.DisableTaint)},
+		policy.P8: {cfaStats.OrderStates, orderDetail(cfaStats, cfaOn && !v.opts.DisableOrder)},
 	}
 	var audit []PolicyAudit
-	for id := policy.P1; id <= policy.P7; id++ {
+	for id := policy.P1; id <= policy.P8; id++ {
 		a := PolicyAudit{Policy: id, Required: req.Has(id), Passed: true, Duration: v.durs[id]}
 		if !a.Required {
 			a.Detail = "not required by manifest; skipped"

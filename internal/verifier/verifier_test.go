@@ -144,7 +144,7 @@ func TestRejectsUnguardedStore(t *testing.T) {
 		t.Fatal(err)
 	}
 	a.SetEntry("_start")
-	o, err := a.Assemble(uint8(policy.SetP1))
+	o, err := a.Assemble(uint16(policy.SetP1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,7 +172,7 @@ func TestRejectsUnguardedIndirectBranch(t *testing.T) {
 	}
 	a.AddBranchTarget("f")
 	a.SetEntry("_start")
-	o, err := a.Assemble(uint8(policy.SetP1P5))
+	o, err := a.Assemble(uint16(policy.SetP1P5))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,7 +196,7 @@ func TestRejectsRetWithoutShadowCheck(t *testing.T) {
 		t.Fatal(err)
 	}
 	a.SetEntry("_start")
-	o, err := a.Assemble(uint8(policy.SetP1P5))
+	o, err := a.Assemble(uint16(policy.SetP1P5))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -218,7 +218,7 @@ func TestRejectsStrayBeacon(t *testing.T) {
 		t.Fatal(err)
 	}
 	a.SetEntry("_start")
-	o, err := a.Assemble(uint8(policy.SetP1P5))
+	o, err := a.Assemble(uint16(policy.SetP1P5))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -240,7 +240,7 @@ func TestRejectsBeaconPatternInImmediate(t *testing.T) {
 		t.Fatal(err)
 	}
 	a.SetEntry("_start")
-	o, err := a.Assemble(uint8(policy.SetP1P5))
+	o, err := a.Assemble(uint16(policy.SetP1P5))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -260,7 +260,7 @@ func TestRejectsWriteToShadowRegister(t *testing.T) {
 		t.Fatal(err)
 	}
 	a.SetEntry("_start")
-	o, err := a.Assemble(uint8(policy.SetP1P5))
+	o, err := a.Assemble(uint16(policy.SetP1P5))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -312,7 +312,7 @@ func TestRejectsMissingAEXChecks(t *testing.T) {
 		t.Fatal(err)
 	}
 	a.SetEntry("_start")
-	o, err := a.Assemble(uint8(policy.SetP1P6))
+	o, err := a.Assemble(uint16(policy.SetP1P6))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -335,7 +335,7 @@ func TestRejectsCounterResetOutsideEntry(t *testing.T) {
 		t.Fatal(err)
 	}
 	a.SetEntry("_start")
-	o, err := a.Assemble(uint8(policy.SetP1P6))
+	o, err := a.Assemble(uint16(policy.SetP1P6))
 	if err != nil {
 		t.Fatal(err)
 	}

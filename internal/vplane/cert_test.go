@@ -267,7 +267,7 @@ func TestCertForgedManifestRejected(t *testing.T) {
 // only ever carries installable, positively verified images.
 func TestNegativeVerdictsNotCertified(t *testing.T) {
 	f := newCertFleet(t)
-	o, err := asmtext.Assemble(unguardedStore, uint8(policy.SetP1))
+	o, err := asmtext.Assemble(unguardedStore, uint16(policy.SetP1))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,79 @@
+package vplane_test
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"deflection/internal/policy"
+	"deflection/internal/vplane"
+)
+
+// TestFingerprintBindsP8: the manifest fingerprint — the identity every
+// verdict certificate and cache key binds to — must distinguish a P1-P8
+// manifest from a P1-P7 one, or a weaker verification could impersonate a
+// stronger one fleet-wide.
+func TestFingerprintBindsP8(t *testing.T) {
+	fp7 := manifestFor(policy.SetP1P7).Fingerprint()
+	fp8 := manifestFor(policy.SetP1P8).Fingerprint()
+	if bytes.Equal(fp7, fp8) {
+		t.Fatal("P1-P7 and P1-P8 manifests share a fingerprint")
+	}
+	k7 := vplane.ComputeKey(compileObj(t, "int main() { return 1; }", policy.SetP1P8),
+		manifestFor(policy.SetP1P7), defaultLayout(t))
+	k8 := vplane.ComputeKey(compileObj(t, "int main() { return 1; }", policy.SetP1P8),
+		manifestFor(policy.SetP1P8), defaultLayout(t))
+	if k7 == k8 {
+		t.Fatal("verdict-cache keys collide across P8 requirement")
+	}
+}
+
+// TestCertPolicySetNotInterchangeable: a verdict certificate minted for a
+// P1-P8 verification must not be admitted for a P1-P7 request (or vice
+// versa) — the certificate attests exactly the policy set in the manifest
+// it binds, so the weaker request pays its own cold verification.
+func TestCertPolicySetNotInterchangeable(t *testing.T) {
+	f := newCertFleet(t)
+	obj := compileObj(t, "int main() { return 4; }", policy.SetP1P8)
+	l := defaultLayout(t)
+
+	// Cold P1-P8 verification on A issues a certificate.
+	vA, srcA, err := f.a.Verify(context.Background(), obj, manifestFor(policy.SetP1P8), l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srcA != vplane.SourceCold || vA.Reject != nil {
+		t.Fatalf("A: src=%v reject=%v, want cold acceptance", srcA, vA.Reject)
+	}
+	if f.store.Len() != 1 {
+		t.Fatalf("store holds %d certificates, want 1", f.store.Len())
+	}
+
+	// The same binary under a P1-P7 manifest on B must not ride that
+	// certificate: different fingerprint, different verdict identity.
+	vB, srcB, err := f.b.Verify(context.Background(), obj, manifestFor(policy.SetP1P7), l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vB.Reject != nil {
+		t.Fatalf("B rejected a binary whose claims cover the request: %v", vB.Reject)
+	}
+	if srcB == vplane.SourceCertified {
+		t.Fatal("P8-verified certificate admitted for a P1-P7 request")
+	}
+	if srcB != vplane.SourceCold {
+		t.Fatalf("B source = %v, want cold", srcB)
+	}
+	if got := f.regB.Counter("vplane_verify_runs_total").Value(); got != 1 {
+		t.Fatalf("B ran the pipeline %d times, want 1 (own cold run)", got)
+	}
+
+	// A genuine P1-P8 request on B does ride the certificate.
+	_, srcB8, err := f.b.Verify(context.Background(), obj, manifestFor(policy.SetP1P8), l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srcB8 != vplane.SourceCertified {
+		t.Fatalf("matching request source = %v, want certified", srcB8)
+	}
+}

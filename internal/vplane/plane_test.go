@@ -266,7 +266,7 @@ func TestNegativeVerdictCached(t *testing.T) {
 	p := vplane.New(vplane.Config{CacheBytes: 1 << 20, Workers: 1, QueueDepth: 4, Metrics: reg})
 	defer p.Close()
 
-	o, err := asmtext.Assemble(unguardedStore, uint8(policy.SetP1))
+	o, err := asmtext.Assemble(unguardedStore, uint16(policy.SetP1))
 	if err != nil {
 		t.Fatal(err)
 	}
